@@ -1,0 +1,100 @@
+//! Figure 11: LLM inference (GPT-J-6B, Llama2-13B) — first-token and
+//! next-token latency, HF-like vs PARLOOPER, FP32 vs BF16, SPR and GVT3.
+//!
+//! Paper shape: PARLOOPER 1.1-2.3x over HF on SPR, ~2.8x on GVT3; BF16
+//! accelerates the compute-bound first token ~5.7x and the
+//! bandwidth-bound next tokens ~1.9x (weights shrink 2x).
+
+use pl_bench::baseline::stack_eff;
+use pl_bench::{f1, f2, header, row};
+use pl_dnn::DecoderConfig;
+use pl_perfmodel::{roofline, Platform, WorkItem};
+use pl_tensor::DType;
+
+struct Latency {
+    first_ms: f64,
+    next_ms: f64,
+}
+
+fn latency(p: &Platform, cfg: &DecoderConfig, dtype: DType, eff: f64) -> Latency {
+    let threads = p.total_cores();
+    let prompt = 1024;
+    let elem = dtype.size_of();
+    // First token: compute bound over the whole prompt.
+    let first = WorkItem {
+        flops: cfg.first_token_flops(prompt),
+        bytes: cfg.weight_bytes(elem),
+    };
+    // Next token: read all weights + KV cache per generated token.
+    let next = WorkItem {
+        flops: cfg.next_token_flops(prompt),
+        bytes: cfg.weight_bytes(elem) + cfg.kv_cache_bytes(prompt, elem),
+    };
+    Latency {
+        first_ms: 1e3 * roofline::time_seconds(p, threads, dtype, first, eff),
+        next_ms: 1e3 * roofline::time_seconds(p, threads, dtype, next, eff),
+    }
+}
+
+fn main() {
+    for platform in [Platform::spr(), Platform::gvt3()] {
+        header(
+            &format!(
+                "Fig.11 LLM inference on {} (1024 in / 32 out, BS=1) [simulated]",
+                platform.name
+            ),
+            &["model", "stack", "dtype", "first tok (ms)", "next tok (ms)"],
+        );
+        for cfg in [DecoderConfig::gptj_6b(), DecoderConfig::llama2_13b()] {
+            let name = if cfg.layers == 28 { "GPTJ-6B" } else { "LLAMA2-13B" };
+            let cases: [(&str, DType, f64); 4] = [
+                ("HF", DType::F32, stack_eff::IPEX),
+                ("PARLOOPER", DType::F32, stack_eff::PARLOOPER),
+                ("HF", DType::Bf16, stack_eff::IPEX),
+                ("PARLOOPER", DType::Bf16, stack_eff::PARLOOPER),
+            ];
+            for (stack, dt, eff) in cases {
+                let l = latency(&platform, &cfg, dt, eff);
+                row(&[
+                    name.to_string(),
+                    stack.to_string(),
+                    format!("{dt}"),
+                    f1(l.first_ms),
+                    f2(l.next_ms),
+                ]);
+            }
+            let f32_l = latency(&platform, &cfg, DType::F32, stack_eff::PARLOOPER);
+            let bf16_l = latency(&platform, &cfg, DType::Bf16, stack_eff::PARLOOPER);
+            println!(
+                "{name}: BF16 speedup first={:.1}x next={:.1}x",
+                f32_l.first_ms / bf16_l.first_ms,
+                f32_l.next_ms / bf16_l.next_ms
+            );
+        }
+    }
+
+    // Measured host check: scaled decoder, prefill vs cached step.
+    use pl_dnn::Decoder;
+    use pl_runtime::global_pool;
+    use pl_tensor::{fill_uniform, Xorshift};
+    let pool = global_pool();
+    let cfg = DecoderConfig { layers: 2, hidden: 128, heads: 4, ffn: 256, vocab: 512, ffn_mats: 2 };
+    let prompt = 64usize;
+    let mut x = vec![0.0f32; cfg.hidden * prompt];
+    fill_uniform(&mut x, &mut Xorshift::new(3), -0.5, 0.5);
+    let mut d = Decoder::new(cfg, prompt + 8, 5);
+    let t_first = pl_bench::time_it(1, || {
+        d.reset();
+        let _ = d.prefill(&x, prompt, pool);
+    });
+    let t_next = pl_bench::time_it(3, || {
+        let _ = d.step(&x[..cfg.hidden], pool);
+    });
+    header(
+        "Fig.11 measured host (scaled decoder, 64-token prompt)",
+        &["phase", "ms"],
+    );
+    row(&["first token (prefill)".into(), f2(t_first * 1e3)]);
+    row(&["next token (KV cache)".into(), f2(t_next * 1e3)]);
+    println!("KV cache makes next-token {:.0}x cheaper than prefill", t_first / t_next);
+}

@@ -1,0 +1,62 @@
+//! Figure 2: GEMM performance of varying sizes on SPR / GVT3 / Zen4,
+//! FP32 and BF16, PARLOOPER vs oneDNN-like.
+//!
+//! Paper shape: FP32 mostly on par; BF16 PARLOOPER wins up to 1.98x on SPR
+//! (flat-B conflict misses at ld=4096); SPR BF16 up to ~9x its FP32.
+
+use pl_bench::baseline::{onednn_gemm_gflops, parlooper_gemm_gflops};
+use pl_bench::{f1, f2, header, row};
+use pl_perfmodel::Platform;
+use pl_tensor::DType;
+
+fn main() {
+    let sizes = [512usize, 1024, 2048, 4096];
+    for platform in [Platform::spr(), Platform::gvt3(), Platform::zen4()] {
+        let threads = platform.total_cores();
+        header(
+            &format!("Fig.2 GEMM on {} ({} cores) [simulated]", platform.name, threads),
+            &["MxNxK", "PL-BF16", "oneDNN-BF16", "PL-FP32", "oneDNN-FP32", "BF16 speedup"],
+        );
+        for &s in &sizes {
+            let pl_bf16 = parlooper_gemm_gflops(&platform, threads, s, s, s, DType::Bf16);
+            let dn_bf16 = onednn_gemm_gflops(&platform, threads, s, s, s, DType::Bf16);
+            let pl_f32 = parlooper_gemm_gflops(&platform, threads, s, s, s, DType::F32);
+            let dn_f32 = onednn_gemm_gflops(&platform, threads, s, s, s, DType::F32);
+            row(&[
+                format!("{s}x{s}x{s}"),
+                f1(pl_bf16),
+                f1(dn_bf16),
+                f1(pl_f32),
+                f1(dn_f32),
+                format!("{}x", f2(pl_bf16 / dn_bf16)),
+            ]);
+        }
+    }
+
+    // Measured sanity on the host: the real kernel at a small size.
+    use pl_kernels::{Gemm, GemmShape, GemmTuning};
+    use pl_runtime::global_pool;
+    use pl_tensor::{fill_uniform, BlockedMatrix, Xorshift};
+    let pool = global_pool();
+    let s = 256usize;
+    let shape = GemmShape::with_default_blocks(s, s, s);
+    let mut rng = Xorshift::new(1);
+    let mut a_cm = vec![0.0f32; s * s];
+    let mut b_cm = vec![0.0f32; s * s];
+    fill_uniform(&mut a_cm, &mut rng, -0.5, 0.5);
+    fill_uniform(&mut b_cm, &mut rng, -0.5, 0.5);
+    let mut a = BlockedMatrix::<f32>::a_layout(s, s, shape.bm, shape.bk).unwrap();
+    a.pack_from_colmajor(&a_cm);
+    let mut b = BlockedMatrix::<f32>::b_layout(s, s, shape.bk, shape.bn).unwrap();
+    b.pack_from_colmajor(&b_cm);
+    let mut c = BlockedMatrix::<f32>::c_layout(s, s, shape.bm, shape.bn).unwrap();
+    let tuned =
+        Gemm::<f32, f32, f32>::new(shape, GemmTuning::default_parallel(shape.kb())).unwrap();
+    let t = pl_bench::time_it(5, || tuned.execute(&a, &b, &mut c, pool).unwrap());
+    header("Fig.2 measured host sanity (FP32)", &["MxNxK", "threads", "GFLOPS"]);
+    row(&[
+        format!("{s}x{s}x{s}"),
+        format!("{}", pool.nthreads()),
+        f1(pl_bench::gflops(shape.flops() as f64, t)),
+    ]);
+}

@@ -1,0 +1,90 @@
+//! Table II: ResNet-50 BF16 training throughput (images/sec), single
+//! socket.
+//!
+//! Paper: SPR 255 img/s (PARLOOPER+TPP) vs 265 (IPEX+oneDNN, within 4 %);
+//! GVT3 145 img/s (within 1.76x of SPR).
+
+use pl_bench::{f1, header, row};
+use pl_dnn::{resnet50_conv_shapes, ConvLayerSpec};
+use pl_perfmodel::{roofline, Platform, WorkItem};
+use pl_tensor::DType;
+
+fn train_images_per_sec(p: &Platform, eff: f64) -> f64 {
+    let threads = p.total_cores();
+    let mb = threads; // paper: minibatch = cores
+    let shapes: Vec<ConvLayerSpec> = resnet50_conv_shapes(mb, 64, 64);
+    // fwd + bwd-data + bwd-weights ~ 3x forward conv work; batchnorm and
+    // pooling add a bandwidth-bound tail (~15 % of time, folded in below).
+    let mut total = 0.0;
+    for l in &shapes {
+        let s = &l.shape;
+        let flops = 3.0 * s.flops() as f64 * l.count as f64;
+        let act_bytes =
+            (s.n * s.c * s.h * s.w + s.n * s.k * s.p() * s.q()) as f64 * 2.0 * 3.0 * l.count as f64;
+        let w_bytes = (s.c * s.k * s.r * s.s) as f64 * 2.0 * 3.0 * l.count as f64;
+        total += roofline::time_seconds(
+            p,
+            threads,
+            DType::Bf16,
+            WorkItem { flops, bytes: act_bytes + w_bytes },
+            eff,
+        );
+    }
+    let total_with_bn = total / 0.85;
+    mb as f64 / total_with_bn
+}
+
+fn main() {
+    header(
+        "Table II: ResNet-50 BF16 training, images/sec [simulated]",
+        &["system", "implementation", "img/s"],
+    );
+    let spr = train_images_per_sec(&Platform::spr(), 0.62);
+    let spr_ipex = train_images_per_sec(&Platform::spr(), 0.645); // within 4%
+    let gvt3 = train_images_per_sec(&Platform::gvt3(), 0.80);
+    row(&["SPR".into(), "PARLOOPER + TPP".into(), f1(spr)]);
+    row(&["SPR".into(), "IPEX + oneDNN".into(), f1(spr_ipex)]);
+    row(&["GVT3".into(), "PARLOOPER + TPP".into(), f1(gvt3)]);
+    println!(
+        "\nSPR within {:.1}% of IPEX (paper: 4%); SPR/GVT3 = {:.2}x (paper: 1.76x)",
+        100.0 * (spr_ipex - spr) / spr_ipex,
+        spr / gvt3
+    );
+
+    // Measured host: one fwd+bwd of a small conv through the real kernels.
+    use pl_kernels::{conv_backward_data, conv_backward_weights, ConvForward, ConvTuning};
+    use pl_runtime::global_pool;
+    use pl_tensor::{ActTensor, ConvShape, ConvWeights};
+    let pool = global_pool();
+    let shape = ConvShape {
+        n: 2,
+        c: 32,
+        k: 32,
+        h: 14,
+        w: 14,
+        r: 3,
+        s: 3,
+        stride: 1,
+        pad: 1,
+        bc: 16,
+        bk: 16,
+    };
+    let conv = ConvForward::<f32>::new(shape, ConvTuning::default_for(&shape)).unwrap();
+    let input =
+        ActTensor::<f32>::new(shape.n, shape.c, shape.h, shape.w, shape.bc, shape.pad).unwrap();
+    let weights =
+        ConvWeights::<f32>::new(shape.c, shape.k, shape.r, shape.s, shape.bc, shape.bk).unwrap();
+    let mut out =
+        ActTensor::<f32>::new(shape.n, shape.k, shape.p(), shape.q(), shape.bk, 0).unwrap();
+    let mut din =
+        ActTensor::<f32>::new(shape.n, shape.c, shape.h, shape.w, shape.bc, shape.pad).unwrap();
+    let mut dw =
+        ConvWeights::<f32>::new(shape.c, shape.k, shape.r, shape.s, shape.bc, shape.bk).unwrap();
+    let t = pl_bench::time_it(3, || {
+        conv.execute(&input, &weights, &mut out, pool).unwrap();
+        conv_backward_data(&shape, &out, &weights, &mut din, pool).unwrap();
+        conv_backward_weights(&shape, &input, &out, &mut dw, pool).unwrap();
+    });
+    header("Table II measured host (one conv fwd+bwd)", &["conv", "ms"]);
+    row(&["3x3 32->32 @14x14 n=2".into(), format!("{:.2}", t * 1e3)]);
+}

@@ -1,0 +1,360 @@
+//! `loop_spec_string` grammar, parsing and legality validation
+//! (paper §II-B, RULE 1 and RULE 2).
+//!
+//! ```text
+//! spec      := term+ ( '@' directive )?
+//! term      := letter grid? barrier?
+//! letter    := 'a'..'z' | 'A'..'Z'          (uppercase => parallelize)
+//! grid      := '{' ('R'|'C'|'L') ':' uint '}' (PAR-MODE 2 axis:ways)
+//! barrier   := '|'
+//! directive := 'schedule' '(' ('static'|'dynamic') (',' uint)? ')'
+//! ```
+//!
+//! RULE 1 — the order of letters is the nesting order; the number of
+//! occurrences of a letter is 1 + the number of times that logical loop is
+//! blocked; blocking sizes come from the loop's blocking list outermost
+//! first, the innermost occurrence using the loop's base step; blockings
+//! must nest perfectly (each dividing the previous).
+//!
+//! RULE 2 — an uppercase letter parallelizes that nesting level. PAR-MODE 1
+//! (OpenMP-style): all uppercase letters must be consecutive and form one
+//! collapse group. PAR-MODE 2 (explicit grids): every uppercase letter
+//! carries `{axis:ways}` and the grid sizes must multiply to the team size.
+
+use std::fmt;
+
+/// Specification of one logical loop (paper Listing 1, lines 6-8).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LoopSpecs {
+    /// Inclusive lower bound.
+    pub start: usize,
+    /// Exclusive upper bound.
+    pub end: usize,
+    /// Innermost step (the computation's tile extent along this loop).
+    pub step: usize,
+    /// Optional blocking steps, outermost first (`{l1_step, l0_step}`).
+    pub block_steps: Vec<usize>,
+}
+
+impl LoopSpecs {
+    /// A loop `start..end` with step `step` and no blocking.
+    pub fn new(start: usize, end: usize, step: usize) -> Self {
+        LoopSpecs { start, end, step, block_steps: Vec::new() }
+    }
+
+    /// A loop with blocking steps, outermost first.
+    pub fn blocked(start: usize, end: usize, step: usize, block_steps: Vec<usize>) -> Self {
+        LoopSpecs { start, end, step, block_steps }
+    }
+
+    /// Logical trip count at the innermost step.
+    pub fn trip_count(&self) -> usize {
+        (self.end - self.start).div_ceil(self.step)
+    }
+}
+
+/// Thread-grid axis for PAR-MODE 2 (`{R:16}` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridAxisSpec {
+    /// Rows of the logical thread grid.
+    R,
+    /// Columns.
+    C,
+    /// Layers (3-D decompositions).
+    L,
+}
+
+/// Loop schedule requested via the `@` directive suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// `#pragma omp for` default: contiguous static blocks.
+    Static,
+    /// `schedule(static, chunk)`: round-robin chunks.
+    StaticChunk(usize),
+    /// `schedule(dynamic, chunk)`: work-stealing chunks.
+    Dynamic(usize),
+}
+
+/// One parsed term of the spec string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Term {
+    /// Logical loop index (0 = `a`).
+    pub loop_idx: usize,
+    /// Parallelize this nesting level.
+    pub parallel: bool,
+    /// PAR-MODE 2 grid annotation.
+    pub grid: Option<(GridAxisSpec, usize)>,
+    /// `|` after this term: team barrier when the level completes.
+    pub barrier_after: bool,
+}
+
+/// A fully parsed spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedSpec {
+    /// Nest terms in nesting order.
+    pub terms: Vec<Term>,
+    /// Requested worksharing schedule (PAR-MODE 1 only).
+    pub schedule: Schedule,
+}
+
+/// Spec-string and legality errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Empty spec string.
+    Empty,
+    /// Character outside the declared loop range.
+    UnknownLoop(char, usize),
+    /// Unparseable grid annotation or directive.
+    Syntax(String),
+    /// Loop blocked more times than blocking steps provided.
+    MissingBlockSteps {
+        /// Offending loop index.
+        loop_idx: usize,
+        /// Occurrences in the spec string.
+        occurrences: usize,
+        /// Provided blocking steps.
+        provided: usize,
+    },
+    /// Blocking steps do not nest perfectly.
+    ImperfectNesting {
+        /// Offending loop index.
+        loop_idx: usize,
+        /// The outer step.
+        outer: usize,
+        /// The inner step that fails to divide it.
+        inner: usize,
+    },
+    /// A loop has step 0 or an empty range.
+    DegenerateLoop(usize),
+    /// Uppercase letters are not consecutive (PAR-MODE 1 needs one group).
+    NonConsecutiveParallel,
+    /// A spec mixes `{axis:ways}` grids with plain uppercase letters.
+    MixedParallelModes,
+    /// Grid ways along the axes do not multiply to the team size.
+    GridSizeMismatch {
+        /// Product of the requested ways.
+        grid: usize,
+        /// Team size.
+        team: usize,
+    },
+    /// The same grid axis is used by two loops.
+    DuplicateGridAxis(char),
+    /// `|` attached below a parallelized level (would deadlock).
+    BarrierBelowParallel,
+    /// `|` attached to a non-final member of a collapse group.
+    BarrierInsideCollapse,
+    /// A loop blocked inside a collapse group whose span is not divisible
+    /// by the outer blocking (the linearized space would be ragged).
+    NonRectangularCollapse(usize),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "empty loop_spec_string"),
+            SpecError::UnknownLoop(c, n) => {
+                write!(f, "loop character '{c}' outside the {n} declared loops")
+            }
+            SpecError::Syntax(s) => write!(f, "syntax error: {s}"),
+            SpecError::MissingBlockSteps { loop_idx, occurrences, provided } => write!(
+                f,
+                "loop {} appears {occurrences} times but has only {provided} blocking steps",
+                (b'a' + *loop_idx as u8) as char
+            ),
+            SpecError::ImperfectNesting { loop_idx, outer, inner } => write!(
+                f,
+                "loop {}: blocking {inner} does not divide {outer}",
+                (b'a' + *loop_idx as u8) as char
+            ),
+            SpecError::DegenerateLoop(i) => {
+                write!(f, "loop {} has a zero step or empty range", (b'a' + *i as u8) as char)
+            }
+            SpecError::NonConsecutiveParallel => {
+                write!(f, "parallel letters must be consecutive (one collapse group)")
+            }
+            SpecError::MixedParallelModes => {
+                write!(f, "cannot mix OpenMP-style and grid-style parallelism")
+            }
+            SpecError::GridSizeMismatch { grid, team } => {
+                write!(f, "thread grid of {grid} ways does not match team of {team}")
+            }
+            SpecError::DuplicateGridAxis(c) => write!(f, "grid axis {c} used twice"),
+            SpecError::BarrierBelowParallel => {
+                write!(f, "barrier below a parallelized level would deadlock")
+            }
+            SpecError::BarrierInsideCollapse => {
+                write!(f, "barrier must follow the last letter of a collapse group")
+            }
+            SpecError::NonRectangularCollapse(i) => write!(
+                f,
+                "loop {} is blocked inside a collapse group but its span is not divisible by the outer blocking",
+                (b'a' + *i as u8) as char
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a spec string against `num_loops` declared loops.
+pub fn parse(spec: &str, num_loops: usize) -> Result<ParsedSpec, SpecError> {
+    let (loops_part, directive_part) = match spec.find('@') {
+        Some(i) => (&spec[..i], Some(spec[i + 1..].trim())),
+        None => (spec, None),
+    };
+    let mut terms: Vec<Term> = Vec::new();
+    let mut chars = loops_part.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch.is_whitespace() {
+            continue;
+        }
+        if ch == '|' {
+            match terms.last_mut() {
+                Some(t) => t.barrier_after = true,
+                None => return Err(SpecError::Syntax("leading '|'".into())),
+            }
+            continue;
+        }
+        if !ch.is_ascii_alphabetic() {
+            return Err(SpecError::Syntax(format!("unexpected character '{ch}'")));
+        }
+        let parallel = ch.is_ascii_uppercase();
+        let lower = ch.to_ascii_lowercase();
+        let loop_idx = (lower as u8 - b'a') as usize;
+        if loop_idx >= num_loops {
+            return Err(SpecError::UnknownLoop(ch, num_loops));
+        }
+        let mut grid = None;
+        if chars.peek() == Some(&'{') {
+            chars.next();
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let (axis_s, ways_s) = body
+                .split_once(':')
+                .ok_or_else(|| SpecError::Syntax(format!("bad grid '{{{body}}}'")))?;
+            let axis = match axis_s.trim() {
+                "R" => GridAxisSpec::R,
+                "C" => GridAxisSpec::C,
+                "L" => GridAxisSpec::L,
+                other => return Err(SpecError::Syntax(format!("bad grid axis '{other}'"))),
+            };
+            let ways: usize = ways_s
+                .trim()
+                .parse()
+                .map_err(|_| SpecError::Syntax(format!("bad grid ways '{ways_s}'")))?;
+            if ways == 0 {
+                return Err(SpecError::Syntax("grid ways must be positive".into()));
+            }
+            if !parallel {
+                return Err(SpecError::Syntax(
+                    "grid annotation requires an uppercase letter".into(),
+                ));
+            }
+            grid = Some((axis, ways));
+        }
+        terms.push(Term { loop_idx, parallel, grid, barrier_after: false });
+    }
+    if terms.is_empty() {
+        return Err(SpecError::Empty);
+    }
+
+    let schedule = match directive_part {
+        None | Some("") => Schedule::Static,
+        Some(d) => parse_directive(d)?,
+    };
+
+    Ok(ParsedSpec { terms, schedule })
+}
+
+fn parse_directive(d: &str) -> Result<Schedule, SpecError> {
+    let d = d.trim();
+    let inner = d
+        .strip_prefix("schedule")
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| SpecError::Syntax(format!("bad directive '{d}'")))?;
+    let mut parts = inner.split(',').map(str::trim);
+    let kind = parts.next().unwrap_or("");
+    let chunk = match parts.next() {
+        None => None,
+        Some(c) => Some(
+            c.parse::<usize>()
+                .map_err(|_| SpecError::Syntax(format!("bad chunk '{c}'")))?,
+        ),
+    };
+    if parts.next().is_some() {
+        return Err(SpecError::Syntax(format!("bad directive '{d}'")));
+    }
+    match kind {
+        "static" => Ok(chunk.map_or(Schedule::Static, Schedule::StaticChunk)),
+        "dynamic" => Ok(Schedule::Dynamic(chunk.unwrap_or(1))),
+        other => Err(SpecError::Syntax(format!("unknown schedule '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_bca_bcb_string() {
+        let p = parse("bcaBCb", 3).unwrap();
+        let letters: Vec<(usize, bool)> =
+            p.terms.iter().map(|t| (t.loop_idx, t.parallel)).collect();
+        assert_eq!(
+            letters,
+            vec![(1, false), (2, false), (0, false), (1, true), (2, true), (1, false)]
+        );
+        assert_eq!(p.schedule, Schedule::Static);
+    }
+
+    #[test]
+    fn parses_grid_spec_from_listing3() {
+        let p = parse("bC{R:16}aB{C:4}cb", 3).unwrap();
+        assert_eq!(p.terms[1].grid, Some((GridAxisSpec::R, 16)));
+        assert!(p.terms[1].parallel);
+        assert_eq!(p.terms[3].grid, Some((GridAxisSpec::C, 4)));
+    }
+
+    #[test]
+    fn parses_dynamic_directive() {
+        let p = parse("bcaBCb @ schedule(dynamic, 1)", 3).unwrap();
+        assert_eq!(p.schedule, Schedule::Dynamic(1));
+        let p2 = parse("abc@schedule(static,4)", 3).unwrap();
+        assert_eq!(p2.schedule, Schedule::StaticChunk(4));
+        let p3 = parse("abc@schedule(dynamic)", 3).unwrap();
+        assert_eq!(p3.schedule, Schedule::Dynamic(1));
+    }
+
+    #[test]
+    fn parses_barrier() {
+        let p = parse("aB|c", 3).unwrap();
+        assert!(p.terms[1].barrier_after);
+        assert!(!p.terms[0].barrier_after);
+    }
+
+    #[test]
+    fn rejects_unknown_loops_and_garbage() {
+        assert!(matches!(parse("abd", 3), Err(SpecError::UnknownLoop('d', 3))));
+        assert!(matches!(parse("", 3), Err(SpecError::Empty)));
+        assert!(matches!(parse("a+b", 3), Err(SpecError::Syntax(_))));
+        assert!(matches!(parse("|ab", 3), Err(SpecError::Syntax(_))));
+        assert!(matches!(parse("a{R:4}b", 3), Err(SpecError::Syntax(_))));
+        assert!(matches!(parse("A{Q:4}b", 3), Err(SpecError::Syntax(_))));
+        assert!(matches!(parse("ab@schedule(guided)", 3), Err(SpecError::Syntax(_))));
+        assert!(matches!(parse("ab@sched(static)", 3), Err(SpecError::Syntax(_))));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_between_terms() {
+        let p = parse("b c a", 3).unwrap();
+        assert_eq!(p.terms.len(), 3);
+    }
+
+    #[test]
+    fn trip_count_rounds_up() {
+        assert_eq!(LoopSpecs::new(0, 10, 3).trip_count(), 4);
+        assert_eq!(LoopSpecs::new(0, 9, 3).trip_count(), 3);
+        assert_eq!(LoopSpecs::new(2, 10, 4).trip_count(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # pl-dnn — end-to-end DL workloads on PARLOOPER/TPP
+//!
+//! The paper's §IV workloads, rebuilt on the kernel layer:
+//!
+//! * [`bert`] — BERT encoder with the four fused modules (Self-Attention,
+//!   SelfOutput/Output per Listing 6, Intermediate), forward *and* backward
+//!   (Fig. 9 fine-tuning).
+//! * [`sparse_bert`] — magnitude block-pruned BERT inference on the
+//!   Block-SpMM kernel (Fig. 10).
+//! * [`llm`] — decoder-only LLM (GPT-J / Llama2 architectures) with KV
+//!   cache: prefill (first token) and autoregressive steps (next tokens)
+//!   (Fig. 11), plus exact flop/byte accounting of the full-size models.
+//! * [`resnet`] — the Fig. 7 convolution shape table, batchnorm (fwd/bwd)
+//!   and pooling for ResNet-50 training (Table II).
+//! * [`matmul`] — the flat-matrix bridge onto the PARLOOPER GEMM kernel.
+
+pub mod bert;
+pub mod llm;
+pub mod matmul;
+pub mod resnet;
+pub mod sparse_bert;
+
+pub use bert::{BertConfig, BertEncoder, BertLayer};
+pub use llm::{Decoder, DecoderConfig};
+pub use resnet::{resnet50_conv_flops, resnet50_conv_shapes, BatchNorm, ConvLayerSpec};
+pub use sparse_bert::{prune_to_block_sparse, SparseBertLayer};

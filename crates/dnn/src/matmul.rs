@@ -1,0 +1,92 @@
+//! Flat-matrix matmul helper used by the DL layers.
+//!
+//! The layers keep activations as flat column-major `features x tokens`
+//! f32 matrices; this helper packs operands into PARLOOPER blocked layouts,
+//! runs the tuned GEMM kernel, and unpacks. Packing is `O(n^2)` against the
+//! GEMM's `O(n^3)` — the same layout-transformation cost the paper's
+//! blocked tensors pay once per layer boundary.
+
+use pl_kernels::{Gemm, GemmShape, GemmTuning};
+use pl_runtime::ThreadPool;
+use pl_tensor::BlockedMatrix;
+
+/// Operand orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use as stored.
+    No,
+    /// Use the transpose.
+    Yes,
+}
+
+/// `C (m x n) = op_a(A) x op_b(B)` over flat column-major f32 buffers.
+///
+/// `a` is `(m x k)` after `ta`, `b` is `(k x n)` after `tb`.
+pub fn matmul(
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    pool: &ThreadPool,
+) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let a_cm: Vec<f32> = match ta {
+        Trans::No => a.to_vec(),
+        Trans::Yes => transpose_cm(a, k, m),
+    };
+    let b_cm: Vec<f32> = match tb {
+        Trans::No => b.to_vec(),
+        Trans::Yes => transpose_cm(b, n, k),
+    };
+    let shape = GemmShape::with_default_blocks(m, n, k);
+    let kernel = Gemm::<f32, f32, f32>::new(shape, GemmTuning::default_parallel(shape.kb()))
+        .expect("matmul shape");
+    let mut am = BlockedMatrix::<f32>::a_layout(m, k, shape.bm, shape.bk).unwrap();
+    am.pack_from_colmajor(&a_cm);
+    let mut bm = BlockedMatrix::<f32>::b_layout(k, n, shape.bk, shape.bn).unwrap();
+    bm.pack_from_colmajor(&b_cm);
+    let mut cm = BlockedMatrix::<f32>::c_layout(m, n, shape.bm, shape.bn).unwrap();
+    kernel.execute(&am, &bm, &mut cm, pool).expect("matmul execute");
+    cm.unpack_to_colmajor()
+}
+
+/// Transpose of a flat column-major `rows x cols` matrix.
+pub fn transpose_cm(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; rows * cols];
+    pl_tpp::transform::transpose(rows, cols, x, rows, &mut t, cols);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_kernels::gemm::reference_gemm;
+    use pl_tensor::{fill_uniform, Xorshift};
+
+    #[test]
+    fn matches_reference_all_orientations() {
+        let pool = ThreadPool::new(2);
+        let (m, n, k) = (24, 20, 28);
+        let mut rng = Xorshift::new(4);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill_uniform(&mut a, &mut rng, -0.5, 0.5);
+        fill_uniform(&mut b, &mut rng, -0.5, 0.5);
+        let want = reference_gemm(&a, &b, m, n, k);
+
+        let c1 = matmul(&a, Trans::No, &b, Trans::No, m, n, k, &pool);
+        let at = transpose_cm(&a, m, k); // (k x m) storing A^T
+        let c2 = matmul(&at, Trans::Yes, &b, Trans::No, m, n, k, &pool);
+        let bt = transpose_cm(&b, k, n);
+        let c3 = matmul(&a, Trans::No, &bt, Trans::Yes, m, n, k, &pool);
+        for (ci, c) in [c1, c2, c3].iter().enumerate() {
+            for i in 0..m * n {
+                assert!((c[i] - want[i]).abs() < 1e-3, "case {ci} idx {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! ResNet-50 components (paper §IV-C, Fig. 7, Table II): the exact
+//! convolution shape table of Fig. 7, batch normalization (fwd/bwd), and
+//! pooling — the layers that, together with `pl_kernels::conv` and the FC
+//! kernel, make up the training pipeline.
+
+use pl_runtime::ThreadPool;
+use pl_tensor::{ActTensor, ConvShape, Element};
+use parlooper::{LoopSpecs, ThreadedLoop};
+
+/// One row of the Fig. 7 shape table.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvLayerSpec {
+    /// Layer ID as in Fig. 7 (1..=20).
+    pub id: usize,
+    /// The convolution shape (minibatch filled in by the caller).
+    pub shape: ConvShape,
+    /// How many times this shape occurs in ResNet-50.
+    pub count: usize,
+}
+
+/// The 20 unique ResNet-50 convolution shapes of Fig. 7 with their
+/// occurrence counts, for minibatch `n` and feature blockings `bc`/`bk`
+/// (clamped to the layer's channel counts).
+pub fn resnet50_conv_shapes(n: usize, bc: usize, bk: usize) -> Vec<ConvLayerSpec> {
+    // (id, stride, S, R, W, H, K, C, pad, count)
+    let rows: [(usize, usize, usize, usize, usize, usize, usize, usize, usize, usize); 20] = [
+        (1, 2, 7, 7, 224, 224, 64, 3, 3, 1),
+        (2, 1, 1, 1, 56, 56, 256, 64, 0, 4),
+        (3, 1, 1, 1, 56, 56, 64, 64, 0, 1),
+        (4, 1, 3, 3, 56, 56, 64, 64, 1, 3),
+        (5, 1, 1, 1, 56, 56, 64, 256, 0, 2),
+        (6, 2, 1, 1, 56, 56, 512, 256, 0, 1),
+        (7, 2, 1, 1, 56, 56, 128, 256, 0, 1),
+        (8, 1, 3, 3, 28, 28, 128, 128, 1, 4),
+        (9, 1, 1, 1, 28, 28, 512, 128, 0, 4),
+        (10, 1, 1, 1, 28, 28, 128, 512, 0, 3),
+        (11, 2, 1, 1, 28, 28, 1024, 512, 0, 1),
+        (12, 2, 1, 1, 28, 28, 256, 512, 0, 1),
+        (13, 1, 3, 3, 14, 14, 256, 256, 1, 6),
+        (14, 1, 1, 1, 14, 14, 1024, 256, 0, 6),
+        (15, 1, 1, 1, 14, 14, 256, 1024, 0, 5),
+        (16, 2, 1, 1, 14, 14, 2048, 1024, 0, 1),
+        (17, 2, 1, 1, 14, 14, 512, 1024, 0, 1),
+        (18, 1, 3, 3, 7, 7, 512, 512, 1, 3),
+        (19, 1, 1, 1, 7, 7, 2048, 512, 0, 3),
+        (20, 1, 1, 1, 7, 7, 512, 2048, 0, 2),
+    ];
+    rows.iter()
+        .map(|&(id, stride, s, r, w, h, k, c, pad, count)| {
+            let pick = |channels: usize, pref: usize| {
+                let mut b = pref.min(channels);
+                while channels % b != 0 {
+                    b -= 1;
+                }
+                b.max(1)
+            };
+            ConvLayerSpec {
+                id,
+                shape: ConvShape {
+                    n,
+                    c,
+                    k,
+                    h,
+                    w,
+                    r,
+                    s,
+                    stride,
+                    pad,
+                    bc: pick(c, bc),
+                    bk: pick(k, bk),
+                },
+                count,
+            }
+        })
+        .collect()
+}
+
+/// Batch-normalization statistics + affine parameters for `c` channels.
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    /// Scale.
+    pub gamma: Vec<f32>,
+    /// Shift.
+    pub beta: Vec<f32>,
+    /// Numerical floor.
+    pub eps: f32,
+}
+
+/// Saved forward statistics for the backward pass.
+pub struct BnTape {
+    mean: Vec<f32>,
+    rstd: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Identity-initialized BN over `c` channels.
+    pub fn new(c: usize) -> Self {
+        BatchNorm { gamma: vec![1.0; c], beta: vec![0.0; c], eps: 1e-5 }
+    }
+
+    /// Forward: per-channel normalization over (N, H, W), parallelized
+    /// over channel blocks with PARLOOPER.
+    pub fn forward<T: Element>(
+        &self,
+        x: &ActTensor<T>,
+        y: &mut ActTensor<T>,
+        pool: &ThreadPool,
+    ) -> BnTape {
+        let (n, c, h, w, bc) = (x.n(), x.c(), x.h(), x.w(), x.bc());
+        let count = (n * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut rstd = vec![0.0f32; c];
+        // Stats pass (sequential over channels; cheap relative to convs).
+        for ch in 0..c {
+            let mut s = 0.0f64;
+            let mut s2 = 0.0f64;
+            for ni in 0..n {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        let v = x.get(ni, ch, yy, xx).to_f32() as f64;
+                        s += v;
+                        s2 += v * v;
+                    }
+                }
+            }
+            let mu = (s / count as f64) as f32;
+            let var = ((s2 / count as f64) as f32 - mu * mu).max(0.0);
+            mean[ch] = mu;
+            rstd[ch] = 1.0 / (var + self.eps).sqrt();
+        }
+        // Normalize pass, parallel over (n, cb).
+        let cb = c / bc;
+        let specs = vec![LoopSpecs::new(0, n, 1), LoopSpecs::new(0, cb, 1)];
+        let tl = ThreadedLoop::new(&specs, "AB").expect("bn spec");
+        let y_shared = pl_kernels::SharedSlice::new(y.data_mut());
+        let plane = y_plane_len(x);
+        tl.try_run_on(pool, |ind| {
+            let (ni, icb) = (ind[0], ind[1]);
+            // SAFETY: disjoint (n, cb) planes.
+            let dst = unsafe { y_shared.slice_mut((ni * cb + icb) * plane, plane) };
+            // Recompute offsets via logical loops (padding-aware).
+            let mut idx = 0usize;
+            let hp = x.hp();
+            let wp = x.wp();
+            let pad = x.pad();
+            for yy in 0..hp {
+                for xx in 0..wp {
+                    for ci in 0..bc {
+                        let ch = icb * bc + ci;
+                        let v = if yy >= pad && yy < hp - pad && xx >= pad && xx < wp - pad {
+                            let raw = x.get(ni, ch, yy - pad, xx - pad).to_f32();
+                            self.gamma[ch] * (raw - mean[ch]) * rstd[ch] + self.beta[ch]
+                        } else {
+                            0.0
+                        };
+                        dst[idx] = T::from_f32(v);
+                        idx += 1;
+                    }
+                }
+            }
+        })
+        .expect("bn run");
+        BnTape { mean, rstd }
+    }
+
+    /// Backward: `dx`, accumulating `dgamma`/`dbeta`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward<T: Element>(
+        &self,
+        x: &ActTensor<T>,
+        dy: &ActTensor<T>,
+        tape: &BnTape,
+        dx: &mut ActTensor<T>,
+        dgamma: &mut [f32],
+        dbeta: &mut [f32],
+    ) {
+        let (n, c, h, w) = (x.n(), x.c(), x.h(), x.w());
+        let count = (n * h * w) as f32;
+        for ch in 0..c {
+            let mu = tape.mean[ch];
+            let rs = tape.rstd[ch];
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for ni in 0..n {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        let g = dy.get(ni, ch, yy, xx).to_f32();
+                        let xhat = (x.get(ni, ch, yy, xx).to_f32() - mu) * rs;
+                        sum_g += g;
+                        sum_gx += g * xhat;
+                    }
+                }
+            }
+            dgamma[ch] += sum_gx;
+            dbeta[ch] += sum_g;
+            let gam = self.gamma[ch];
+            for ni in 0..n {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        let g = dy.get(ni, ch, yy, xx).to_f32();
+                        let xhat = (x.get(ni, ch, yy, xx).to_f32() - mu) * rs;
+                        let v = gam * rs * (g - (sum_g + xhat * sum_gx) / count);
+                        dx.set(ni, ch, yy, xx, T::from_f32(v));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn y_plane_len<T: Element>(x: &ActTensor<T>) -> usize {
+    x.hp() * x.wp() * x.bc()
+}
+
+/// Max pooling (kernel `k`, stride `s`) — ResNet-50's 3x3/s2 stem pool.
+pub fn maxpool<T: Element>(x: &ActTensor<T>, k: usize, s: usize) -> ActTensor<T> {
+    let (n, c, h, w, bc) = (x.n(), x.c(), x.h(), x.w(), x.bc());
+    let (ph, pw) = ((h - k) / s + 1, (w - k) / s + 1);
+    let mut y = ActTensor::<T>::new(n, c, ph, pw, bc, 0).expect("pool out");
+    for ni in 0..n {
+        for ch in 0..c {
+            for oy in 0..ph {
+                for ox in 0..pw {
+                    let mut m = f32::NEG_INFINITY;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            m = m.max(x.get(ni, ch, oy * s + dy, ox * s + dx).to_f32());
+                        }
+                    }
+                    y.set(ni, ch, oy, ox, T::from_f32(m));
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Global average pooling to a `(n, c)` matrix (column-major `c x n`).
+pub fn global_avgpool<T: Element>(x: &ActTensor<T>) -> Vec<f32> {
+    let (n, c, h, w) = (x.n(), x.c(), x.h(), x.w());
+    let mut out = vec![0.0f32; c * n];
+    let inv = 1.0 / (h * w) as f32;
+    for ni in 0..n {
+        for ch in 0..c {
+            let mut s = 0.0f32;
+            for yy in 0..h {
+                for xx in 0..w {
+                    s += x.get(ni, ch, yy, xx).to_f32();
+                }
+            }
+            out[ni * c + ch] = s * inv;
+        }
+    }
+    out
+}
+
+/// Total forward flops of ResNet-50's convolutions at minibatch `n`.
+pub fn resnet50_conv_flops(n: usize) -> f64 {
+    resnet50_conv_shapes(n, 64, 64)
+        .iter()
+        .map(|l| l.shape.flops() as f64 * l.count as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_table_matches_fig7() {
+        let shapes = resnet50_conv_shapes(56, 64, 64);
+        assert_eq!(shapes.len(), 20);
+        // ID1: 7x7 stride 2 pad 3 on 224x224 -> 112x112.
+        assert_eq!(shapes[0].shape.p(), 112);
+        // ID4: 3x3 s1 p1 keeps 56x56.
+        assert_eq!(shapes[3].shape.p(), 56);
+        // ID6: stride-2 1x1 halves 56 -> 28.
+        assert_eq!(shapes[5].shape.p(), 28);
+        // 53 conv layers total in ResNet-50 (incl. downsample branches).
+        let total: usize = shapes.iter().map(|l| l.count).sum();
+        assert_eq!(total, 53);
+        // All blockings divide.
+        for l in &shapes {
+            assert_eq!(l.shape.c % l.shape.bc, 0, "id {}", l.id);
+            assert_eq!(l.shape.k % l.shape.bk, 0, "id {}", l.id);
+        }
+    }
+
+    #[test]
+    fn resnet_flops_scale_with_minibatch() {
+        let f1 = resnet50_conv_flops(1);
+        let f8 = resnet50_conv_flops(8);
+        assert!((f8 / f1 - 8.0).abs() < 1e-9);
+        // ~4.1 GFLOP-ish per image x2 (multiply-add counted as 2 flops,
+        // convs only): accept the 6-9 GF band.
+        assert!(f1 > 6e9 && f1 < 9e9, "per-image conv flops {f1}");
+    }
+
+    #[test]
+    fn batchnorm_normalizes() {
+        let pool = ThreadPool::new(2);
+        let mut rng = pl_tensor::Xorshift::new(3);
+        let x = ActTensor::<f32>::from_fn(2, 8, 6, 6, 4, 0, |_, _, _, _| {
+            rng.next_f32() * 3.0 + 1.0
+        })
+        .unwrap();
+        let bn = BatchNorm::new(8);
+        let mut y = ActTensor::<f32>::new(2, 8, 6, 6, 4, 0).unwrap();
+        let _tape = bn.forward(&x, &mut y, &pool);
+        for ch in 0..8 {
+            let mut s = 0.0f32;
+            let mut s2 = 0.0f32;
+            for ni in 0..2 {
+                for yy in 0..6 {
+                    for xx in 0..6 {
+                        let v = y.get(ni, ch, yy, xx);
+                        s += v;
+                        s2 += v * v;
+                    }
+                }
+            }
+            let count = 72.0;
+            let mu = s / count;
+            let var = s2 / count - mu * mu;
+            assert!(mu.abs() < 1e-4, "ch {ch} mean {mu}");
+            assert!((var - 1.0).abs() < 1e-2, "ch {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_backward_finite_difference() {
+        let pool = ThreadPool::new(1);
+        let mut rng = pl_tensor::Xorshift::new(5);
+        let x = ActTensor::<f32>::from_fn(1, 4, 3, 3, 4, 0, |_, _, _, _| rng.next_f32() - 0.5)
+            .unwrap();
+        let g = ActTensor::<f32>::from_fn(1, 4, 3, 3, 4, 0, |_, _, _, _| rng.next_f32() - 0.5)
+            .unwrap();
+        let bn = BatchNorm::new(4);
+        let mut y = ActTensor::<f32>::new(1, 4, 3, 3, 4, 0).unwrap();
+        let tape = bn.forward(&x, &mut y, &pool);
+        let mut dx = ActTensor::<f32>::new(1, 4, 3, 3, 4, 0).unwrap();
+        let mut dgamma = vec![0.0f32; 4];
+        let mut dbeta = vec![0.0f32; 4];
+        bn.backward(&x, &g, &tape, &mut dx, &mut dgamma, &mut dbeta);
+
+        let loss = |xv: &ActTensor<f32>| -> f32 {
+            let mut yv = ActTensor::<f32>::new(1, 4, 3, 3, 4, 0).unwrap();
+            bn.forward(xv, &mut yv, &pool);
+            let mut s = 0.0;
+            for ch in 0..4 {
+                for yy in 0..3 {
+                    for xx in 0..3 {
+                        s += yv.get(0, ch, yy, xx) * g.get(0, ch, yy, xx);
+                    }
+                }
+            }
+            s
+        };
+        let h = 1e-2;
+        for &(ch, yy, xx) in &[(0usize, 0usize, 0usize), (2, 1, 2), (3, 2, 1)] {
+            let mut xp = x.clone();
+            xp.set(0, ch, yy, xx, x.get(0, ch, yy, xx) + h);
+            let mut xm = x.clone();
+            xm.set(0, ch, yy, xx, x.get(0, ch, yy, xx) - h);
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * h);
+            let got = dx.get(0, ch, yy, xx);
+            assert!((got - fd).abs() < 2e-2, "({ch},{yy},{xx}): {got} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn maxpool_and_avgpool() {
+        let x = ActTensor::<f32>::from_fn(1, 4, 4, 4, 4, 0, |_, c, y, xx| {
+            (c * 100 + y * 10 + xx) as f32
+        })
+        .unwrap();
+        let y = maxpool(&x, 2, 2);
+        assert_eq!(y.h(), 2);
+        assert_eq!(y.get(0, 0, 0, 0), 11.0); // max of {0,1,10,11}
+        assert_eq!(y.get(0, 0, 1, 1), 33.0);
+        let avg = global_avgpool(&x);
+        // Channel 0 mean over 0..33 grid = 16.5.
+        assert!((avg[0] - 16.5).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,450 @@
+//! GEMM written with PARLOOPER and TPPs — a line-for-line reproduction of
+//! paper Listing 1.
+//!
+//! Three logical loops (`a` = K-blocks, `b` = M-blocks, `c` = N-blocks)
+//! iterate the blocked operands; the body zeroes the output block on the
+//! first K-step (`zero_tpp`) and invokes the stride-based BRGEMM with
+//! `brcount = k_step`, `stride_A = bm*bk`, `stride_B = bn*bk`.
+
+use crate::shared::SharedSlice;
+use crate::KernelError;
+use parlooper::{LoopSpecs, SpecError, ThreadedLoop};
+use pl_runtime::ThreadPool;
+use pl_tensor::{BlockedMatrix, Element, InnerLayout};
+use pl_tpp::brgemm::{Brgemm, BrgemmDesc};
+use std::sync::Arc;
+
+pub use pl_tensor::blocked::InnerLayout as BInner;
+
+/// Tuning knobs of the GEMM kernel: everything the auto-tuner may vary
+/// (paper §II-D, decisions i-iv) with zero changes to the kernel code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmTuning {
+    /// The `loop_spec_string`.
+    pub spec: String,
+    /// K-blocks reduced per BRGEMM invocation (loop `a` base step).
+    pub k_step: usize,
+    /// Blocking steps (in block units) for the K loop `a`.
+    pub a_blocks: Vec<usize>,
+    /// Blocking steps for the M loop `b`.
+    pub b_blocks: Vec<usize>,
+    /// Blocking steps for the N loop `c`.
+    pub c_blocks: Vec<usize>,
+}
+
+impl GemmTuning {
+    /// Plain spec with no extra blocking.
+    pub fn simple(spec: &str) -> Self {
+        GemmTuning {
+            spec: spec.to_string(),
+            k_step: 1,
+            a_blocks: Vec::new(),
+            b_blocks: Vec::new(),
+            c_blocks: Vec::new(),
+        }
+    }
+
+    /// The paper's default parallel instantiation: distribute the (M, N)
+    /// block space, K innermost and fully folded into one BRGEMM call.
+    pub fn default_parallel(kb: usize) -> Self {
+        GemmTuning {
+            spec: "BCa".to_string(),
+            k_step: kb.max(1),
+            a_blocks: Vec::new(),
+            b_blocks: Vec::new(),
+            c_blocks: Vec::new(),
+        }
+    }
+}
+
+/// Problem geometry: logical sizes and block sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Rows of `C` / `A`.
+    pub m: usize,
+    /// Columns of `C` / `B`.
+    pub n: usize,
+    /// Inner-product dimension.
+    pub k: usize,
+    /// M blocking.
+    pub bm: usize,
+    /// N blocking.
+    pub bn: usize,
+    /// K blocking.
+    pub bk: usize,
+}
+
+impl GemmShape {
+    /// Shape with square-ish default blocks of 32 (clamped to the dims).
+    pub fn with_default_blocks(m: usize, n: usize, k: usize) -> Self {
+        let pick = |d: usize| {
+            // Largest divisor of d that is <= 64 and a multiple of 8 if
+            // possible; falls back to d itself for small dims.
+            for cand in [64, 48, 32, 16, 8, 4, 2, 1] {
+                if d % cand == 0 {
+                    return cand;
+                }
+            }
+            1
+        };
+        GemmShape { m, n, k, bm: pick(m), bn: pick(n), bk: pick(k) }
+    }
+
+    /// Number of M blocks.
+    pub fn mb(&self) -> usize {
+        self.m / self.bm
+    }
+
+    /// Number of N blocks.
+    pub fn nb(&self) -> usize {
+        self.n / self.bn
+    }
+
+    /// Number of K blocks.
+    pub fn kb(&self) -> usize {
+        self.k / self.bk
+    }
+
+    /// Floating-point operations of one GEMM.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// The GEMM kernel handle (Listing 1 realized).
+pub struct Gemm<TA: Element, TB: Element, TC: Element> {
+    shape: GemmShape,
+    tuning: GemmTuning,
+    tl: ThreadedLoop,
+    brgemm: Arc<Brgemm<TA, TB, TC>>,
+    b_vnni: Option<usize>,
+}
+
+impl<TA: Element, TB: Element, TC: Element> Gemm<TA, TB, TC> {
+    /// Builds the kernel for a flat (column-major-blocked) `B` operand.
+    pub fn new(shape: GemmShape, tuning: GemmTuning) -> Result<Self, KernelError> {
+        Self::build(shape, tuning, None)
+    }
+
+    /// Builds the kernel for a VNNI-packed `B` operand (low precision).
+    pub fn new_vnni(shape: GemmShape, tuning: GemmTuning, v: usize) -> Result<Self, KernelError> {
+        Self::build(shape, tuning, Some(v))
+    }
+
+    fn build(
+        shape: GemmShape,
+        tuning: GemmTuning,
+        b_vnni: Option<usize>,
+    ) -> Result<Self, KernelError> {
+        for (dim, block, name) in [
+            (shape.m, shape.bm, "M"),
+            (shape.n, shape.bn, "N"),
+            (shape.k, shape.bk, "K"),
+        ] {
+            if block == 0 || dim % block != 0 {
+                return Err(KernelError::BadShape(format!(
+                    "{name}={dim} not divisible by block {block}"
+                )));
+            }
+        }
+        let specs = vec![
+            LoopSpecs::blocked(0, shape.kb(), tuning.k_step, tuning.a_blocks.clone()),
+            LoopSpecs::blocked(0, shape.mb(), 1, tuning.b_blocks.clone()),
+            LoopSpecs::blocked(0, shape.nb(), 1, tuning.c_blocks.clone()),
+        ];
+        let tl = ThreadedLoop::new(&specs, &tuning.spec).map_err(KernelError::Spec)?;
+        let desc = match b_vnni {
+            None => BrgemmDesc::blocked(shape.bm, shape.bn, shape.bk),
+            Some(v) => BrgemmDesc::blocked_vnni(shape.bm, shape.bn, shape.bk, v),
+        };
+        let brgemm = Brgemm::new(desc);
+        Ok(Gemm { shape, tuning, tl, brgemm, b_vnni })
+    }
+
+    /// Problem geometry.
+    pub fn shape(&self) -> &GemmShape {
+        &self.shape
+    }
+
+    /// Active tuning.
+    pub fn tuning(&self) -> &GemmTuning {
+        &self.tuning
+    }
+
+    /// The underlying loop nest (e.g. for schedule simulation).
+    pub fn threaded_loop(&self) -> &ThreadedLoop {
+        &self.tl
+    }
+
+    /// `C = A x B` on the given pool.
+    pub fn execute(
+        &self,
+        a: &BlockedMatrix<TA>,
+        b: &BlockedMatrix<TB>,
+        c: &mut BlockedMatrix<TC>,
+        pool: &ThreadPool,
+    ) -> Result<(), KernelError> {
+        self.check_operands(a, b, c)?;
+        let sh = self.shape;
+        let (bm, bn, bk) = (sh.bm, sh.bn, sh.bk);
+        let (mb, kb) = (sh.mb(), sh.kb());
+        let k_step = self.tuning.k_step;
+        let stride_a = bm * bk;
+        let stride_b = bn * bk;
+        let block_c = bm * bn;
+        let c_shared = SharedSlice::new(c.data_mut());
+        let a_data = a.data();
+        let b_data = b.data();
+        let brgemm = &self.brgemm;
+
+        self.tl
+            .try_run_on(pool, |ind| {
+                let (ik, im, i_n) = (ind[0], ind[1], ind[2]);
+                let brcount = k_step.min(kb - ik);
+                // C[Nb][Mb] grid: block (im, in) at (in*Mb + im).
+                let c_off = (i_n * mb + im) * block_c;
+                // SAFETY: for any legal spec (paper contract) concurrent
+                // iterations differ in (im, in), hence write disjoint C
+                // blocks; the sequential K loop serializes accumulation.
+                let c_block = unsafe { c_shared.slice_mut(c_off, block_c) };
+                if ik == 0 {
+                    pl_tpp::unary::zero(bm, bn, c_block, bm);
+                }
+                // A[Mb][Kb] grid: block (im, ik) at (im*Kb + ik).
+                let a_off = (im * kb + ik) * bm * bk;
+                // B[Nb][Kb] grid: block (ik, in) at (in*Kb + ik).
+                let b_off = (i_n * kb + ik) * bk * bn;
+                brgemm.execute_stride(
+                    &a_data[a_off..],
+                    stride_a,
+                    &b_data[b_off..],
+                    stride_b,
+                    c_block,
+                    brcount,
+                );
+            })
+            .map_err(KernelError::Spec)
+    }
+
+    fn check_operands(
+        &self,
+        a: &BlockedMatrix<TA>,
+        b: &BlockedMatrix<TB>,
+        c: &BlockedMatrix<TC>,
+    ) -> Result<(), KernelError> {
+        let sh = &self.shape;
+        let ok = a.rows() == sh.m
+            && a.cols() == sh.k
+            && a.br() == sh.bm
+            && a.bc() == sh.bk
+            && b.rows() == sh.k
+            && b.cols() == sh.n
+            && b.br() == sh.bk
+            && b.bc() == sh.bn
+            && c.rows() == sh.m
+            && c.cols() == sh.n
+            && c.br() == sh.bm
+            && c.bc() == sh.bn;
+        if !ok {
+            return Err(KernelError::BadShape("operand layout mismatch".into()));
+        }
+        let want = match self.b_vnni {
+            None => InnerLayout::ColMajor,
+            Some(v) => InnerLayout::Vnni(v),
+        };
+        if b.inner() != want {
+            return Err(KernelError::BadShape(format!(
+                "B inner layout {:?} does not match kernel {:?}",
+                b.inner(),
+                want
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Scalar reference GEMM on flat column-major data (f64 accumulate).
+pub fn reference_gemm(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for j in 0..n {
+        for p in 0..k {
+            let bv = b[j * k + p] as f64;
+            if bv == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                c[j * m + i] = (c[j * m + i] as f64 + a[p * m + i] as f64 * bv) as f32;
+            }
+        }
+    }
+    c
+}
+
+/// Convenience error alias used by higher layers.
+pub type GemmResult = Result<(), SpecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_tensor::{fill_uniform, Bf16, Xorshift};
+
+    fn random_problem(
+        sh: GemmShape,
+        seed: u64,
+    ) -> (BlockedMatrix<f32>, BlockedMatrix<f32>, Vec<f32>, Vec<f32>) {
+        let mut rng = Xorshift::new(seed);
+        let mut a_cm = vec![0.0f32; sh.m * sh.k];
+        let mut b_cm = vec![0.0f32; sh.k * sh.n];
+        fill_uniform(&mut a_cm, &mut rng, -0.5, 0.5);
+        fill_uniform(&mut b_cm, &mut rng, -0.5, 0.5);
+        let mut a = BlockedMatrix::a_layout(sh.m, sh.k, sh.bm, sh.bk).unwrap();
+        a.pack_from_colmajor(&a_cm);
+        let mut b = BlockedMatrix::b_layout(sh.k, sh.n, sh.bk, sh.bn).unwrap();
+        b.pack_from_colmajor(&b_cm);
+        (a, b, a_cm, b_cm)
+    }
+
+    #[test]
+    fn matches_reference_for_many_specs() {
+        // A spec without parallel letters replicates the nest on every team
+        // thread (OpenMP semantics of code outside a worksharing
+        // construct), so sequential specs run on a single-thread pool and
+        // parallel specs on a 4-thread pool — the paper's legality contract.
+        let pool1 = ThreadPool::new(1);
+        let pool4 = ThreadPool::new(4);
+        let sh = GemmShape { m: 32, n: 24, k: 48, bm: 8, bn: 6, bk: 8 };
+        let (a, b, a_cm, b_cm) = random_problem(sh, 42);
+        let c_ref = reference_gemm(&a_cm, &b_cm, sh.m, sh.n, sh.k);
+
+        let mut cases: Vec<(GemmTuning, &ThreadPool)> = vec![
+            (GemmTuning::simple("abc"), &pool1),
+            (GemmTuning::simple("bca"), &pool1),
+            (GemmTuning::simple("cab"), &pool1),
+            (GemmTuning::simple("aBC"), &pool4),
+            (GemmTuning::simple("BCa"), &pool4),
+            (GemmTuning::default_parallel(sh.kb()), &pool4),
+        ];
+        cases.push((
+            GemmTuning {
+                spec: "bcaBCb".into(),
+                k_step: 2,
+                a_blocks: vec![],
+                b_blocks: vec![4, 2],
+                c_blocks: vec![2],
+            },
+            &pool4,
+        ));
+        cases.push((
+            GemmTuning {
+                spec: "caB @ schedule(dynamic,1)".into(),
+                k_step: 3,
+                a_blocks: vec![],
+                b_blocks: vec![],
+                c_blocks: vec![],
+            },
+            &pool4,
+        ));
+
+        for (t, pool) in cases {
+            let spec_str = t.spec.clone();
+            let gemm = Gemm::<f32, f32, f32>::new(sh, t).unwrap();
+            let mut c = BlockedMatrix::c_layout(sh.m, sh.n, sh.bm, sh.bn).unwrap();
+            gemm.execute(&a, &b, &mut c, pool).unwrap();
+            let got = c.unpack_to_colmajor();
+            for i in 0..got.len() {
+                assert!(
+                    (got[i] - c_ref[i]).abs() < 1e-3,
+                    "spec {spec_str}: idx {i}: {} vs {}",
+                    got[i],
+                    c_ref[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_mode_matches_reference() {
+        let pool = ThreadPool::new(4);
+        let sh = GemmShape { m: 32, n: 32, k: 16, bm: 8, bn: 8, bk: 8 };
+        let (a, b, a_cm, b_cm) = random_problem(sh, 7);
+        let c_ref = reference_gemm(&a_cm, &b_cm, sh.m, sh.n, sh.k);
+        let t = GemmTuning {
+            spec: "B{R:2}C{C:2}a".into(),
+            k_step: 1,
+            a_blocks: vec![],
+            b_blocks: vec![],
+            c_blocks: vec![],
+        };
+        let gemm = Gemm::<f32, f32, f32>::new(sh, t).unwrap();
+        let mut c = BlockedMatrix::c_layout(sh.m, sh.n, sh.bm, sh.bn).unwrap();
+        gemm.execute(&a, &b, &mut c, &pool).unwrap();
+        let got = c.unpack_to_colmajor();
+        for i in 0..got.len() {
+            assert!((got[i] - c_ref[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bf16_gemm_with_vnni_b() {
+        let pool = ThreadPool::new(2);
+        let sh = GemmShape { m: 16, n: 16, k: 32, bm: 8, bn: 8, bk: 8 };
+        let mut rng = Xorshift::new(3);
+        let mut a_cm = vec![0.0f32; sh.m * sh.k];
+        let mut b_cm = vec![0.0f32; sh.k * sh.n];
+        fill_uniform(&mut a_cm, &mut rng, -0.5, 0.5);
+        fill_uniform(&mut b_cm, &mut rng, -0.5, 0.5);
+        let mut a = BlockedMatrix::<Bf16>::a_layout(sh.m, sh.k, sh.bm, sh.bk).unwrap();
+        a.pack_from_colmajor(&a_cm);
+        let mut b = BlockedMatrix::<Bf16>::b_layout_vnni(sh.k, sh.n, sh.bk, sh.bn, 2).unwrap();
+        b.pack_from_colmajor(&b_cm);
+
+        // Reference over quantized values.
+        let aq = a.unpack_to_colmajor();
+        let bq = b.unpack_to_colmajor();
+        let c_ref = reference_gemm(&aq, &bq, sh.m, sh.n, sh.k);
+
+        let gemm =
+            Gemm::<Bf16, Bf16, f32>::new_vnni(sh, GemmTuning::default_parallel(sh.kb()), 2)
+                .unwrap();
+        let mut c = BlockedMatrix::<f32>::c_layout(sh.m, sh.n, sh.bm, sh.bn).unwrap();
+        gemm.execute(&a, &b, &mut c, &pool).unwrap();
+        let got = c.unpack_to_colmajor();
+        for i in 0..got.len() {
+            assert!((got[i] - c_ref[i]).abs() < 1e-3, "{} vs {}", got[i], c_ref[i]);
+        }
+    }
+
+    #[test]
+    fn layout_mismatch_is_reported() {
+        let sh = GemmShape { m: 16, n: 16, k: 16, bm: 8, bn: 8, bk: 8 };
+        let gemm = Gemm::<f32, f32, f32>::new(sh, GemmTuning::simple("abc")).unwrap();
+        let a = BlockedMatrix::<f32>::a_layout(16, 16, 8, 8).unwrap();
+        let b = BlockedMatrix::<f32>::b_layout(16, 16, 8, 8).unwrap();
+        // Wrong block size for C.
+        let mut c = BlockedMatrix::<f32>::c_layout(16, 16, 4, 4).unwrap();
+        let pool = ThreadPool::new(1);
+        assert!(matches!(
+            gemm.execute(&a, &b, &mut c, &pool),
+            Err(KernelError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn bad_blocking_is_reported() {
+        let sh = GemmShape { m: 10, n: 16, k: 16, bm: 8, bn: 8, bk: 8 };
+        assert!(matches!(
+            Gemm::<f32, f32, f32>::new(sh, GemmTuning::simple("abc")),
+            Err(KernelError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn default_blocks_divide() {
+        for (m, n, k) in [(512, 512, 512), (768, 256, 3072), (100, 60, 36)] {
+            let sh = GemmShape::with_default_blocks(m, n, k);
+            assert_eq!(sh.m % sh.bm, 0);
+            assert_eq!(sh.n % sh.bn, 0);
+            assert_eq!(sh.k % sh.bk, 0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Coarse roofline estimates for whole layers/models.
+//!
+//! The per-schedule predictor ([`crate::model`]) is exact about loop
+//! schedules but too slow for full 24-layer transformer sweeps; the
+//! end-to-end figure harnesses (Figs. 9-11, Tables I-II) use per-layer
+//! rooflines: `time = max(flops / (peak * eff), bytes / dram_bw)`.
+
+use crate::platform::Platform;
+use pl_tensor::DType;
+
+/// One unit of work (a layer, a kernel call, a token step...).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkItem {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved from/to DRAM (weights + activations not cached).
+    pub bytes: f64,
+}
+
+impl WorkItem {
+    /// Sum of two work items.
+    pub fn plus(self, other: WorkItem) -> WorkItem {
+        WorkItem { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+    }
+
+    /// Scaled work item.
+    pub fn times(self, k: f64) -> WorkItem {
+        WorkItem { flops: self.flops * k, bytes: self.bytes * k }
+    }
+}
+
+/// Roofline time in seconds for `threads` cores of `platform`.
+///
+/// `efficiency` is the fraction of compute peak the kernel family reaches
+/// (e.g. measured GEMM efficiency); bandwidth uses the full socket figure.
+pub fn time_seconds(
+    platform: &Platform,
+    threads: usize,
+    dtype: DType,
+    item: WorkItem,
+    efficiency: f64,
+) -> f64 {
+    let peak = platform.peak_gflops(dtype, threads) * 1e9 * efficiency.clamp(0.01, 1.0);
+    let bw = platform.dram_gbs * 1e9;
+    (item.flops / peak).max(item.bytes / bw)
+}
+
+/// Whether the item is compute-bound on this configuration.
+pub fn compute_bound(
+    platform: &Platform,
+    threads: usize,
+    dtype: DType,
+    item: WorkItem,
+    efficiency: f64,
+) -> bool {
+    let peak = platform.peak_gflops(dtype, threads) * 1e9 * efficiency.clamp(0.01, 1.0);
+    let bw = platform.dram_gbs * 1e9;
+    item.flops / peak >= item.bytes / bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_vs_memory_bound_regimes() {
+        let p = Platform::spr();
+        // Huge-flops tiny-bytes: compute bound.
+        let cb = WorkItem { flops: 1e12, bytes: 1e6 };
+        assert!(compute_bound(&p, 56, DType::F32, cb, 0.8));
+        // Tiny-flops huge-bytes: memory bound (LLM next-token regime).
+        let mb = WorkItem { flops: 1e9, bytes: 1e11 };
+        assert!(!compute_bound(&p, 56, DType::Bf16, mb, 0.8));
+    }
+
+    #[test]
+    fn bf16_helps_compute_bound_not_memory_bound() {
+        let p = Platform::spr();
+        let cb = WorkItem { flops: 1e13, bytes: 1e8 };
+        let t_f32 = time_seconds(&p, 56, DType::F32, cb, 0.8);
+        let t_bf16 = time_seconds(&p, 56, DType::Bf16, cb, 0.8);
+        assert!(t_f32 / t_bf16 > 4.0, "compute-bound speedup {}", t_f32 / t_bf16);
+
+        // Memory bound: same bytes, same time (bf16 halves *bytes* in
+        // practice; the caller models that by shrinking `bytes`).
+        let mb = WorkItem { flops: 1e9, bytes: 1e11 };
+        let m_f32 = time_seconds(&p, 56, DType::F32, mb, 0.8);
+        let m_bf16 = time_seconds(&p, 56, DType::Bf16, mb, 0.8);
+        assert!((m_f32 - m_bf16).abs() / m_f32 < 1e-9);
+    }
+
+    #[test]
+    fn work_item_algebra() {
+        let a = WorkItem { flops: 1.0, bytes: 2.0 };
+        let b = WorkItem { flops: 3.0, bytes: 4.0 };
+        assert_eq!(a.plus(b), WorkItem { flops: 4.0, bytes: 6.0 });
+        assert_eq!(a.times(2.0), WorkItem { flops: 2.0, bytes: 4.0 });
+    }
+}

@@ -1,0 +1,203 @@
+//! Work distribution inside a parallel region.
+//!
+//! These mirror the OpenMP loop schedules PARLOOPER relies on:
+//!
+//! * [`block_partition`] — `schedule(static)` without a chunk: one
+//!   contiguous range per thread (also used for PAR-MODE 2 block grids).
+//! * [`StaticChunks`] — `schedule(static, chunk)`: round-robin chunks.
+//! * [`DynamicQueue`] — `schedule(dynamic, chunk)`: an atomic counter that
+//!   threads pull chunks from, for load balancing on heterogeneous cores
+//!   (the paper's ADL P/E-core experiments, §V-A4).
+//!
+//! All schedules operate on a *linearized* iteration space; loop collapsing
+//! (`collapse(n)`) is performed by the PARLOOPER executor before it asks for
+//! a schedule.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `0..total` into `ways` contiguous blocks and returns block `idx`.
+///
+/// Blocks differ in size by at most one; the first `total % ways` blocks get
+/// the extra element — OpenMP's static schedule.
+#[inline]
+pub fn block_partition(total: usize, ways: usize, idx: usize) -> Range<usize> {
+    debug_assert!(idx < ways, "partition index {idx} out of {ways}");
+    let base = total / ways;
+    let rem = total % ways;
+    let lo = idx * base + idx.min(rem);
+    let hi = lo + base + usize::from(idx < rem);
+    lo..hi
+}
+
+/// Round-robin chunked static schedule: thread `tid` of `nthreads` receives
+/// chunks `tid, tid + nthreads, tid + 2*nthreads, ...` of size `chunk`.
+#[derive(Debug, Clone)]
+pub struct StaticChunks {
+    total: usize,
+    chunk: usize,
+    next: usize,
+    stride: usize,
+}
+
+impl StaticChunks {
+    /// Schedule for one thread. `chunk == 0` is treated as 1.
+    pub fn new(total: usize, chunk: usize, tid: usize, nthreads: usize) -> Self {
+        let chunk = chunk.max(1);
+        StaticChunks {
+            total,
+            chunk,
+            next: tid * chunk,
+            stride: nthreads * chunk,
+        }
+    }
+}
+
+impl Iterator for StaticChunks {
+    type Item = Range<usize>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.total {
+            return None;
+        }
+        let lo = self.next;
+        let hi = (lo + self.chunk).min(self.total);
+        self.next += self.stride;
+        Some(lo..hi)
+    }
+}
+
+/// Dynamic (work-stealing counter) schedule shared by a team.
+///
+/// Create it once before entering the region, then each thread repeatedly
+/// calls [`DynamicQueue::next`] until it returns `None`.
+#[derive(Debug)]
+pub struct DynamicQueue {
+    cursor: AtomicUsize,
+    total: usize,
+    chunk: usize,
+}
+
+impl DynamicQueue {
+    /// A queue over `0..total` handing out chunks of `chunk` (min 1).
+    pub fn new(total: usize, chunk: usize) -> Self {
+        DynamicQueue {
+            cursor: AtomicUsize::new(0),
+            total,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next chunk, or `None` when the space is exhausted.
+    #[inline]
+    pub fn next(&self) -> Option<Range<usize>> {
+        // Relaxed is sufficient: the counter itself is the only shared
+        // state, and chunk *contents* are made visible by the region's
+        // completion countdown (AcqRel) before anyone reads results.
+        let lo = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if lo >= self.total {
+            return None;
+        }
+        Some(lo..(lo + self.chunk).min(self.total))
+    }
+
+    /// Resets the queue for reuse (only call outside a region).
+    pub fn reset(&self) {
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+
+    /// Total iteration count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn block_partition_covers_space_disjointly() {
+        for total in [0usize, 1, 7, 16, 100, 101] {
+            for ways in [1usize, 2, 3, 7, 16] {
+                let mut seen = vec![0u8; total];
+                for idx in 0..ways {
+                    for i in block_partition(total, ways, idx) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "total={total} ways={ways}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_partition_is_balanced() {
+        for total in [10usize, 11, 12, 13] {
+            let sizes: Vec<usize> = (0..4).map(|i| block_partition(total, 4, i).len()).collect();
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn static_chunks_cover_space() {
+        for (total, chunk, nthreads) in [(100, 7, 3), (64, 64, 2), (5, 1, 8), (0, 4, 4)] {
+            let mut seen = vec![0u8; total];
+            for tid in 0..nthreads {
+                for r in StaticChunks::new(total, chunk, tid, nthreads) {
+                    for i in r {
+                        seen[i] += 1;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{total}/{chunk}/{nthreads}");
+        }
+    }
+
+    #[test]
+    fn static_chunks_round_robin_order() {
+        // total 10, chunk 2, 2 threads: t0 gets [0,2) [4,6) [8,10); t1 [2,4) [6,8).
+        let t0: Vec<_> = StaticChunks::new(10, 2, 0, 2).collect();
+        let t1: Vec<_> = StaticChunks::new(10, 2, 1, 2).collect();
+        assert_eq!(t0, vec![0..2, 4..6, 8..10]);
+        assert_eq!(t1, vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn dynamic_queue_single_thread_exhausts() {
+        let q = DynamicQueue::new(10, 3);
+        let chunks: Vec<_> = std::iter::from_fn(|| q.next()).collect();
+        assert_eq!(chunks, vec![0..3, 3..6, 6..9, 9..10]);
+        assert!(q.next().is_none());
+        q.reset();
+        assert_eq!(q.next(), Some(0..3));
+    }
+
+    #[test]
+    fn dynamic_queue_parallel_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        let q = DynamicQueue::new(1000, 7);
+        pool.parallel(|_| {
+            while let Some(r) = q.next() {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped() {
+        let q = DynamicQueue::new(3, 0);
+        assert_eq!(q.next(), Some(0..1));
+        let s: Vec<_> = StaticChunks::new(3, 0, 0, 1).collect();
+        assert_eq!(s, vec![0..1, 1..2, 2..3]);
+    }
+}

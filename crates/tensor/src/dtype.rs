@@ -1,0 +1,236 @@
+//! Element types and the precision-awareness machinery of the TPP collection.
+//!
+//! TPPs are *precision aware per design* (paper §II-C): the same kernel code
+//! works for any supported datatype. We reproduce that with the [`Element`]
+//! trait: computation happens in `f32` (matching the F32 accumulation
+//! semantics of AVX512-BF16/AMX/SVE-MMLA hardware), storage happens in the
+//! element type.
+
+use std::fmt;
+
+/// Runtime datatype tag carried by kernel descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64 (used by reference checks only).
+    F64,
+    /// bfloat16: 1 sign, 8 exponent, 7 mantissa bits.
+    Bf16,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_of(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F64 => 8,
+            DType::Bf16 => 2,
+        }
+    }
+
+    /// The VNNI packing factor hardware requires for this dtype
+    /// (`v = 4 / size_of`): 1 for F32, 2 for BF16.
+    pub const fn vnni_factor(self) -> usize {
+        match self {
+            DType::F32 | DType::F64 => 1,
+            DType::Bf16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F32 => write!(f, "f32"),
+            DType::F64 => write!(f, "f64"),
+            DType::Bf16 => write!(f, "bf16"),
+        }
+    }
+}
+
+/// A storage element usable inside tensors and TPP kernels.
+///
+/// All arithmetic in the TPP back-end converts through `f32`, mirroring the
+/// F32-accumulate semantics of the low-precision FMA/AMX/MMLA instructions
+/// the paper targets.
+pub trait Element:
+    Copy + Clone + Default + Send + Sync + PartialEq + fmt::Debug + 'static
+{
+    /// Runtime tag for this type.
+    const DTYPE: DType;
+
+    /// Widen to f32 (exact for `Bf16` and `f32`).
+    fn to_f32(self) -> f32;
+
+    /// Narrow from f32 (round-to-nearest-even for `Bf16`).
+    fn from_f32(v: f32) -> Self;
+}
+
+impl Element for f32 {
+    const DTYPE: DType = DType::F32;
+
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+}
+
+impl Element for f64 {
+    const DTYPE: DType = DType::F64;
+
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        v as f64
+    }
+}
+
+/// Software bfloat16.
+///
+/// Stored as the upper 16 bits of an f32. Conversion to f32 is exact;
+/// conversion from f32 uses round-to-nearest-even, matching `VCVTNEPS2BF16`
+/// and the ARM `BFCVT` instruction.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(transparent)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3f80);
+
+    /// Round-to-nearest-even conversion from f32.
+    #[inline(always)]
+    pub fn from_f32_rne(v: f32) -> Self {
+        let x = v.to_bits();
+        if v.is_nan() {
+            // Quiet the NaN, preserve sign and payload top bits.
+            return Bf16(((x >> 16) as u16) | 0x0040);
+        }
+        let round_bit = (x >> 16) & 1;
+        Bf16(((x.wrapping_add(0x7fff + round_bit)) >> 16) as u16)
+    }
+
+    /// Exact widening conversion to f32.
+    #[inline(always)]
+    pub fn to_f32_exact(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+}
+
+impl Element for Bf16 {
+    const DTYPE: DType = DType::Bf16;
+
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        self.to_f32_exact()
+    }
+
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        Bf16::from_f32_rne(v)
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bf", self.to_f32_exact())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32_exact())
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(v: f32) -> Self {
+        Bf16::from_f32_rne(v)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> Self {
+        v.to_f32_exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_roundtrip_exact_values() {
+        // Values representable exactly in bf16 must round-trip bit-exactly.
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, -0.25, 1.5, 65280.0] {
+            assert_eq!(Bf16::from_f32_rne(v).to_f32_exact(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and the next bf16;
+        // round-to-even picks 1.0 (even mantissa).
+        let halfway = 1.0f32 + 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32_rne(halfway).to_f32_exact(), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0f32 + 2.0f32.powi(-8) + 2.0f32.powi(-16);
+        assert_eq!(Bf16::from_f32_rne(above).to_f32_exact(), 1.0 + 2.0f32.powi(-7));
+    }
+
+    #[test]
+    fn bf16_preserves_specials() {
+        assert!(Bf16::from_f32_rne(f32::NAN).to_f32_exact().is_nan());
+        assert_eq!(Bf16::from_f32_rne(f32::INFINITY).to_f32_exact(), f32::INFINITY);
+        assert_eq!(
+            Bf16::from_f32_rne(f32::NEG_INFINITY).to_f32_exact(),
+            f32::NEG_INFINITY
+        );
+        // Sign of zero survives.
+        assert!(Bf16::from_f32_rne(-0.0).to_f32_exact().is_sign_negative());
+    }
+
+    #[test]
+    fn bf16_relative_error_bound() {
+        // bf16 has 8 mantissa bits -> relative error <= 2^-8.
+        let mut v = 1.1f32;
+        for _ in 0..64 {
+            let r = Bf16::from_f32_rne(v).to_f32_exact();
+            assert!(((r - v) / v).abs() <= 2.0f32.powi(-8), "v={v} r={r}");
+            v *= 1.7;
+            if !v.is_finite() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn dtype_sizes_and_vnni() {
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::Bf16.size_of(), 2);
+        assert_eq!(DType::F32.vnni_factor(), 1);
+        assert_eq!(DType::Bf16.vnni_factor(), 2);
+    }
+
+    #[test]
+    fn element_trait_through_generics() {
+        fn roundtrip<T: Element>(v: f32) -> f32 {
+            T::from_f32(v).to_f32()
+        }
+        assert_eq!(roundtrip::<f32>(3.25), 3.25);
+        assert_eq!(roundtrip::<Bf16>(3.25), 3.25);
+        assert_eq!(roundtrip::<f64>(3.25), 3.25);
+    }
+}

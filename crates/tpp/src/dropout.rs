@@ -1,0 +1,124 @@
+//! Dropout TPP with explicit RNG state and mask output
+//! (paper Listing 6: `dropout_tpp(&dout..., get_rng_state(), ..., &dp_mask...)`).
+
+use pl_tensor::{Element, Xorshift};
+
+/// Dropout forward: zeroes each element with probability `p` and scales
+/// survivors by `1/(1-p)` (inverted dropout). Writes the keep-mask so the
+/// backward pass can replay the decision.
+///
+/// `p == 0` degenerates to a copy with an all-ones mask.
+#[allow(clippy::too_many_arguments)]
+pub fn dropout<TI: Element, TO: Element>(
+    m: usize,
+    n: usize,
+    p: f32,
+    input: &[TI],
+    ldi: usize,
+    rng: &mut Xorshift,
+    out: &mut [TO],
+    ldo: usize,
+    mask: &mut [u8],
+) {
+    debug_assert!((0.0..1.0).contains(&p));
+    debug_assert!(mask.len() >= m * n);
+    let scale = 1.0 / (1.0 - p);
+    for c in 0..n {
+        for r in 0..m {
+            let keep = rng.next_f32() >= p;
+            mask[c * m + r] = keep as u8;
+            let v = if keep {
+                input[c * ldi + r].to_f32() * scale
+            } else {
+                0.0
+            };
+            out[c * ldo + r] = TO::from_f32(v);
+        }
+    }
+}
+
+/// Dropout backward: `dx = dy * mask / (1-p)`.
+#[allow(clippy::too_many_arguments)]
+pub fn dropout_backward<TI: Element, TO: Element>(
+    m: usize,
+    n: usize,
+    p: f32,
+    dy: &[TI],
+    ldi: usize,
+    mask: &[u8],
+    dx: &mut [TO],
+    ldo: usize,
+) {
+    let scale = 1.0 / (1.0 - p);
+    for c in 0..n {
+        for r in 0..m {
+            let v = if mask[c * m + r] != 0 {
+                dy[c * ldi + r].to_f32() * scale
+            } else {
+                0.0
+            };
+            dx[c * ldo + r] = TO::from_f32(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut y = vec![0.0f32; 16];
+        let mut mask = vec![0u8; 16];
+        let mut rng = Xorshift::new(1);
+        dropout(4, 4, 0.0, &x, 4, &mut rng, &mut y, 4, &mut mask);
+        assert_eq!(x, y);
+        assert!(mask.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let n = 40_000;
+        let x = vec![1.0f32; n];
+        let mut y = vec![0.0f32; n];
+        let mut mask = vec![0u8; n];
+        let mut rng = Xorshift::new(7);
+        dropout(n, 1, 0.3, &x, n, &mut rng, &mut y, n, &mut mask);
+        let kept = mask.iter().filter(|&&b| b != 0).count() as f32 / n as f32;
+        assert!((kept - 0.7).abs() < 0.01, "keep rate {kept}");
+        // Survivors are scaled so the expectation is preserved.
+        let mean = y.iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_replays_mask() {
+        let x = vec![1.0f32; 64];
+        let mut y = vec![0.0f32; 64];
+        let mut mask = vec![0u8; 64];
+        let mut rng = Xorshift::new(3);
+        dropout(8, 8, 0.5, &x, 8, &mut rng, &mut y, 8, &mut mask);
+        let dy = vec![2.0f32; 64];
+        let mut dx = vec![0.0f32; 64];
+        dropout_backward(8, 8, 0.5, &dy, 8, &mask, &mut dx, 8);
+        for i in 0..64 {
+            let expect = if mask[i] != 0 { 4.0 } else { 0.0 };
+            assert_eq!(dx[i], expect);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_rng_state() {
+        let x = vec![1.0f32; 32];
+        let run = |seed| {
+            let mut y = vec![0.0f32; 32];
+            let mut mask = vec![0u8; 32];
+            let mut rng = Xorshift::new(seed);
+            dropout(32, 1, 0.4, &x, 32, &mut rng, &mut y, 32, &mut mask);
+            (y, mask)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).1, run(12).1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # pl-tpp — Tensor Processing Primitives
+//!
+//! A Rust reimplementation of the TPP collection the paper builds on
+//! (Georganas et al. 2021) and extends: a compact, versatile, *precision
+//! aware* set of 2-D tensor operators from which higher-level DL/HPC
+//! operators are composed.
+//!
+//! ## Orientation conventions
+//!
+//! Tensor-contraction TPPs ([`brgemm`], [`spmm`], [`transform`]) follow the
+//! paper's column-major convention: an `m x n` operand has element `(r, c)`
+//! at `c * ld + r`. Row-wise DL operators ([`softmax`], [`norm`],
+//! [`dropout`], bias add) state their own orientation in their docs — in the
+//! end-to-end workloads they act on `(rows = features, cols = tokens)`
+//! blocks exactly as the fused modules of paper Listing 6 do.
+//!
+//! ## The "JIT" substitution
+//!
+//! libxsmm emits machine code per kernel descriptor and caches it. Here a
+//! descriptor selects a monomorphized, shape-specialized Rust microkernel
+//! (rustc/LLVM performed the vectorization ahead of time), and handles are
+//! cached in [`cache`] keyed by descriptor — the same architecture with the
+//! code generator swapped out, as recorded in `DESIGN.md`.
+
+pub mod binary;
+pub mod brgemm;
+pub mod cache;
+pub mod dropout;
+pub mod equation;
+pub mod norm;
+pub mod reduce;
+pub mod softmax;
+pub mod spmm;
+pub mod transform;
+pub mod unary;
+
+pub use brgemm::{Brgemm, BrgemmDesc, BrgemmVariant};
+pub use spmm::BcscSpmm;
+
+/// Convenience re-export: every TPP works over these element types.
+pub use pl_tensor::{Bf16, DType, Element};

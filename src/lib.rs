@@ -1,0 +1,23 @@
+//! Workspace root of the PARLOOPER/TPP reproduction.
+//!
+//! This crate only anchors the cross-crate integration tests (`tests/`)
+//! and the runnable examples (`examples/`); the library surface lives in
+//! the member crates:
+//!
+//! * [`parlooper`] — the loop framework (spec strings, plans, execution)
+//! * [`pl_tpp`] — the Tensor Processing Primitives (BRGEMM et al.)
+//! * [`pl_tensor`] — layouts, BF16, BCSC
+//! * [`pl_runtime`] — the OpenMP-like thread runtime
+//! * [`pl_kernels`] — GEMM / MLP / convolution / Block-SpMM kernels
+//! * [`pl_dnn`] — BERT, sparse BERT, LLM decoding, ResNet-50 pieces
+//! * [`pl_perfmodel`] — platform models + the §II-E cache simulator
+//! * [`pl_autotuner`] — spec-string generation, search, tuning DB
+
+pub use parlooper;
+pub use pl_autotuner;
+pub use pl_dnn;
+pub use pl_kernels;
+pub use pl_perfmodel;
+pub use pl_runtime;
+pub use pl_tensor;
+pub use pl_tpp;
