@@ -24,11 +24,7 @@ impl Constraints {
     /// The paper's GEMM defaults: block K up to `ka` times, M/N up to
     /// `mb`/`nb` times, parallelize M (loop 1) and N (loop 2).
     pub fn gemm(ka: usize, mb: usize, nb: usize, max_candidates: usize) -> Self {
-        Constraints {
-            max_blockings: vec![ka, mb, nb],
-            parallel_loops: vec![1, 2],
-            max_candidates,
-        }
+        Constraints { max_blockings: vec![ka, mb, nb], parallel_loops: vec![1, 2], max_candidates }
     }
 }
 
@@ -37,7 +33,7 @@ pub fn prime_factors(mut n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut d = 2;
     while d * d <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             out.push(d);
             n /= d;
         }
@@ -181,7 +177,11 @@ mod tests {
 
     #[test]
     fn generation_without_blocking() {
-        let c = Constraints { max_blockings: vec![0, 0, 0], parallel_loops: vec![1, 2], max_candidates: 1000 };
+        let c = Constraints {
+            max_blockings: vec![0, 0, 0],
+            parallel_loops: vec![1, 2],
+            max_candidates: 1000,
+        };
         let specs = generate(3, &c);
         // 6 permutations of "abc"; each with up to 2 single-uppercase (b,c)
         // and adjacent-pair variants.
@@ -196,14 +196,18 @@ mod tests {
 
     #[test]
     fn generation_respects_occurrence_counts() {
-        let c = Constraints { max_blockings: vec![1, 1, 0], parallel_loops: vec![], max_candidates: 10_000 };
+        let c = Constraints {
+            max_blockings: vec![1, 1, 0],
+            parallel_loops: vec![],
+            max_candidates: 10_000,
+        };
         let specs = generate(3, &c);
         for s in &specs {
             let na = s.chars().filter(|c| c.eq_ignore_ascii_case(&'a')).count();
             let nb = s.chars().filter(|c| c.eq_ignore_ascii_case(&'b')).count();
             let nc = s.chars().filter(|c| c.eq_ignore_ascii_case(&'c')).count();
-            assert!(na >= 1 && na <= 2, "{s}");
-            assert!(nb >= 1 && nb <= 2, "{s}");
+            assert!((1..=2).contains(&na), "{s}");
+            assert!((1..=2).contains(&nb), "{s}");
             assert_eq!(nc, 1, "{s}");
         }
         // Includes fully blocked variants.
@@ -212,7 +216,11 @@ mod tests {
 
     #[test]
     fn cap_is_respected() {
-        let c = Constraints { max_blockings: vec![2, 3, 3], parallel_loops: vec![1, 2], max_candidates: 100 };
+        let c = Constraints {
+            max_blockings: vec![2, 3, 3],
+            parallel_loops: vec![1, 2],
+            max_candidates: 100,
+        };
         let specs = generate(3, &c);
         assert_eq!(specs.len(), 100);
     }

@@ -73,10 +73,7 @@ pub fn blocks_for_spec(problem: &GemmProblem, spec: &str) -> Option<[Vec<usize>;
     let trips = [problem.k / problem.bk, problem.m / problem.bm, problem.n / problem.bn];
     let mut out: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (l, t) in trips.iter().enumerate() {
-        let occ = spec
-            .chars()
-            .filter(|c| c.to_ascii_lowercase() as u8 == b'a' + l as u8)
-            .count();
+        let occ = spec.chars().filter(|c| c.to_ascii_lowercase() as u8 == b'a' + l as u8).count();
         if occ == 0 {
             return None;
         }
@@ -130,6 +127,31 @@ pub fn tune_gemm_measured(
         }
     }
     finish(evaluated, t0)
+}
+
+/// Warms a [`TuningDb`] with the model-based winners for a set of GEMM
+/// problems on one platform — the serving runtime calls this at startup for
+/// every shape its batcher can produce, so steady-state traffic never pays
+/// search latency. Problems already present in the DB (same key) are
+/// skipped; returns the number of entries added.
+pub fn warm_gemm_db(
+    db: &mut crate::db::TuningDb,
+    problems: &[GemmProblem],
+    constraints: &Constraints,
+    platform: &Platform,
+    threads: usize,
+) -> usize {
+    let mut added = 0;
+    for p in problems {
+        let key = crate::db::TuningDb::gemm_key(platform.name, p.m, p.n, p.k, &p.dtype.to_string());
+        if db.get(&key).is_some() {
+            continue;
+        }
+        let result = tune_gemm_modeled(p, constraints, platform, threads);
+        db.put(&key, crate::db::DbEntry { spec: result.best.spec, score: result.best.score });
+        added += 1;
+    }
+    added
 }
 
 fn finish(mut evaluated: Vec<Candidate>, t0: Instant) -> TuneResult {
@@ -187,6 +209,21 @@ mod tests {
         // Too many occurrences for the ladder (8 = 2^3 -> at most 2 rungs
         // below the extent, so 4 occurrences are infeasible).
         assert!(blocks_for_spec(&p, "aaaabc").is_none());
+    }
+
+    #[test]
+    fn warm_gemm_db_records_winners_and_skips_known_shapes() {
+        let mut db = crate::db::TuningDb::new();
+        let c = Constraints::gemm(0, 1, 1, 100);
+        let platform = Platform::zen4();
+        let p = problem();
+        let added = warm_gemm_db(&mut db, &[p, p], &c, &platform, 8);
+        assert_eq!(added, 1, "duplicate shape must be tuned once");
+        let key = crate::db::TuningDb::gemm_key(platform.name, p.m, p.n, p.k, &p.dtype.to_string());
+        let entry = db.get(&key).expect("warmed entry present");
+        assert!(entry.score > 0.0);
+        // Re-warming is a no-op.
+        assert_eq!(warm_gemm_db(&mut db, &[p], &c, &platform, 8), 0);
     }
 
     #[test]

@@ -11,7 +11,13 @@ use pl_dnn::BertConfig;
 use pl_perfmodel::{roofline, Platform, WorkItem};
 use pl_tensor::DType;
 
-fn dense_seq_per_sec(p: &Platform, threads: usize, cfg: &BertConfig, dtype: DType, eff: f64) -> f64 {
+fn dense_seq_per_sec(
+    p: &Platform,
+    threads: usize,
+    cfg: &BertConfig,
+    dtype: DType,
+    eff: f64,
+) -> f64 {
     let tokens = cfg.seq / 2; // unpadded
     let flops = cfg.model_flops(tokens);
     let bytes = cfg.layers as f64 * cfg.layer_weight_bytes(dtype.size_of());
@@ -28,11 +34,9 @@ fn main() {
     );
     // Per-platform utilization of the sparse kernel (AMX's long chains
     // lose more on 8x8 blocks; FMA platforms keep nearly all of it).
-    for (platform, sparse_util) in [
-        (Platform::spr(), 0.40),
-        (Platform::gvt3(), 0.72),
-        (Platform::zen4(), 0.90),
-    ] {
+    for (platform, sparse_util) in
+        [(Platform::spr(), 0.40), (Platform::gvt3(), 0.72), (Platform::zen4(), 0.90)]
+    {
         let threads = 8; // latency-bound inference uses 8 cores (paper)
         let dense = dense_seq_per_sec(&platform, threads, &cfg, DType::Bf16, 0.7);
         let nc = BERT_NON_CONTRACTION_FRACTION;
@@ -81,10 +85,7 @@ fn main() {
     let ts = pl_bench::time_it(3, || {
         let _ = sparse_l.forward(&x, tokens, pool);
     });
-    header(
-        "Fig.10 measured host (tiny layer, 80% 8x8 sparsity)",
-        &["variant", "ms", "speedup"],
-    );
+    header("Fig.10 measured host (tiny layer, 80% 8x8 sparsity)", &["variant", "ms", "speedup"]);
     row(&["dense".into(), f2(td * 1e3), "1.00x".into()]);
     row(&["block-sparse".into(), f2(ts * 1e3), format!("{}x", f2(td / ts))]);
 }

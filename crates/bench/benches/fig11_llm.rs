@@ -21,10 +21,7 @@ fn latency(p: &Platform, cfg: &DecoderConfig, dtype: DType, eff: f64) -> Latency
     let prompt = 1024;
     let elem = dtype.size_of();
     // First token: compute bound over the whole prompt.
-    let first = WorkItem {
-        flops: cfg.first_token_flops(prompt),
-        bytes: cfg.weight_bytes(elem),
-    };
+    let first = WorkItem { flops: cfg.first_token_flops(prompt), bytes: cfg.weight_bytes(elem) };
     // Next token: read all weights + KV cache per generated token.
     let next = WorkItem {
         flops: cfg.next_token_flops(prompt),
@@ -90,10 +87,7 @@ fn main() {
     let t_next = pl_bench::time_it(3, || {
         let _ = d.step(&x[..cfg.hidden], pool);
     });
-    header(
-        "Fig.11 measured host (scaled decoder, 64-token prompt)",
-        &["phase", "ms"],
-    );
+    header("Fig.11 measured host (scaled decoder, 64-token prompt)", &["phase", "ms"]);
     row(&["first token (prefill)".into(), f2(t_first * 1e3)]);
     row(&["next token (KV cache)".into(), f2(t_next * 1e3)]);
     println!("KV cache makes next-token {:.0}x cheaper than prefill", t_first / t_next);

@@ -59,8 +59,8 @@ fn main() {
     use pl_runtime::global_pool;
     use pl_tensor::BlockedMatrix;
     let pool = global_pool();
-    let mlp = Mlp::<f32>::new(&[256, 256, 256], 128, 32, 32, "aBC", Activation::Relu, 3)
-        .expect("mlp");
+    let mlp =
+        Mlp::<f32>::new(&[256, 256, 256], 128, 32, 32, "aBC", Activation::Relu, 3).expect("mlp");
     let x = BlockedMatrix::<f32>::b_layout(256, 128, 32, 32).unwrap();
     let t = pl_bench::time_it(3, || {
         let _ = mlp.forward(&x, pool).unwrap();

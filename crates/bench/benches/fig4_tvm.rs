@@ -23,13 +23,7 @@ fn main() {
         let ours = parlooper_gemm_gflops(&p, threads, s, s, s, DType::F32);
         let dnn = onednn_gemm_gflops(&p, threads, s, s, s, DType::F32);
         let tvm = tvm_gemm_gflops(&p, threads, s, s, s, DType::F32);
-        row(&[
-            format!("{s}^3"),
-            f1(ours),
-            f1(dnn),
-            f1(tvm),
-            format!("{}x", f2(ours / tvm)),
-        ]);
+        row(&[format!("{s}^3"), f1(ours), f1(dnn), f1(tvm), format!("{}x", f2(ours / tvm))]);
     }
 
     // Autotuning wall-time comparison. PARLOOPER candidates cost one

@@ -40,12 +40,7 @@ fn main() {
         let ours = parlooper_gemm_gflops(&p, threads, m, n, k, DType::F32);
         let mojo = mojo_gemm_gflops(&p, threads, m, n, k);
         speedups.push(ours / mojo);
-        row(&[
-            format!("{m}x{n}x{k}"),
-            f1(ours),
-            f1(mojo),
-            format!("{}x", f2(ours / mojo)),
-        ]);
+        row(&[format!("{m}x{n}x{k}"), f1(ours), f1(mojo), format!("{}x", f2(ours / mojo))]);
     }
     println!("\nGeomean speedup: {}x (paper: 1.35x)", f2(geomean(&speedups)));
 }

@@ -18,15 +18,8 @@ fn main() {
 
     for &(m, n, k) in &[(256usize, 256usize, 256usize), (512, 128, 256)] {
         let shape = GemmShape::with_default_blocks(m, n, k);
-        let problem = GemmProblem {
-            m,
-            n,
-            k,
-            bm: shape.bm,
-            bn: shape.bn,
-            bk: shape.bk,
-            dtype: DType::F32,
-        };
+        let problem =
+            GemmProblem { m, n, k, bm: shape.bm, bn: shape.bn, bk: shape.bk, dtype: DType::F32 };
 
         // Candidate schedules (parallel-only to keep measurement
         // meaningful on the host team).
@@ -91,9 +84,6 @@ fn main() {
         let best_measured = &measured[0].0;
         let top5: Vec<&String> = modeled.iter().take(5).map(|(s, _)| s).collect();
         let hit = top5.contains(&best_measured);
-        println!(
-            "\nBest measured: {best_measured}; top-5 modeled: {:?}; contained: {hit}",
-            top5
-        );
+        println!("\nBest measured: {best_measured}; top-5 modeled: {:?}; contained: {hit}", top5);
     }
 }

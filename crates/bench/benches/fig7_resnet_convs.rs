@@ -91,8 +91,8 @@ fn main() {
         bk: 16,
     };
     let conv = ConvForward::<f32>::new(shape, ConvTuning::default_for(&shape)).unwrap();
-    let input = ActTensor::<f32>::new(shape.n, shape.c, shape.h, shape.w, shape.bc, shape.pad)
-        .unwrap();
+    let input =
+        ActTensor::<f32>::new(shape.n, shape.c, shape.h, shape.w, shape.bc, shape.pad).unwrap();
     let weights =
         ConvWeights::<f32>::new(shape.c, shape.k, shape.r, shape.s, shape.bc, shape.bk).unwrap();
     let mut out =
@@ -104,7 +104,7 @@ fn main() {
 
 fn pick_divisor(q: usize, pref: usize) -> usize {
     let mut d = pref.min(q);
-    while q % d != 0 {
+    while !q.is_multiple_of(d) {
         d -= 1;
     }
     d.max(1)

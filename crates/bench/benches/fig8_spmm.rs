@@ -24,7 +24,7 @@ fn spmm_gflops(
     // Utilization of the accumulation pipeline for this block size.
     let util = (block as f64 / accum_chain as f64).min(1.0);
     let overhead = match platform.name {
-        "SPR" => 0.09,  // AMX tile configuration + small accumulation chains
+        "SPR" => 0.09, // AMX tile configuration + small accumulation chains
         "GVT3" => 0.006,
         _ => 0.002,
     };
@@ -43,8 +43,14 @@ fn main() {
     ] {
         let threads = platform.total_cores();
         // Dense baseline from the schedule model.
-        let dense =
-            pl_bench::baseline::parlooper_gemm_gflops(&platform, threads, 2048, 2048, 2048, DType::Bf16);
+        let dense = pl_bench::baseline::parlooper_gemm_gflops(
+            &platform,
+            threads,
+            2048,
+            2048,
+            2048,
+            DType::Bf16,
+        );
         header(
             &format!(
                 "Fig.8 BF16 Block-SpMM 2048^3 on {} [simulated] (dense = {} GF)",
@@ -78,7 +84,8 @@ fn main() {
     let a_d = BlockedMatrix::<f32>::a_layout(s, s, bm, bk).unwrap();
     let b_d = BlockedMatrix::<f32>::b_layout(s, s, bk, 32).unwrap();
     let mut c_d = BlockedMatrix::<f32>::c_layout(s, s, bm, 32).unwrap();
-    let t_dense = pl_bench::time_it(3, || dense_kernel.execute(&a_d, &b_d, &mut c_d, pool).unwrap());
+    let t_dense =
+        pl_bench::time_it(3, || dense_kernel.execute(&a_d, &b_d, &mut c_d, pool).unwrap());
 
     header(
         "Fig.8 measured host (FP32, 512^3, 32x32 blocks)",
@@ -90,13 +97,10 @@ fn main() {
         let a_s = BcscMatrix::<f32>::random(s, s, bm, bk, sp, &mut rng).unwrap();
         let b_s = VnniMatrix::<f32>::new(s, s, bn, 1).unwrap();
         let mut c_s = VnniMatrix::<f32>::new(s, s, bn, 1).unwrap();
-        let kernel = BlockSpmm::new(s, s, s, bm, bk, bn, SpmmTuning::default_parallel(s / bk)).unwrap();
+        let kernel =
+            BlockSpmm::new(s, s, s, bm, bk, bn, SpmmTuning::default_parallel(s / bk)).unwrap();
         let t = pl_bench::time_it(3, || kernel.execute(&a_s, &b_s, &mut c_s, pool).unwrap());
         let g = pl_bench::gflops(shape.flops() as f64, t);
-        row(&[
-            format!("{:.0}%", sp * 100.0),
-            f1(g),
-            format!("{:.2}x", g / dense_g),
-        ]);
+        row(&[format!("{:.0}%", sp * 100.0), f1(g), format!("{:.2}x", g / dense_g)]);
     }
 }

@@ -22,7 +22,13 @@ fn seqs_per_sec(
     let tokens = if padded { cfg.seq } else { cfg.seq / 2 };
     let flops = 3.0 * cfg.model_flops(tokens);
     let bytes = cfg.layers as f64 * cfg.layer_weight_bytes(dtype.size_of()) * 3.0;
-    let t = roofline::time_seconds(platform, platform.total_cores(), dtype, WorkItem { flops, bytes }, eff);
+    let t = roofline::time_seconds(
+        platform,
+        platform.total_cores(),
+        dtype,
+        WorkItem { flops, bytes },
+        eff,
+    );
     1.0 / t
 }
 
@@ -52,12 +58,7 @@ fn main() {
         if stack.starts_with("TPP fixed") {
             tpp_fixed_spr = v;
         }
-        row(&[
-            stack.to_string(),
-            p.name.to_string(),
-            format!("{dt}"),
-            f1(v),
-        ]);
+        row(&[stack.to_string(), p.name.to_string(), format!("{dt}"), f1(v)]);
     }
     println!(
         "\nPARLOOPER vs fixed-loop TPP on SPR: {:.2}x (paper: 1.22x)",

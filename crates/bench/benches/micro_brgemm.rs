@@ -27,7 +27,14 @@ fn bench_brgemm(c: &mut Criterion) {
         let kernel_bf = Brgemm::<Bf16, Bf16, f32>::new(BrgemmDesc::blocked(m, n, k));
         g.bench_function(format!("bf16_{m}x{n}x{k}_br{br}"), |bench| {
             bench.iter(|| {
-                kernel_bf.execute_stride(black_box(&ab), m * k, black_box(&bb), k * n, &mut cbuf, br);
+                kernel_bf.execute_stride(
+                    black_box(&ab),
+                    m * k,
+                    black_box(&bb),
+                    k * n,
+                    &mut cbuf,
+                    br,
+                );
             })
         });
     }

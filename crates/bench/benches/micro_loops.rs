@@ -28,11 +28,8 @@ fn bench_loops(c: &mut Criterion) {
     });
 
     let pool = ThreadPool::new(2);
-    let tl = ThreadedLoop::new(
-        &[LoopSpecs::new(0, 64, 1), LoopSpecs::new(0, 64, 1)],
-        "AB",
-    )
-    .unwrap();
+    let tl =
+        ThreadedLoop::new(&[LoopSpecs::new(0, 64, 1), LoopSpecs::new(0, 64, 1)], "AB").unwrap();
     g.bench_function("nest_walk_4096_tiles", |b| {
         b.iter(|| {
             let count = AtomicUsize::new(0);

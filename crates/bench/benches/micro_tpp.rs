@@ -29,7 +29,17 @@ fn bench_tpps(c: &mut Criterion) {
     g.bench_function("layernorm_64x64", |b| {
         b.iter(|| {
             pl_tpp::norm::layernorm(
-                m, n, black_box(&x), m, &gamma, &beta, 1e-5, &mut y, m, &mut mean, &mut rstd,
+                m,
+                n,
+                black_box(&x),
+                m,
+                &gamma,
+                &beta,
+                1e-5,
+                &mut y,
+                m,
+                &mut mean,
+                &mut rstd,
             )
         })
     });

@@ -1,0 +1,77 @@
+//! Serving throughput: the pl-serve dynamic batcher vs unbatched decode.
+//!
+//! N closed-loop client sessions decode through the server at several
+//! `max_batch` settings (1 disables coalescing — every step is its own
+//! parallel region). Reported: decode steps/s, mean executed batch,
+//! p50/p99 queue-to-reply latency. The batched rows amortize region
+//! broadcasts and keep the team busy across sessions (PAR-MODE dynamic
+//! scheduling at the request level), which is where the throughput
+//! headroom over row one comes from.
+
+use pl_bench::{f1, f2, header, row};
+use pl_dnn::{DecoderConfig, DecoderModel};
+use pl_runtime::{default_threads, ThreadPool};
+use pl_serve::{Server, ServerConfig};
+use pl_tensor::{fill_uniform, Xorshift};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SESSIONS: usize = 8;
+const STEPS: usize = 32;
+const KV: usize = 64;
+
+fn drive(max_batch: usize, model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) -> Vec<String> {
+    let cfg = model.config();
+    let hidden = cfg.hidden;
+    let mut server = Server::new(
+        Arc::clone(model),
+        Arc::clone(pool),
+        ServerConfig {
+            tenants: 2,
+            max_batch,
+            kv_capacity: KV,
+            coalesce_wait: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    server.start();
+    std::thread::scope(|scope| {
+        for s in 0..SESSIONS {
+            let server = &server;
+            scope.spawn(move || {
+                let id = server.create_session(s % 2).unwrap();
+                let mut x = vec![0.0f32; hidden];
+                fill_uniform(&mut x, &mut Xorshift::new(60 + s as u64), -0.5, 0.5);
+                for _ in 0..STEPS {
+                    x = server.step(id, &x).unwrap();
+                }
+                server.close_session(id).unwrap();
+            });
+        }
+    });
+    let snap = server.stats().snapshot();
+    server.shutdown();
+    vec![
+        max_batch.to_string(),
+        f1(snap.tokens_per_s),
+        f2(snap.mean_batch),
+        snap.max_batch_observed.to_string(),
+        snap.p50_us.to_string(),
+        snap.p99_us.to_string(),
+    ]
+}
+
+fn main() {
+    let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 11));
+    let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
+    header(
+        &format!(
+            "pl-serve decode throughput ({SESSIONS} sessions x {STEPS} steps, {} threads) [measured]",
+            pool.nthreads()
+        ),
+        &["max_batch", "steps/s", "mean batch", "max batch", "p50 us", "p99 us"],
+    );
+    for max_batch in [1usize, 2, 4, 8] {
+        row(&drive(max_batch, &model, &pool));
+    }
+}

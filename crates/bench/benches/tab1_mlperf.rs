@@ -35,10 +35,7 @@ fn main() {
         sockets_per_node: 2,
         comm_minutes_per_hop: 0.02 * work_socket_minutes / 16.0,
     };
-    header(
-        "Table I: BERT time-to-train [projected]",
-        &["system", "minutes"],
-    );
+    header("Table I: BERT time-to-train [projected]", &["system", "minutes"]);
     let t8 = model.time_to_train(8);
     let t16 = model.time_to_train(16);
     row(&["8 nodes SPR (16 sockets)".into(), f2(t8)]);

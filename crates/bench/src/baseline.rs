@@ -12,13 +12,12 @@ use pl_autotuner::{tune_gemm_modeled, Constraints, GemmProblem};
 use pl_perfmodel::{GemmModelSpec, Platform};
 use pl_tensor::DType;
 
-
 /// Model-space block size: the largest divisor of `d` up to 256. Coarser
 /// slices keep the trace simulation cheap for 4096-scale problems without
 /// changing who wins (both sides use the same granularity).
 pub fn model_block(d: usize) -> usize {
     for cand in [256, 192, 128, 96, 64, 48, 32, 16, 8, 4, 2, 1] {
-        if d % cand == 0 {
+        if d.is_multiple_of(cand) {
             return cand;
         }
     }
@@ -139,13 +138,7 @@ pub fn autotune_seconds(candidates: usize, per_candidate_s: f64) -> f64 {
 /// Mojo-like: one static tiling + parallelization for every shape
 /// (the blog's hand-set hints), no per-shape schedule search, no batch
 /// reduce.
-pub fn mojo_gemm_gflops(
-    platform: &Platform,
-    threads: usize,
-    m: usize,
-    n: usize,
-    k: usize,
-) -> f64 {
+pub fn mojo_gemm_gflops(platform: &Platform, threads: usize, m: usize, n: usize, k: usize) -> f64 {
     let spec = GemmModelSpec {
         m,
         n,

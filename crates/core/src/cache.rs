@@ -78,11 +78,7 @@ mod tests {
     use super::*;
 
     fn gemm_specs() -> Vec<LoopSpecs> {
-        vec![
-            LoopSpecs::new(0, 8, 2),
-            LoopSpecs::new(0, 8, 2),
-            LoopSpecs::new(0, 8, 2),
-        ]
+        vec![LoopSpecs::new(0, 8, 2), LoopSpecs::new(0, 8, 2), LoopSpecs::new(0, 8, 2)]
     }
 
     #[test]

@@ -125,9 +125,7 @@ impl ThreadedLoop {
     /// chronological lists of body-index tuples. This feeds the performance
     /// model (paper §II-E) without executing any computation.
     pub fn simulate(&self, nthreads: usize) -> Vec<Vec<Vec<usize>>> {
-        (0..nthreads)
-            .map(|tid| self.plan.simulate_member(tid, nthreads))
-            .collect()
+        (0..nthreads).map(|tid| self.plan.simulate_member(tid, nthreads)).collect()
     }
 }
 
@@ -155,11 +153,7 @@ mod tests {
     #[test]
     fn sequential_specs_cover_each_tile_once() {
         let pool = ThreadPool::new(3);
-        let specs = vec![
-            LoopSpecs::new(0, 8, 2),
-            LoopSpecs::new(0, 6, 2),
-            LoopSpecs::new(0, 4, 2),
-        ];
+        let specs = vec![LoopSpecs::new(0, 8, 2), LoopSpecs::new(0, 6, 2), LoopSpecs::new(0, 4, 2)];
         for spec in ["abc", "cba", "bca", "acb"] {
             let cov = coverage(&specs, spec, &pool);
             assert_eq!(cov.len(), expected_tiles(&specs), "spec {spec}");
@@ -243,29 +237,23 @@ mod tests {
 
     #[test]
     fn validation_errors_surface() {
-        let specs = vec![
-            LoopSpecs::new(0, 8, 2),
-            LoopSpecs::new(0, 8, 2),
-            LoopSpecs::new(0, 8, 2),
-        ];
+        let specs = vec![LoopSpecs::new(0, 8, 2), LoopSpecs::new(0, 8, 2), LoopSpecs::new(0, 8, 2)];
         // b blocked but no blocking steps.
         assert!(matches!(
             ThreadedLoop::new(&specs, "abcb"),
             Err(SpecError::MissingBlockSteps { .. })
         ));
         // Non-consecutive uppercase.
-        assert!(matches!(
-            ThreadedLoop::new(&specs, "AbC"),
-            Err(SpecError::NonConsecutiveParallel)
-        ));
+        assert!(matches!(ThreadedLoop::new(&specs, "AbC"), Err(SpecError::NonConsecutiveParallel)));
         // Missing loop letter.
         assert!(matches!(ThreadedLoop::new(&specs, "ab"), Err(SpecError::UnknownLoop('c', 3))));
         // Imperfect nesting.
-        let bad = vec![LoopSpecs::blocked(0, 12, 2, vec![5]), LoopSpecs::new(0, 4, 2), LoopSpecs::new(0, 4, 2)];
-        assert!(matches!(
-            ThreadedLoop::new(&bad, "aabc"),
-            Err(SpecError::ImperfectNesting { .. })
-        ));
+        let bad = vec![
+            LoopSpecs::blocked(0, 12, 2, vec![5]),
+            LoopSpecs::new(0, 4, 2),
+            LoopSpecs::new(0, 4, 2),
+        ];
+        assert!(matches!(ThreadedLoop::new(&bad, "aabc"), Err(SpecError::ImperfectNesting { .. })));
     }
 
     #[test]
@@ -284,10 +272,7 @@ mod tests {
     #[test]
     fn barrier_below_parallel_is_rejected() {
         let specs = vec![LoopSpecs::new(0, 8, 2), LoopSpecs::new(0, 8, 2)];
-        assert!(matches!(
-            ThreadedLoop::new(&specs, "Ab|"),
-            Err(SpecError::BarrierBelowParallel)
-        ));
+        assert!(matches!(ThreadedLoop::new(&specs, "Ab|"), Err(SpecError::BarrierBelowParallel)));
     }
 
     #[test]
@@ -348,15 +333,9 @@ mod tests {
         let specs = vec![LoopSpecs::new(0, 4, 2), LoopSpecs::new(0, 4, 2)];
         let tl = ThreadedLoop::new(&specs, "ab").unwrap();
         let sim = tl.simulate(1);
-        assert_eq!(
-            sim[0],
-            vec![vec![0, 0], vec![0, 2], vec![2, 0], vec![2, 2]]
-        );
+        assert_eq!(sim[0], vec![vec![0, 0], vec![0, 2], vec![2, 0], vec![2, 2]]);
         let tl2 = ThreadedLoop::new(&specs, "ba").unwrap();
-        assert_eq!(
-            tl2.simulate(1)[0],
-            vec![vec![0, 0], vec![2, 0], vec![0, 2], vec![2, 2]]
-        );
+        assert_eq!(tl2.simulate(1)[0], vec![vec![0, 0], vec![2, 0], vec![0, 2], vec![2, 2]]);
     }
 
     #[test]

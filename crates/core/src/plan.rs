@@ -9,8 +9,8 @@
 //! the paper's JIT dispatch (see `DESIGN.md`, substitution table).
 
 use crate::spec::{GridAxisSpec, LoopSpecs, ParsedSpec, Schedule, SpecError, Term};
-use pl_runtime::{block_partition, DynamicQueue, GridDecomp, StaticChunks, WorkerCtx};
 use pl_runtime::grid::GridAxis;
+use pl_runtime::{block_partition, DynamicQueue, GridDecomp, StaticChunks, WorkerCtx};
 use std::sync::OnceLock;
 
 /// Parallelism classification of a whole plan.
@@ -118,19 +118,12 @@ impl LoopPlan {
         // A loop that never appears would silently not iterate; treat as a
         // degenerate spec (the kernel author forgot it).
         if let Some(missing) = occurrences.iter().position(|&o| o == 0) {
-            return Err(SpecError::UnknownLoop(
-                (b'a' + missing as u8) as char,
-                specs.len(),
-            ));
+            return Err(SpecError::UnknownLoop((b'a' + missing as u8) as char, specs.len()));
         }
 
         // Parallel-mode classification (RULE 2).
-        let par_terms: Vec<(usize, &Term)> = parsed
-            .terms
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.parallel)
-            .collect();
+        let par_terms: Vec<(usize, &Term)> =
+            parsed.terms.iter().enumerate().filter(|(_, t)| t.parallel).collect();
         let any_grid = par_terms.iter().any(|(_, t)| t.grid.is_some());
         let all_grid = par_terms.iter().all(|(_, t)| t.grid.is_some());
         let par = if par_terms.is_empty() {
@@ -177,11 +170,7 @@ impl LoopPlan {
             let occ = seen[l];
             seen[l] += 1;
             let total_occ = occurrences[l];
-            let step = if occ + 1 == total_occ {
-                specs[l].step
-            } else {
-                specs[l].block_steps[occ]
-            };
+            let step = if occ + 1 == total_occ { specs[l].step } else { specs[l].block_steps[occ] };
             let parent_level = last_level_of[l];
             let span = match parent_level {
                 None => specs[l].end - specs[l].start,
@@ -225,7 +214,7 @@ impl LoopPlan {
                 if let Some(p) = levels[li].parent_level {
                     if p >= *group_start {
                         let spec: &LoopSpecs = &specs[levels[li].loop_idx];
-                        if (spec.end - spec.start) % levels[p].step != 0 {
+                        if !(spec.end - spec.start).is_multiple_of(levels[p].step) {
                             return Err(SpecError::NonRectangularCollapse(levels[li].loop_idx));
                         }
                     }
@@ -250,28 +239,22 @@ impl LoopPlan {
                     return Err(SpecError::BarrierInsideCollapse);
                 }
             }
-            let enclosing_parallel = levels[..li]
-                .iter()
-                .enumerate()
-                .any(|(lj, e)| {
-                    let in_my_group = lvl.in_collapse && e.in_collapse;
-                    (e.grid.is_some() || e.in_collapse) && !in_my_group && lj < li
-                });
+            let enclosing_parallel = levels[..li].iter().enumerate().any(|(lj, e)| {
+                let in_my_group = lvl.in_collapse && e.in_collapse;
+                (e.grid.is_some() || e.in_collapse) && !in_my_group && lj < li
+            });
             if enclosing_parallel {
                 return Err(SpecError::BarrierBelowParallel);
             }
         }
 
-        let leaf_slot: Vec<usize> = (0..specs.len())
-            .map(|l| last_level_of[l].expect("every loop occurs"))
-            .collect();
+        let leaf_slot: Vec<usize> =
+            (0..specs.len()).map(|l| last_level_of[l].expect("every loop occurs")).collect();
 
         let encounters = match &par {
-            ParKind::OmpFor { group_start, .. } => levels[..*group_start]
-                .iter()
-                .map(|l| l.max_trips)
-                .product::<usize>()
-                .max(1),
+            ParKind::OmpFor { group_start, .. } => {
+                levels[..*group_start].iter().map(|l| l.max_trips).product::<usize>().max(1)
+            }
             _ => 1,
         };
 
@@ -362,10 +345,10 @@ impl LoopPlan {
             };
             let mut counts = [0usize; 26];
             let mut total = 1usize;
-            for g in 0..group_len {
+            for (g, count) in counts.iter_mut().enumerate().take(group_len) {
                 let (lo, hi, step) = self.level_range(li + g, vals);
                 let trips = hi.saturating_sub(lo).div_ceil(step);
-                counts[g] = trips;
+                *count = trips;
                 total *= trips;
             }
             let run_linear = |lin: usize, vals: &mut Vec<usize>, ind: &mut Vec<usize>| {

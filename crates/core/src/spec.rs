@@ -277,10 +277,9 @@ fn parse_directive(d: &str) -> Result<Schedule, SpecError> {
     let kind = parts.next().unwrap_or("");
     let chunk = match parts.next() {
         None => None,
-        Some(c) => Some(
-            c.parse::<usize>()
-                .map_err(|_| SpecError::Syntax(format!("bad chunk '{c}'")))?,
-        ),
+        Some(c) => {
+            Some(c.parse::<usize>().map_err(|_| SpecError::Syntax(format!("bad chunk '{c}'")))?)
+        }
     };
     if parts.next().is_some() {
         return Err(SpecError::Syntax(format!("bad directive '{d}'")));

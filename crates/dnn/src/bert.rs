@@ -160,6 +160,7 @@ impl BertLayer {
         &self.cfg
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the fused-module TPP signature
     fn linear(
         &self,
         w: &[f32],
@@ -177,7 +178,12 @@ impl BertLayer {
 
     /// Forward over `x` (`hidden x tokens`, column-major). Returns the
     /// output and the tape for backward.
-    pub fn forward(&self, x: &[f32], tokens: usize, pool: &ThreadPool) -> (Vec<f32>, BertLayerTape) {
+    pub fn forward(
+        &self,
+        x: &[f32],
+        tokens: usize,
+        pool: &ThreadPool,
+    ) -> (Vec<f32>, BertLayerTape) {
         let h = self.cfg.hidden;
         let nh = self.cfg.heads;
         let dh = h / nh;
@@ -217,7 +223,16 @@ impl BertLayer {
         let mut ln1_mean = vec![0.0f32; tokens];
         let mut ln1_rstd = vec![0.0f32; tokens];
         norm::layernorm(
-            h, tokens, &attn_res, h, &self.ln1_g, &self.ln1_b, 1e-5, &mut h1, h, &mut ln1_mean,
+            h,
+            tokens,
+            &attn_res,
+            h,
+            &self.ln1_g,
+            &self.ln1_b,
+            1e-5,
+            &mut h1,
+            h,
+            &mut ln1_mean,
             &mut ln1_rstd,
         );
 
@@ -233,7 +248,16 @@ impl BertLayer {
         let mut ln2_mean = vec![0.0f32; tokens];
         let mut ln2_rstd = vec![0.0f32; tokens];
         norm::layernorm(
-            h, tokens, &ffn_res, h, &self.ln2_g, &self.ln2_b, 1e-5, &mut out, h, &mut ln2_mean,
+            h,
+            tokens,
+            &ffn_res,
+            h,
+            &self.ln2_g,
+            &self.ln2_b,
+            1e-5,
+            &mut out,
+            h,
+            &mut ln2_mean,
             &mut ln2_rstd,
         );
 
@@ -276,19 +300,40 @@ impl BertLayer {
         let mut d_ln2_g = vec![0.0f32; h];
         let mut d_ln2_b = vec![0.0f32; h];
         norm::layernorm_backward(
-            h, t, &tape.ffn_res, h, dy, h, &self.ln2_g, &tape.ln2_mean, &tape.ln2_rstd,
-            &mut d_ffn_res, h, &mut d_ln2_g, &mut d_ln2_b,
+            h,
+            t,
+            &tape.ffn_res,
+            h,
+            dy,
+            h,
+            &self.ln2_g,
+            &tape.ln2_mean,
+            &tape.ln2_rstd,
+            &mut d_ffn_res,
+            h,
+            &mut d_ln2_g,
+            &mut d_ln2_b,
         );
         // Residual split: d_h1 += d_ffn_res; W2 branch gets d_ffn_res.
         // W2 backward: y2 = W2 inter + b2.
-        let d_w2 = matmul(&d_ffn_res, Trans::No, &transpose_cm(&tape.inter, i, t), Trans::No, h, i, t, pool);
+        let d_w2 = matmul(
+            &d_ffn_res,
+            Trans::No,
+            &transpose_cm(&tape.inter, i, t),
+            Trans::No,
+            h,
+            i,
+            t,
+            pool,
+        );
         let d_b2 = row_sum(&d_ffn_res, h, t);
         let mut d_inter = matmul(&self.w2, Trans::Yes, &d_ffn_res, Trans::No, i, t, h, pool);
         // GELU backward.
         let d_inter_c = d_inter.clone();
         unary::gelu_backward(i, t, &tape.inter_pre, i, &d_inter_c, i, &mut d_inter, i);
         // W1 backward.
-        let d_w1 = matmul(&d_inter, Trans::No, &transpose_cm(&tape.h1, h, t), Trans::No, i, h, t, pool);
+        let d_w1 =
+            matmul(&d_inter, Trans::No, &transpose_cm(&tape.h1, h, t), Trans::No, i, h, t, pool);
         let d_b1 = row_sum(&d_inter, i, t);
         let mut d_h1 = matmul(&self.w1, Trans::Yes, &d_inter, Trans::No, h, t, i, pool);
         // Residual from LN2 input.
@@ -301,13 +346,33 @@ impl BertLayer {
         let mut d_ln1_g = vec![0.0f32; h];
         let mut d_ln1_b = vec![0.0f32; h];
         norm::layernorm_backward(
-            h, t, &tape.attn_res, h, &d_h1, h, &self.ln1_g, &tape.ln1_mean, &tape.ln1_rstd,
-            &mut d_attn_res, h, &mut d_ln1_g, &mut d_ln1_b,
+            h,
+            t,
+            &tape.attn_res,
+            h,
+            &d_h1,
+            h,
+            &self.ln1_g,
+            &tape.ln1_mean,
+            &tape.ln1_rstd,
+            &mut d_attn_res,
+            h,
+            &mut d_ln1_g,
+            &mut d_ln1_b,
         );
         // Residual: dx accumulates d_attn_res directly.
         let mut dx = d_attn_res.clone();
         // Wo backward.
-        let d_wo = matmul(&d_attn_res, Trans::No, &transpose_cm(&tape.ctx, h, t), Trans::No, h, h, t, pool);
+        let d_wo = matmul(
+            &d_attn_res,
+            Trans::No,
+            &transpose_cm(&tape.ctx, h, t),
+            Trans::No,
+            h,
+            h,
+            t,
+            pool,
+        );
         let d_bo = row_sum(&d_attn_res, h, t);
         let d_ctx = matmul(&self.wo, Trans::Yes, &d_attn_res, Trans::No, h, t, h, pool);
 
@@ -364,27 +429,15 @@ impl BertLayer {
 
     /// SGD update from gradients.
     pub fn sgd_step(&mut self, grads: &BertLayerGrads, lr: f32) {
-        let weights: [&mut Vec<f32>; 6] = [
-            &mut self.wq,
-            &mut self.wk,
-            &mut self.wv,
-            &mut self.wo,
-            &mut self.w1,
-            &mut self.w2,
-        ];
+        let weights: [&mut Vec<f32>; 6] =
+            [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo, &mut self.w1, &mut self.w2];
         for (w, g) in weights.into_iter().zip(&grads.weights) {
             for (a, b) in w.iter_mut().zip(g) {
                 *a -= lr * b;
             }
         }
-        let biases: [&mut Vec<f32>; 6] = [
-            &mut self.bq,
-            &mut self.bk,
-            &mut self.bv,
-            &mut self.bo,
-            &mut self.b1,
-            &mut self.b2,
-        ];
+        let biases: [&mut Vec<f32>; 6] =
+            [&mut self.bq, &mut self.bk, &mut self.bv, &mut self.bo, &mut self.b1, &mut self.b2];
         for (b, g) in biases.into_iter().zip(&grads.biases) {
             for (a, d) in b.iter_mut().zip(g) {
                 *a -= lr * d;
@@ -392,7 +445,6 @@ impl BertLayer {
         }
     }
 }
-
 
 /// Borrowed view of a dense layer's parameters (consumed by the
 /// block-sparse construction in [`crate::sparse_bert`]).
@@ -478,17 +530,8 @@ impl BertEncoder {
     ) -> f32 {
         let (out, tapes) = self.forward(x, tokens, pool);
         let n = out.len() as f32;
-        let mut dy: Vec<f32> = out
-            .iter()
-            .zip(target)
-            .map(|(o, t)| 2.0 * (o - t) / n)
-            .collect();
-        let loss = out
-            .iter()
-            .zip(target)
-            .map(|(o, t)| (o - t) * (o - t))
-            .sum::<f32>()
-            / n;
+        let mut dy: Vec<f32> = out.iter().zip(target).map(|(o, t)| 2.0 * (o - t) / n).collect();
+        let loss = out.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum::<f32>() / n;
         for (layer, tape) in self.layers.iter_mut().zip(tapes.iter()).rev() {
             let (dx, grads) = layer.backward(&dy, tape, pool);
             layer.sgd_step(&grads, lr);
@@ -501,8 +544,7 @@ impl BertEncoder {
 fn slice_head(x: &[f32], h: usize, dh: usize, head: usize, tokens: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; dh * tokens];
     for t in 0..tokens {
-        out[t * dh..(t + 1) * dh]
-            .copy_from_slice(&x[t * h + head * dh..t * h + (head + 1) * dh]);
+        out[t * dh..(t + 1) * dh].copy_from_slice(&x[t * h + head * dh..t * h + (head + 1) * dh]);
     }
     out
 }

@@ -21,6 +21,6 @@ pub mod resnet;
 pub mod sparse_bert;
 
 pub use bert::{BertConfig, BertEncoder, BertLayer};
-pub use llm::{Decoder, DecoderConfig};
+pub use llm::{Decoder, DecoderConfig, DecoderModel, DecoderState};
 pub use resnet::{resnet50_conv_flops, resnet50_conv_shapes, BatchNorm, ConvLayerSpec};
 pub use sparse_bert::{prune_to_block_sparse, SparseBertLayer};

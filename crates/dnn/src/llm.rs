@@ -8,11 +8,22 @@
 //! Fig. 11 harness feeds through the platform roofline (see DESIGN.md,
 //! substitution table). First-token latency is compute-bound, next-token
 //! latency is weight-bandwidth-bound — the regimes the paper measures.
+//!
+//! ## Model / state split
+//!
+//! Weights ([`DecoderModel`]) are immutable and shareable (`Arc`) across
+//! any number of concurrent sessions; each session owns only its KV cache
+//! ([`DecoderState`]). This is what a serving runtime needs: one copy of
+//! the weights, N independent decode streams, and a batch-capable step
+//! ([`DecoderModel::step_batch`]) that coalesces many sessions' next-token
+//! computations into a single parallel region. [`Decoder`] remains the
+//! convenience single-stream wrapper over the pair.
 
 use crate::matmul::{matmul, Trans};
-use pl_runtime::ThreadPool;
+use pl_runtime::{DynamicQueue, ThreadPool};
 use pl_tensor::Xorshift;
 use pl_tpp::{norm, softmax, unary};
+use std::sync::{Arc, Mutex};
 
 /// Decoder architecture description.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,8 +87,8 @@ impl DecoderConfig {
     pub fn next_token_flops(&self, past: usize) -> f64 {
         let h = self.hidden as f64;
         let f = self.ffn as f64;
-        let per_layer = 4.0 * 2.0 * h * h + self.ffn_mats as f64 * 2.0 * h * f
-            + 2.0 * 2.0 * h * past as f64;
+        let per_layer =
+            4.0 * 2.0 * h * h + self.ffn_mats as f64 * 2.0 * h * f + 2.0 * 2.0 * h * past as f64;
         self.layers as f64 * per_layer + 2.0 * h * self.vocab as f64
     }
 
@@ -109,16 +120,43 @@ struct KvCache {
     capacity: usize,
 }
 
-/// A runnable (scaled) decoder with KV caching.
-pub struct Decoder {
+/// Immutable decoder weights, shareable across sessions.
+pub struct DecoderModel {
     cfg: DecoderConfig,
     blocks: Vec<Block>,
+}
+
+/// A claimed-once hand-off cell for one batched session (see
+/// [`DecoderModel::step_batch`]).
+type BatchSlot<'s, 'x> = Mutex<Option<(&'s mut DecoderState, &'x [f32])>>;
+
+/// One decode stream's mutable state: the per-layer KV caches.
+pub struct DecoderState {
     caches: Vec<KvCache>,
 }
 
-impl Decoder {
-    /// Random-initialized decoder with KV capacity `max_tokens`.
-    pub fn new(cfg: DecoderConfig, max_tokens: usize, seed: u64) -> Self {
+impl DecoderState {
+    /// Cached tokens so far.
+    pub fn cached_tokens(&self) -> usize {
+        self.caches[0].len
+    }
+
+    /// KV capacity in tokens.
+    pub fn capacity(&self) -> usize {
+        self.caches[0].capacity
+    }
+
+    /// Clears the KV cache (the stream restarts from an empty context).
+    pub fn reset(&mut self) {
+        for c in &mut self.caches {
+            c.len = 0;
+        }
+    }
+}
+
+impl DecoderModel {
+    /// Random-initialized weights for `cfg`.
+    pub fn new(cfg: DecoderConfig, seed: u64) -> Self {
         let mut rng = Xorshift::new(seed);
         let h = cfg.hidden;
         let f = cfg.ffn;
@@ -142,15 +180,7 @@ impl Decoder {
                 ln2_b: vec![0.0; h],
             })
             .collect();
-        let caches = (0..cfg.layers)
-            .map(|_| KvCache {
-                k: vec![0.0; h * max_tokens],
-                v: vec![0.0; h * max_tokens],
-                len: 0,
-                capacity: max_tokens,
-            })
-            .collect();
-        Decoder { cfg, blocks, caches }
+        DecoderModel { cfg, blocks }
     }
 
     /// Config accessor.
@@ -158,60 +188,105 @@ impl Decoder {
         &self.cfg
     }
 
-    /// Cached tokens so far.
-    pub fn cached_tokens(&self) -> usize {
-        self.caches[0].len
+    /// Fresh empty KV state with capacity `max_tokens`.
+    pub fn new_state(&self, max_tokens: usize) -> DecoderState {
+        let h = self.cfg.hidden;
+        let caches = (0..self.cfg.layers)
+            .map(|_| KvCache {
+                k: vec![0.0; h * max_tokens],
+                v: vec![0.0; h * max_tokens],
+                len: 0,
+                capacity: max_tokens,
+            })
+            .collect();
+        DecoderState { caches }
     }
 
-    /// Clears the KV cache.
-    pub fn reset(&mut self) {
-        for c in &mut self.caches {
-            c.len = 0;
-        }
-    }
-
-    /// Prefill over a whole prompt (`hidden x tokens` hidden states);
-    /// fills the cache and returns the transformed states ("first token"
-    /// compute). Causal masking applies.
-    pub fn prefill(&mut self, x: &[f32], tokens: usize, pool: &ThreadPool) -> Vec<f32> {
+    /// Forward over `tokens` new positions (`hidden x tokens` hidden
+    /// states, column-major); appends to `state`'s caches and returns the
+    /// transformed states. Causal masking applies. `tokens == 1` is one
+    /// autoregressive step; a whole prompt is a prefill.
+    pub fn forward(
+        &self,
+        state: &mut DecoderState,
+        x: &[f32],
+        tokens: usize,
+        pool: &ThreadPool,
+    ) -> Vec<f32> {
         let mut cur = x.to_vec();
         for l in 0..self.blocks.len() {
-            cur = self.block_forward(l, &cur, tokens, pool);
+            cur = self.block_forward(l, state, &cur, tokens, pool);
         }
         cur
     }
 
-    /// One autoregressive step for a single token's hidden state
-    /// (`hidden` values); appends to the cache ("next token" compute).
-    pub fn step(&mut self, x: &[f32], pool: &ThreadPool) -> Vec<f32> {
-        self.prefill(x, 1, pool)
+    /// One decode step for each of `batch` independent sessions, executed
+    /// inside a **single** parallel region (the serving fast path): the
+    /// team drains the session list via a dynamic schedule, and each
+    /// session's step runs with the exact same per-element operation order
+    /// as an unbatched [`DecoderModel::forward`] — outputs are therefore
+    /// bit-identical to running the sessions one at a time.
+    ///
+    /// Entries are `(state, x)` with `x` one token's `hidden` values;
+    /// returns the per-session outputs in input order.
+    pub fn step_batch(
+        &self,
+        batch: Vec<(&mut DecoderState, &[f32])>,
+        pool: &ThreadPool,
+    ) -> Vec<Vec<f32>> {
+        let n = batch.len();
+        // Hand each slot to exactly one claiming thread. The per-item
+        // mutexes are uncontended (the dynamic queue assigns every index
+        // once); they only launder the &mut across the team.
+        let slots: Vec<BatchSlot<'_, '_>> =
+            batch.into_iter().map(|item| Mutex::new(Some(item))).collect();
+        let outs: Vec<Mutex<Vec<f32>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let queue = DynamicQueue::new(n, 1);
+        pool.parallel_drain(&queue, |i| {
+            let (state, x) = slots[i].lock().unwrap().take().expect("slot claimed once");
+            // Nested pool calls inside the region serialize, so the
+            // per-session compute is deterministic and identical to the
+            // unbatched path (see `Gemm` per-block determinism).
+            let y = self.forward(state, x, 1, pool);
+            *outs[i].lock().unwrap() = y;
+        });
+        outs.into_iter().map(|m| m.into_inner().unwrap()).collect()
     }
 
-    fn block_forward(&mut self, l: usize, x: &[f32], tokens: usize, pool: &ThreadPool) -> Vec<f32> {
+    fn block_forward(
+        &self,
+        l: usize,
+        state: &mut DecoderState,
+        x: &[f32],
+        tokens: usize,
+        pool: &ThreadPool,
+    ) -> Vec<f32> {
         let h = self.cfg.hidden;
         let nh = self.cfg.heads;
         let dh = h / nh;
         let blk = &self.blocks[l];
-        let past = self.caches[l].len;
-        assert!(past + tokens <= self.caches[l].capacity, "KV cache overflow");
+        let past = state.caches[l].len;
+        assert!(past + tokens <= state.caches[l].capacity, "KV cache overflow");
 
         // Pre-LN.
         let mut xn = vec![0.0f32; h * tokens];
         let (mut mean, mut rstd) = (vec![0.0; tokens], vec![0.0; tokens]);
-        norm::layernorm(h, tokens, x, h, &blk.ln1_g, &blk.ln1_b, 1e-5, &mut xn, h, &mut mean, &mut rstd);
+        norm::layernorm(
+            h, tokens, x, h, &blk.ln1_g, &blk.ln1_b, 1e-5, &mut xn, h, &mut mean, &mut rstd,
+        );
 
         let q = matmul(&blk.wq, Trans::No, &xn, Trans::No, h, tokens, h, pool);
         let knew = matmul(&blk.wk, Trans::No, &xn, Trans::No, h, tokens, h, pool);
         let vnew = matmul(&blk.wv, Trans::No, &xn, Trans::No, h, tokens, h, pool);
         // Append to cache.
         {
-            let cache = &mut self.caches[l];
+            let cache = &mut state.caches[l];
             cache.k[past * h..(past + tokens) * h].copy_from_slice(&knew);
             cache.v[past * h..(past + tokens) * h].copy_from_slice(&vnew);
             cache.len += tokens;
         }
         let total = past + tokens;
-        let cache = &self.caches[l];
+        let cache = &state.caches[l];
 
         let scale = 1.0 / (dh as f32).sqrt();
         let mut ctx = vec![0.0f32; h * tokens];
@@ -248,7 +323,9 @@ impl Decoder {
 
         // FFN with pre-LN.
         let mut rn = vec![0.0f32; h * tokens];
-        norm::layernorm(h, tokens, &resid, h, &blk.ln2_g, &blk.ln2_b, 1e-5, &mut rn, h, &mut mean, &mut rstd);
+        norm::layernorm(
+            h, tokens, &resid, h, &blk.ln2_g, &blk.ln2_b, 1e-5, &mut rn, h, &mut mean, &mut rstd,
+        );
         let pre = matmul(&blk.w1, Trans::No, &rn, Trans::No, self.cfg.ffn, tokens, h, pool);
         let mut act = vec![0.0f32; self.cfg.ffn * tokens];
         unary::gelu(self.cfg.ffn, tokens, &pre, self.cfg.ffn, &mut act, self.cfg.ffn);
@@ -257,6 +334,60 @@ impl Decoder {
             *r += *f;
         }
         resid
+    }
+}
+
+/// A runnable (scaled) single-stream decoder: shared weights + one state.
+pub struct Decoder {
+    model: Arc<DecoderModel>,
+    state: DecoderState,
+}
+
+impl Decoder {
+    /// Random-initialized decoder with KV capacity `max_tokens`.
+    pub fn new(cfg: DecoderConfig, max_tokens: usize, seed: u64) -> Self {
+        let model = Arc::new(DecoderModel::new(cfg, seed));
+        let state = model.new_state(max_tokens);
+        Decoder { model, state }
+    }
+
+    /// A decoder sharing `model`'s weights, with a fresh KV state.
+    pub fn from_model(model: Arc<DecoderModel>, max_tokens: usize) -> Self {
+        let state = model.new_state(max_tokens);
+        Decoder { model, state }
+    }
+
+    /// The shared weights.
+    pub fn model(&self) -> &Arc<DecoderModel> {
+        &self.model
+    }
+
+    /// Config accessor.
+    pub fn config(&self) -> &DecoderConfig {
+        self.model.config()
+    }
+
+    /// Cached tokens so far.
+    pub fn cached_tokens(&self) -> usize {
+        self.state.cached_tokens()
+    }
+
+    /// Clears the KV cache.
+    pub fn reset(&mut self) {
+        self.state.reset();
+    }
+
+    /// Prefill over a whole prompt (`hidden x tokens` hidden states);
+    /// fills the cache and returns the transformed states ("first token"
+    /// compute). Causal masking applies.
+    pub fn prefill(&mut self, x: &[f32], tokens: usize, pool: &ThreadPool) -> Vec<f32> {
+        self.model.forward(&mut self.state, x, tokens, pool)
+    }
+
+    /// One autoregressive step for a single token's hidden state
+    /// (`hidden` values); appends to the cache ("next token" compute).
+    pub fn step(&mut self, x: &[f32], pool: &ThreadPool) -> Vec<f32> {
+        self.prefill(x, 1, pool)
     }
 }
 
@@ -336,5 +467,75 @@ mod tests {
             let _ = d.step(&x[..cfg.hidden], &pool);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn step_is_deterministic_across_team_sizes() {
+        // The serving batcher relies on this: per-session compute does not
+        // depend on how many threads participate (each C block of every
+        // GEMM is produced by exactly one thread with a fixed reduction
+        // order), so batched (nested-serial) and unbatched (parallel)
+        // execution are bit-identical.
+        let cfg = DecoderConfig::scaled_for_tests();
+        let mut x = vec![0.0f32; cfg.hidden];
+        fill_uniform(&mut x, &mut Xorshift::new(3), -0.5, 0.5);
+        let mut outs = Vec::new();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut d = Decoder::new(cfg, 8, 42);
+            outs.push(d.step(&x, &pool));
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
+    }
+
+    #[test]
+    fn step_batch_matches_unbatched_bitwise() {
+        let pool = ThreadPool::new(4);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = Arc::new(DecoderModel::new(cfg, 1234));
+        let n = 5;
+        // Distinct per-session inputs and a shared prompt history.
+        let mut inputs = Vec::new();
+        for s in 0..n {
+            let mut x = vec![0.0f32; cfg.hidden];
+            fill_uniform(&mut x, &mut Xorshift::new(100 + s as u64), -0.5, 0.5);
+            inputs.push(x);
+        }
+
+        // Unbatched baseline: one session at a time.
+        let mut want = Vec::new();
+        for x in &inputs {
+            let mut st = model.new_state(8);
+            want.push(model.forward(&mut st, x, 1, &pool));
+        }
+
+        // Batched: all sessions in one region.
+        let mut states: Vec<DecoderState> = (0..n).map(|_| model.new_state(8)).collect();
+        let batch: Vec<(&mut DecoderState, &[f32])> =
+            states.iter_mut().zip(inputs.iter().map(|x| x.as_slice())).collect();
+        let got = model.step_batch(batch, &pool);
+
+        for (s, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(w, g, "session {s} diverged");
+        }
+        assert!(states.iter().all(|s| s.cached_tokens() == 1));
+    }
+
+    #[test]
+    fn shared_model_states_are_independent() {
+        let pool = ThreadPool::new(2);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = Arc::new(DecoderModel::new(cfg, 7));
+        let mut a = Decoder::from_model(Arc::clone(&model), 8);
+        let mut b = Decoder::from_model(Arc::clone(&model), 8);
+        let mut x = vec![0.0f32; cfg.hidden];
+        fill_uniform(&mut x, &mut Xorshift::new(11), -0.5, 0.5);
+        let ya1 = a.step(&x, &pool);
+        // b's state is untouched by a's step and vice versa.
+        assert_eq!(a.cached_tokens(), 1);
+        assert_eq!(b.cached_tokens(), 0);
+        let yb1 = b.step(&x, &pool);
+        assert_eq!(ya1, yb1, "same weights + same context => same output");
     }
 }

@@ -22,6 +22,7 @@ pub enum Trans {
 /// `C (m x n) = op_a(A) x op_b(B)` over flat column-major f32 buffers.
 ///
 /// `a` is `(m x k)` after `ta`, `b` is `(k x n)` after `tb`.
+#[allow(clippy::too_many_arguments)] // flat GEMM bridge: op_a/op_b + 3 dims + pool
 pub fn matmul(
     a: &[f32],
     ta: Trans,

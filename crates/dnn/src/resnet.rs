@@ -3,9 +3,9 @@
 //! pooling — the layers that, together with `pl_kernels::conv` and the FC
 //! kernel, make up the training pipeline.
 
+use parlooper::{LoopSpecs, ThreadedLoop};
 use pl_runtime::ThreadPool;
 use pl_tensor::{ActTensor, ConvShape, Element};
-use parlooper::{LoopSpecs, ThreadedLoop};
 
 /// One row of the Fig. 7 shape table.
 #[derive(Debug, Clone, Copy)]
@@ -23,7 +23,8 @@ pub struct ConvLayerSpec {
 /// (clamped to the layer's channel counts).
 pub fn resnet50_conv_shapes(n: usize, bc: usize, bk: usize) -> Vec<ConvLayerSpec> {
     // (id, stride, S, R, W, H, K, C, pad, count)
-    let rows: [(usize, usize, usize, usize, usize, usize, usize, usize, usize, usize); 20] = [
+    type Row = (usize, usize, usize, usize, usize, usize, usize, usize, usize, usize);
+    let rows: [Row; 20] = [
         (1, 2, 7, 7, 224, 224, 64, 3, 3, 1),
         (2, 1, 1, 1, 56, 56, 256, 64, 0, 4),
         (3, 1, 1, 1, 56, 56, 64, 64, 0, 1),
@@ -49,7 +50,7 @@ pub fn resnet50_conv_shapes(n: usize, bc: usize, bk: usize) -> Vec<ConvLayerSpec
         .map(|&(id, stride, s, r, w, h, k, c, pad, count)| {
             let pick = |channels: usize, pref: usize| {
                 let mut b = pref.min(channels);
-                while channels % b != 0 {
+                while !channels.is_multiple_of(b) {
                     b -= 1;
                 }
                 b.max(1)
@@ -256,10 +257,7 @@ pub fn global_avgpool<T: Element>(x: &ActTensor<T>) -> Vec<f32> {
 
 /// Total forward flops of ResNet-50's convolutions at minibatch `n`.
 pub fn resnet50_conv_flops(n: usize) -> f64 {
-    resnet50_conv_shapes(n, 64, 64)
-        .iter()
-        .map(|l| l.shape.flops() as f64 * l.count as f64)
-        .sum()
+    resnet50_conv_shapes(n, 64, 64).iter().map(|l| l.shape.flops() as f64 * l.count as f64).sum()
 }
 
 #[cfg(test)]
@@ -300,10 +298,9 @@ mod tests {
     fn batchnorm_normalizes() {
         let pool = ThreadPool::new(2);
         let mut rng = pl_tensor::Xorshift::new(3);
-        let x = ActTensor::<f32>::from_fn(2, 8, 6, 6, 4, 0, |_, _, _, _| {
-            rng.next_f32() * 3.0 + 1.0
-        })
-        .unwrap();
+        let x =
+            ActTensor::<f32>::from_fn(2, 8, 6, 6, 4, 0, |_, _, _, _| rng.next_f32() * 3.0 + 1.0)
+                .unwrap();
         let bn = BatchNorm::new(8);
         let mut y = ActTensor::<f32>::new(2, 8, 6, 6, 4, 0).unwrap();
         let _tape = bn.forward(&x, &mut y, &pool);
@@ -331,10 +328,10 @@ mod tests {
     fn batchnorm_backward_finite_difference() {
         let pool = ThreadPool::new(1);
         let mut rng = pl_tensor::Xorshift::new(5);
-        let x = ActTensor::<f32>::from_fn(1, 4, 3, 3, 4, 0, |_, _, _, _| rng.next_f32() - 0.5)
-            .unwrap();
-        let g = ActTensor::<f32>::from_fn(1, 4, 3, 3, 4, 0, |_, _, _, _| rng.next_f32() - 0.5)
-            .unwrap();
+        let x =
+            ActTensor::<f32>::from_fn(1, 4, 3, 3, 4, 0, |_, _, _, _| rng.next_f32() - 0.5).unwrap();
+        let g =
+            ActTensor::<f32>::from_fn(1, 4, 3, 3, 4, 0, |_, _, _, _| rng.next_f32() - 0.5).unwrap();
         let bn = BatchNorm::new(4);
         let mut y = ActTensor::<f32>::new(1, 4, 3, 3, 4, 0).unwrap();
         let tape = bn.forward(&x, &mut y, &pool);

@@ -53,24 +53,12 @@ pub fn prune_to_block_sparse(
 }
 
 /// One sparse contraction: `y (m x t) = A_sparse (m x k) * x (k x t)`.
-pub fn spmm_matmul(
-    a: &BcscMatrix<f32>,
-    x: &[f32],
-    tokens: usize,
-    pool: &ThreadPool,
-) -> Vec<f32> {
+pub fn spmm_matmul(a: &BcscMatrix<f32>, x: &[f32], tokens: usize, pool: &ThreadPool) -> Vec<f32> {
     let (m, k) = (a.rows(), a.cols());
     let bn = pick_bn(tokens);
-    let kernel = BlockSpmm::new(
-        m,
-        tokens,
-        k,
-        a.bm(),
-        a.bk(),
-        bn,
-        SpmmTuning::default_parallel(k / a.bk()),
-    )
-    .expect("spmm kernel");
+    let kernel =
+        BlockSpmm::new(m, tokens, k, a.bm(), a.bk(), bn, SpmmTuning::default_parallel(k / a.bk()))
+            .expect("spmm kernel");
     let mut b = VnniMatrix::<f32>::new(k, tokens, bn, 1).expect("b vnni");
     b.pack_from_colmajor(x);
     let mut c = VnniMatrix::<f32>::new(m, tokens, bn, 1).expect("c vnni");
@@ -80,7 +68,7 @@ pub fn spmm_matmul(
 
 fn pick_bn(tokens: usize) -> usize {
     for cand in [16, 8, 4, 2, 1] {
-        if tokens % cand == 0 {
+        if tokens.is_multiple_of(cand) {
             return cand;
         }
     }
@@ -152,12 +140,29 @@ impl SparseBertLayer {
             let qh = head(&q, h, dh, hd, tokens);
             let kh = head(&k, h, dh, hd, tokens);
             let vh = head(&v, h, dh, hd, tokens);
-            let mut s =
-                crate::matmul::matmul(&kh, crate::matmul::Trans::Yes, &qh, crate::matmul::Trans::No, tokens, tokens, dh, pool);
+            let mut s = crate::matmul::matmul(
+                &kh,
+                crate::matmul::Trans::Yes,
+                &qh,
+                crate::matmul::Trans::No,
+                tokens,
+                tokens,
+                dh,
+                pool,
+            );
             s.iter_mut().for_each(|v| *v *= scale);
             let mut p = vec![0.0f32; tokens * tokens];
             softmax::softmax_cols(tokens, tokens, &s, tokens, &mut p, tokens);
-            let ch = crate::matmul::matmul(&vh, crate::matmul::Trans::No, &p, crate::matmul::Trans::No, dh, tokens, tokens, pool);
+            let ch = crate::matmul::matmul(
+                &vh,
+                crate::matmul::Trans::No,
+                &p,
+                crate::matmul::Trans::No,
+                dh,
+                tokens,
+                tokens,
+                pool,
+            );
             for t in 0..tokens {
                 ctx[t * h + hd * dh..t * h + (hd + 1) * dh]
                     .copy_from_slice(&ch[t * dh..(t + 1) * dh]);
@@ -167,14 +172,38 @@ impl SparseBertLayer {
         pl_tpp::binary::add(h, tokens, &attn.clone(), h, x, h, &mut attn, h);
         let mut h1 = vec![0.0f32; h * tokens];
         let (mut mean, mut rstd) = (vec![0.0; tokens], vec![0.0; tokens]);
-        pl_tpp::norm::layernorm(h, tokens, &attn, h, &self.ln1_g, &self.ln1_b, 1e-5, &mut h1, h, &mut mean, &mut rstd);
+        pl_tpp::norm::layernorm(
+            h,
+            tokens,
+            &attn,
+            h,
+            &self.ln1_g,
+            &self.ln1_b,
+            1e-5,
+            &mut h1,
+            h,
+            &mut mean,
+            &mut rstd,
+        );
         let pre = lin(&self.sw[4], &self.biases[4], &h1, i);
         let mut act = vec![0.0f32; i * tokens];
         unary::gelu(i, tokens, &pre, i, &mut act, i);
         let mut out = lin(&self.sw[5], &self.biases[5], &act, h);
         pl_tpp::binary::add(h, tokens, &out.clone(), h, &h1, h, &mut out, h);
         let mut y = vec![0.0f32; h * tokens];
-        pl_tpp::norm::layernorm(h, tokens, &out, h, &self.ln2_g, &self.ln2_b, 1e-5, &mut y, h, &mut mean, &mut rstd);
+        pl_tpp::norm::layernorm(
+            h,
+            tokens,
+            &out,
+            h,
+            &self.ln2_g,
+            &self.ln2_b,
+            1e-5,
+            &mut y,
+            h,
+            &mut mean,
+            &mut rstd,
+        );
         y
     }
 }

@@ -69,7 +69,7 @@ impl<T: Element> ConvForward<T> {
     /// Builds the kernel (Listing 4 lines 5-13).
     pub fn new(shape: ConvShape, tuning: ConvTuning) -> Result<Self, KernelError> {
         shape.validate().map_err(|e| KernelError::BadShape(e.to_string()))?;
-        if shape.q() % tuning.w_step != 0 {
+        if !shape.q().is_multiple_of(tuning.w_step) {
             return Err(KernelError::BadShape(format!(
                 "Q={} not divisible by w_step={}",
                 shape.q(),
@@ -81,13 +81,13 @@ impl<T: Element> ConvForward<T> {
             return Err(KernelError::BadShape(format!("brcount {br} exceeds {MAX_BR}")));
         }
         let specs = vec![
-            LoopSpecs::new(0, shape.n, 1),                                   // a: N
-            LoopSpecs::new(0, shape.cb(), tuning.c_step),                    // b: Cb
-            LoopSpecs::blocked(0, shape.kb(), 1, tuning.k_blocks.clone()),   // c: Kb
-            LoopSpecs::blocked(0, shape.p(), 1, tuning.h_blocks.clone()),    // d: P
-            LoopSpecs::new(0, shape.q(), tuning.w_step),                     // e: Q
-            LoopSpecs::new(0, shape.r, tuning.r_step),                       // f: R
-            LoopSpecs::new(0, shape.s, tuning.s_step),                       // g: S
+            LoopSpecs::new(0, shape.n, 1),                                 // a: N
+            LoopSpecs::new(0, shape.cb(), tuning.c_step),                  // b: Cb
+            LoopSpecs::blocked(0, shape.kb(), 1, tuning.k_blocks.clone()), // c: Kb
+            LoopSpecs::blocked(0, shape.p(), 1, tuning.h_blocks.clone()),  // d: P
+            LoopSpecs::new(0, shape.q(), tuning.w_step),                   // e: Q
+            LoopSpecs::new(0, shape.r, tuning.r_step),                     // f: R
+            LoopSpecs::new(0, shape.s, tuning.s_step),                     // g: S
         ];
         let tl = ThreadedLoop::new(&specs, &tuning.spec).map_err(KernelError::Spec)?;
         // GEMM view: m=bk output features, n=w_step pixels, k=bc.
@@ -147,12 +147,8 @@ impl<T: Element> ConvForward<T> {
         }
         let (bc, bk) = (sh.bc, sh.bk);
         let (p, q, kb) = (sh.p(), sh.q(), sh.kb());
-        let (c_step, w_step, r_step, s_step) = (
-            self.tuning.c_step,
-            self.tuning.w_step,
-            self.tuning.r_step,
-            self.tuning.s_step,
-        );
+        let (c_step, w_step, r_step, s_step) =
+            (self.tuning.c_step, self.tuning.w_step, self.tuning.r_step, self.tuning.s_step);
         let stride = sh.stride;
         let w_data = weights.data();
         let i_data = input.data();
@@ -188,34 +184,23 @@ impl<T: Element> ConvForward<T> {
                     for rr in ir..ir + r_cnt {
                         for ss in is..is + s_cnt {
                             // A: weight block (ik, cc, rr, ss).
-                            offs_a[bi] = (((ik * cb_total + cc) * sh.r + rr) * sh.s + ss)
-                                * wblock;
+                            offs_a[bi] = (((ik * cb_total + cc) * sh.r + rr) * sh.s + ss) * wblock;
                             // B: input pixel (n, cc, ih*stride+rr, iw*stride+ss)
                             // in padded coordinates.
                             let y = ih * stride + rr;
                             let x = iw * stride + ss;
-                            offs_b[bi] =
-                                (((i_nb * cb_total + cc) * i_hp + y) * i_wp + x) * bc;
+                            offs_b[bi] = (((i_nb * cb_total + cc) * i_hp + y) * i_wp + x) * bc;
                             bi += 1;
                         }
                     }
                 }
                 let n_pixels = w_step.min(q - iw);
                 if n_pixels == w_step {
-                    brgemm.execute_offsets(
-                        w_data,
-                        &offs_a[..bi],
-                        i_data,
-                        &offs_b[..bi],
-                        o_block,
-                    );
+                    brgemm.execute_offsets(w_data, &offs_a[..bi], i_data, &offs_b[..bi], o_block);
                 } else {
                     // Edge tile in Q: a narrower BRGEMM via a fresh handle
                     // (cached by the kernel cache, so this is cheap).
-                    let edge = Brgemm::<T, T, T>::new(BrgemmDesc {
-                        n: n_pixels,
-                        ..*brgemm.desc()
-                    });
+                    let edge = Brgemm::<T, T, T>::new(BrgemmDesc { n: n_pixels, ..*brgemm.desc() });
                     edge.execute_offsets(w_data, &offs_a[..bi], i_data, &offs_b[..bi], o_block);
                 }
             })
@@ -263,8 +248,7 @@ pub fn conv_backward_data<T: Element>(
                         for ss in 0..shape.s {
                             let y = ph * stride + rr; // padded coords
                             let x = pw * stride + ss;
-                            let w_off =
-                                (((ik * cb + ic) * shape.r + rr) * shape.s + ss) * bc * bk;
+                            let w_off = (((ik * cb + ic) * shape.r + rr) * shape.s + ss) * bc * bk;
                             let wblk = &w_data[w_off..w_off + bc * bk];
                             let d_off = (y * di_wp + x) * bc;
                             let dslice = &mut di_plane[d_off..d_off + bc];
@@ -331,8 +315,8 @@ pub fn conv_backward_weights<T: Element>(
                             let x = pw * stride + ss;
                             let i_off = (((ni * cb + ic) * i_hp + y) * i_wp + x) * bc;
                             let ivec = &i_data[i_off..i_off + bc];
-                            let a = &mut acc
-                                [(rr * shape.s + ss) * rs_block..(rr * shape.s + ss + 1) * rs_block];
+                            let a = &mut acc[(rr * shape.s + ss) * rs_block
+                                ..(rr * shape.s + ss + 1) * rs_block];
                             for (ci, iv) in ivec.iter().enumerate() {
                                 let ivf = iv.to_f32();
                                 if ivf == 0.0 {
@@ -373,10 +357,7 @@ pub fn reference_conv(
                             for ss in 0..shape.s {
                                 let y = (ph * shape.stride + rr) as isize - shape.pad as isize;
                                 let x = (pw * shape.stride + ss) as isize - shape.pad as isize;
-                                if y < 0
-                                    || x < 0
-                                    || y >= shape.h as isize
-                                    || x >= shape.w as isize
+                                if y < 0 || x < 0 || y >= shape.h as isize || x >= shape.w as isize
                                 {
                                     continue;
                                 }
@@ -399,31 +380,31 @@ mod tests {
     use pl_tensor::Xorshift;
 
     fn small_shape() -> ConvShape {
-        ConvShape {
-            n: 2,
-            c: 8,
-            k: 8,
-            h: 6,
-            w: 6,
-            r: 3,
-            s: 3,
-            stride: 1,
-            pad: 1,
-            bc: 4,
-            bk: 4,
-        }
+        ConvShape { n: 2, c: 8, k: 8, h: 6, w: 6, r: 3, s: 3, stride: 1, pad: 1, bc: 4, bk: 4 }
     }
 
     fn random_inputs(shape: &ConvShape, seed: u64) -> (ActTensor<f32>, ConvWeights<f32>) {
         let mut rng = Xorshift::new(seed);
-        let input = ActTensor::from_fn(shape.n, shape.c, shape.h, shape.w, shape.bc, shape.pad, |_, _, _, _| {
-            rng.next_f32() - 0.5
-        })
+        let input = ActTensor::from_fn(
+            shape.n,
+            shape.c,
+            shape.h,
+            shape.w,
+            shape.bc,
+            shape.pad,
+            |_, _, _, _| rng.next_f32() - 0.5,
+        )
         .unwrap();
         let mut rng2 = Xorshift::new(seed + 1);
-        let weights = ConvWeights::from_fn(shape.c, shape.k, shape.r, shape.s, shape.bc, shape.bk, |_, _, _, _| {
-            rng2.next_f32() - 0.5
-        })
+        let weights = ConvWeights::from_fn(
+            shape.c,
+            shape.k,
+            shape.r,
+            shape.s,
+            shape.bc,
+            shape.bk,
+            |_, _, _, _| rng2.next_f32() - 0.5,
+        )
         .unwrap();
         (input, weights)
     }
@@ -431,8 +412,8 @@ mod tests {
     fn run_forward(shape: &ConvShape, tuning: ConvTuning, seed: u64) {
         let pool = ThreadPool::new(2);
         let (input, weights) = random_inputs(shape, seed);
-        let mut out = ActTensor::<f32>::new(shape.n, shape.k, shape.p(), shape.q(), shape.bk, 0)
-            .unwrap();
+        let mut out =
+            ActTensor::<f32>::new(shape.n, shape.k, shape.p(), shape.q(), shape.bk, 0).unwrap();
         let spec_str = tuning.spec.clone();
         let conv = ConvForward::new(*shape, tuning).unwrap();
         conv.execute(&input, &weights, &mut out, &pool).unwrap();
@@ -494,19 +475,8 @@ mod tests {
 
     #[test]
     fn forward_strided_conv() {
-        let shape = ConvShape {
-            n: 1,
-            c: 4,
-            k: 8,
-            h: 8,
-            w: 8,
-            r: 3,
-            s: 3,
-            stride: 2,
-            pad: 1,
-            bc: 4,
-            bk: 8,
-        };
+        let shape =
+            ConvShape { n: 1, c: 4, k: 8, h: 8, w: 8, r: 3, s: 3, stride: 2, pad: 1, bc: 4, bk: 8 };
         run_forward(&shape, ConvTuning::default_for(&shape), 3);
     }
 
@@ -532,19 +502,8 @@ mod tests {
     fn backward_data_matches_numeric() {
         // d_input of conv(x)  with upstream gradient g equals, elementwise,
         // d/dx <g, conv(x)>; verify a handful of positions numerically.
-        let shape = ConvShape {
-            n: 1,
-            c: 4,
-            k: 4,
-            h: 4,
-            w: 4,
-            r: 3,
-            s: 3,
-            stride: 1,
-            pad: 1,
-            bc: 4,
-            bk: 4,
-        };
+        let shape =
+            ConvShape { n: 1, c: 4, k: 4, h: 4, w: 4, r: 3, s: 3, stride: 1, pad: 1, bc: 4, bk: 4 };
         let pool = ThreadPool::new(2);
         let (input, weights) = random_inputs(&shape, 5);
         let (p, q) = (shape.p(), shape.q());
@@ -557,8 +516,8 @@ mod tests {
                 }
             }
         }
-        let mut din = ActTensor::<f32>::new(1, shape.c, shape.h, shape.w, shape.bc, shape.pad)
-            .unwrap();
+        let mut din =
+            ActTensor::<f32>::new(1, shape.c, shape.h, shape.w, shape.bc, shape.pad).unwrap();
         conv_backward_data(&shape, &g, &weights, &mut din, &pool).unwrap();
 
         let loss = |inp: &ActTensor<f32>| -> f32 {
@@ -587,19 +546,8 @@ mod tests {
 
     #[test]
     fn backward_weights_matches_numeric() {
-        let shape = ConvShape {
-            n: 1,
-            c: 4,
-            k: 4,
-            h: 4,
-            w: 4,
-            r: 3,
-            s: 3,
-            stride: 1,
-            pad: 1,
-            bc: 4,
-            bk: 4,
-        };
+        let shape =
+            ConvShape { n: 1, c: 4, k: 4, h: 4, w: 4, r: 3, s: 3, stride: 1, pad: 1, bc: 4, bk: 4 };
         let pool = ThreadPool::new(2);
         let (input, weights) = random_inputs(&shape, 6);
         let (p, q) = (shape.p(), shape.q());
@@ -612,8 +560,9 @@ mod tests {
                 }
             }
         }
-        let mut dw = ConvWeights::<f32>::new(shape.c, shape.k, shape.r, shape.s, shape.bc, shape.bk)
-            .unwrap();
+        let mut dw =
+            ConvWeights::<f32>::new(shape.c, shape.k, shape.r, shape.s, shape.bc, shape.bk)
+                .unwrap();
         conv_backward_weights(&shape, &input, &g, &mut dw, &pool).unwrap();
 
         let loss = |w: &ConvWeights<f32>| -> f32 {

@@ -81,7 +81,7 @@ impl GemmShape {
             // Largest divisor of d that is <= 64 and a multiple of 8 if
             // possible; falls back to d itself for small dims.
             for cand in [64, 48, 32, 16, 8, 4, 2, 1] {
-                if d % cand == 0 {
+                if d.is_multiple_of(cand) {
                     return cand;
                 }
             }
@@ -136,11 +136,9 @@ impl<TA: Element, TB: Element, TC: Element> Gemm<TA, TB, TC> {
         tuning: GemmTuning,
         b_vnni: Option<usize>,
     ) -> Result<Self, KernelError> {
-        for (dim, block, name) in [
-            (shape.m, shape.bm, "M"),
-            (shape.n, shape.bn, "N"),
-            (shape.k, shape.bk, "K"),
-        ] {
+        for (dim, block, name) in
+            [(shape.m, shape.bm, "M"), (shape.n, shape.bn, "N"), (shape.k, shape.bk, "K")]
+        {
             if block == 0 || dim % block != 0 {
                 return Err(KernelError::BadShape(format!(
                     "{name}={dim} not divisible by block {block}"
@@ -403,9 +401,8 @@ mod tests {
         let bq = b.unpack_to_colmajor();
         let c_ref = reference_gemm(&aq, &bq, sh.m, sh.n, sh.k);
 
-        let gemm =
-            Gemm::<Bf16, Bf16, f32>::new_vnni(sh, GemmTuning::default_parallel(sh.kb()), 2)
-                .unwrap();
+        let gemm = Gemm::<Bf16, Bf16, f32>::new_vnni(sh, GemmTuning::default_parallel(sh.kb()), 2)
+            .unwrap();
         let mut c = BlockedMatrix::<f32>::c_layout(sh.m, sh.n, sh.bm, sh.bn).unwrap();
         gemm.execute(&a, &b, &mut c, &pool).unwrap();
         let got = c.unpack_to_colmajor();
@@ -423,10 +420,7 @@ mod tests {
         // Wrong block size for C.
         let mut c = BlockedMatrix::<f32>::c_layout(16, 16, 4, 4).unwrap();
         let pool = ThreadPool::new(1);
-        assert!(matches!(
-            gemm.execute(&a, &b, &mut c, &pool),
-            Err(KernelError::BadShape(_))
-        ));
+        assert!(matches!(gemm.execute(&a, &b, &mut c, &pool), Err(KernelError::BadShape(_))));
     }
 
     #[test]

@@ -162,9 +162,8 @@ impl<T: Element> FusedFcLayer<T> {
                             pl_tpp::binary::bias_add(bm, bn, bias_slice, c_block, bm);
                             for col in 0..bn {
                                 for r in 0..bm {
-                                    let v = pl_tpp::unary::gelu_scalar(
-                                        c_block[col * bm + r].to_f32(),
-                                    );
+                                    let v =
+                                        pl_tpp::unary::gelu_scalar(c_block[col * bm + r].to_f32());
                                     c_block[col * bm + r] = T::from_f32(v);
                                 }
                             }
@@ -243,13 +242,9 @@ impl<T: Element> Mlp<T> {
     ) -> Result<BlockedMatrix<T>, KernelError> {
         let mut cur = input.clone();
         for (l, layer) in self.layers.iter().enumerate() {
-            let mut out = BlockedMatrix::<T>::c_layout(
-                layer.out_features,
-                self.n,
-                layer.bk_out,
-                self.bn,
-            )
-            .map_err(|e| KernelError::BadShape(e.to_string()))?;
+            let mut out =
+                BlockedMatrix::<T>::c_layout(layer.out_features, self.n, layer.bk_out, self.bn)
+                    .map_err(|e| KernelError::BadShape(e.to_string()))?;
             layer.forward(&self.weights[l], &self.biases[l], &cur, &mut out, pool)?;
             cur = out;
         }
@@ -280,8 +275,7 @@ mod tests {
         x.pack_from_colmajor(&x_cm);
         let mut out = BlockedMatrix::<f32>::c_layout(fout, n, bk, bn).unwrap();
 
-        let layer =
-            FusedFcLayer::new(fout, fin, n, bk, bk, bn, "aBC", Activation::Relu).unwrap();
+        let layer = FusedFcLayer::new(fout, fin, n, bk, bk, bn, "aBC", Activation::Relu).unwrap();
         layer.forward(&w, &bias, &x, &mut out, &pool).unwrap();
 
         let mut expect = reference_gemm(&w_cm, &x_cm, fout, n, fin);
@@ -330,8 +324,8 @@ mod tests {
 
     #[test]
     fn flops_accounting() {
-        let mlp = Mlp::<f32>::new(&[512, 512, 512], 512, 64, 64, "aBC", Activation::Relu, 1)
-            .unwrap();
+        let mlp =
+            Mlp::<f32>::new(&[512, 512, 512], 512, 64, 64, "aBC", Activation::Relu, 1).unwrap();
         assert_eq!(mlp.flops(), 2 * 2 * 512u64.pow(3));
     }
 }

@@ -161,12 +161,7 @@ mod tests {
             run_case(sp, SpmmTuning::default_parallel(4));
             run_case(
                 sp,
-                SpmmTuning {
-                    spec: "aBC".into(),
-                    k_step: 1,
-                    b_blocks: vec![],
-                    c_blocks: vec![],
-                },
+                SpmmTuning { spec: "aBC".into(), k_step: 1, b_blocks: vec![], c_blocks: vec![] },
             );
             run_case(
                 sp,

@@ -43,7 +43,9 @@ impl SliceLru {
     fn insert(&mut self, id: SliceId, bytes: usize) {
         self.clock += 1;
         if bytes > self.capacity {
-            self.entries.remove(&id).map(|(b, _)| self.used -= b);
+            if let Some((b, _)) = self.entries.remove(&id) {
+                self.used -= b;
+            }
             return;
         }
         if let Some(e) = self.entries.get_mut(&id) {

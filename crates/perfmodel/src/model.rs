@@ -23,12 +23,18 @@ pub struct Access {
     pub bytes: usize,
 }
 
+/// Flop count of one body invocation at the given logical indices.
+pub type FlopsFn<'a> = Box<dyn Fn(&[usize]) -> f64 + 'a>;
+
+/// Slice accesses of one invocation (appended to the scratch vec).
+pub type AccessesFn<'a> = Box<dyn Fn(&[usize], &mut Vec<Access>) + 'a>;
+
 /// Per-invocation behaviour of the kernel body.
 pub struct BodyModel<'a> {
     /// Flops performed by one body invocation.
-    pub flops: Box<dyn Fn(&[usize]) -> f64 + 'a>,
+    pub flops: FlopsFn<'a>,
     /// Slice accesses of one invocation (appended to the scratch vec).
-    pub accesses: Box<dyn Fn(&[usize], &mut Vec<Access>) + 'a>,
+    pub accesses: AccessesFn<'a>,
 }
 
 /// Prediction result.
@@ -170,12 +176,15 @@ impl GemmModelSpec {
     }
 
     /// Predicts GFLOPS of this spec on a platform.
-    pub fn predict(&self, platform: &Platform, threads: usize) -> Result<Prediction, parlooper::SpecError> {
+    pub fn predict(
+        &self,
+        platform: &Platform,
+        threads: usize,
+    ) -> Result<Prediction, parlooper::SpecError> {
         let tl = self.threaded_loop()?;
         Ok(predict(platform, threads, &tl, &self.body_model(), self.dtype, self.flops()))
     }
 }
-
 
 /// A direct-convolution problem in model space — mirrors
 /// `pl_kernels::ConvForward` (7 logical loops, offset-based BRGEMM body).
@@ -241,16 +250,11 @@ impl ConvModelSpec {
         let pq = self.pq();
         let w_step = self.w_step;
         let kb = self.k / self.bk;
-        let flops = move |_ind: &[usize]| {
-            2.0 * (bk * w_step * bc * cb * rs * rs) as f64
-        };
+        let flops = move |_ind: &[usize]| 2.0 * (bk * w_step * bc * cb * rs * rs) as f64;
         let accesses = move |ind: &[usize], out: &mut Vec<Access>| {
             let (i_n, _ic, ik, ih, iw) = (ind[0], ind[1], ind[2], ind[3], ind[4]);
             // Weight slab for (ik, all c, all r/s).
-            out.push(Access {
-                id: (0, ik as u64),
-                bytes: bk * bc * cb * rs * rs * ds,
-            });
+            out.push(Access { id: (0, ik as u64), bytes: bk * bc * cb * rs * rs * ds });
             // Input rows touched: rs rows of the padded image per channel
             // block; identified by (n, row) at stride granularity.
             let wp = hw + 2 * pad;
@@ -306,12 +310,7 @@ mod tests {
         let seq = spec("abc", 512, 1).predict(&p, 16).unwrap();
         let par = spec("aBC", 512, 1).predict(&p, 16).unwrap();
         // Sequential nests replicate on all threads: ~16x slower.
-        assert!(
-            par.gflops > 8.0 * seq.gflops,
-            "par {} vs seq {}",
-            par.gflops,
-            seq.gflops
-        );
+        assert!(par.gflops > 8.0 * seq.gflops, "par {} vs seq {}", par.gflops, seq.gflops);
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl Platform {
             cores: vec![CoreClass {
                 count: 64,
                 freq_ghz: 2.6,
-                fp32_flops_per_cycle: 32.0, // 2x 256-bit SVE FMA
+                fp32_flops_per_cycle: 32.0,  // 2x 256-bit SVE FMA
                 bf16_flops_per_cycle: 110.0, // MMLA: ~3.4x FP32 (paper: 3.43x)
             }],
             caches: vec![
@@ -283,9 +283,7 @@ mod tests {
         assert_eq!(a.total_cores(), 16);
         assert!(a.class_of(0).freq_ghz > a.class_of(8).freq_ghz);
         // P-core peak > E-core peak.
-        assert!(
-            a.class_of(0).fp32_flops_per_cycle > a.class_of(15).fp32_flops_per_cycle
-        );
+        assert!(a.class_of(0).fp32_flops_per_cycle > a.class_of(15).fp32_flops_per_cycle);
     }
 
     #[test]
@@ -302,9 +300,6 @@ mod tests {
     #[test]
     fn dram_share_scales_down_with_threads() {
         let p = Platform::spr();
-        assert!(
-            p.dram_bytes_per_cycle_per_thread(56, 0)
-                < p.dram_bytes_per_cycle_per_thread(1, 0)
-        );
+        assert!(p.dram_bytes_per_cycle_per_thread(56, 0) < p.dram_bytes_per_cycle_per_thread(1, 0));
     }
 }

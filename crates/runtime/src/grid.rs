@@ -110,7 +110,7 @@ mod tests {
     fn three_d_coords_are_row_major() {
         let g = GridDecomp::d3(2, 3, 4);
         assert_eq!(g.size(), 24);
-        let tid = (1 * 3 + 2) * 4 + 3; // row 1, col 2, layer 3
+        let tid = (3 + 2) * 4 + 3; // row 1, col 2, layer 3 (row-major: (r*3 + c)*4 + l)
         assert_eq!(g.coord(tid, GridAxis::Row), 1);
         assert_eq!(g.coord(tid, GridAxis::Col), 2);
         assert_eq!(g.coord(tid, GridAxis::Layer), 3);
@@ -121,7 +121,7 @@ mod tests {
         let g = GridDecomp::d2(3, 2);
         // Along rows: threads sharing a row coordinate get the same range;
         // distinct rows tile 0..10.
-        let mut seen = vec![0u8; 10];
+        let mut seen = [0u8; 10];
         for row in 0..3 {
             let tid = row * 2; // col 0 representative
             for i in g.partition(tid, GridAxis::Row, 10) {
@@ -130,10 +130,7 @@ mod tests {
         }
         assert!(seen.iter().all(|&c| c == 1));
         // Threads in the same row agree.
-        assert_eq!(
-            g.partition(2, GridAxis::Row, 10),
-            g.partition(3, GridAxis::Row, 10)
-        );
+        assert_eq!(g.partition(2, GridAxis::Row, 10), g.partition(3, GridAxis::Row, 10));
     }
 
     #[test]

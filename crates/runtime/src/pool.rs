@@ -103,12 +103,7 @@ impl ThreadPool {
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }
-        ThreadPool {
-            senders,
-            handles,
-            nthreads,
-            dispatch: Mutex::new(()),
-        }
+        ThreadPool { senders, handles, nthreads, dispatch: Mutex::new(()) }
     }
 
     /// Team size.
@@ -128,11 +123,7 @@ impl ThreadPool {
         F: Fn(&WorkerCtx) + Send + Sync,
     {
         if IN_PARALLEL.with(|c| c.get()) {
-            let ctx = WorkerCtx {
-                tid: 0,
-                nthreads: 1,
-                barrier: Arc::new(Barrier::new(1)),
-            };
+            let ctx = WorkerCtx { tid: 0, nthreads: 1, barrier: Arc::new(Barrier::new(1)) };
             f(&ctx);
             return;
         }
@@ -163,8 +154,7 @@ impl ThreadPool {
                 panic: Arc::clone(&panic_slot),
                 nthreads: self.nthreads,
             };
-            tx.send(Message::Run(region))
-                .unwrap_or_else(|_| panic!("pool worker {} died", i + 1));
+            tx.send(Message::Run(region)).unwrap_or_else(|_| panic!("pool worker {} died", i + 1));
         }
 
         // The caller is team member 0.
@@ -202,22 +192,42 @@ impl ThreadPool {
             }
         });
     }
+
+    /// Drains `queue` inside a *single* parallel region: every team thread
+    /// repeatedly claims a chunk and calls `f(i)` for each index in it.
+    ///
+    /// This is the region-reuse hook for coarse work items (e.g. a batch of
+    /// decode steps): instead of paying one region broadcast per item, the
+    /// whole batch amortizes a single broadcast and the items load-balance
+    /// over the team via the dynamic schedule — the same `schedule(dynamic)`
+    /// PAR-MODE the paper uses for heterogeneous work (§V-A4). The queue is
+    /// *not* reset here; pass a fresh or explicitly [`DynamicQueue::reset`]
+    /// queue.
+    pub fn parallel_drain<F>(&self, queue: &crate::sched::DynamicQueue, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.parallel(|_ctx| {
+            while let Some(r) = queue.next() {
+                for i in r {
+                    f(i);
+                }
+            }
+        });
+    }
+
+    /// Whether the calling thread is currently inside a parallel region of
+    /// *any* pool (nested regions serialize; see [`ThreadPool::parallel`]).
+    /// Schedulers layered above the pool (e.g. a serving batcher) use this
+    /// to decide between dispatching a region and running work inline.
+    pub fn in_parallel_region() -> bool {
+        IN_PARALLEL.with(|c| c.get())
+    }
 }
 
 fn run_region_member(region: Region, tid: usize) {
-    let Region {
-        job,
-        barrier,
-        remaining,
-        caller,
-        panic,
-        nthreads,
-    } = region;
-    let ctx = WorkerCtx {
-        tid,
-        nthreads,
-        barrier,
-    };
+    let Region { job, barrier, remaining, caller, panic, nthreads } = region;
+    let ctx = WorkerCtx { tid, nthreads, barrier };
     IN_PARALLEL.with(|c| c.set(true));
     let result = catch_unwind(AssertUnwindSafe(|| (job)(&ctx)));
     IN_PARALLEL.with(|c| c.set(false));
@@ -254,11 +264,7 @@ pub fn default_threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// Process-wide shared pool, sized by [`default_threads`].
@@ -291,7 +297,7 @@ mod tests {
     #[test]
     fn region_can_borrow_stack_locals() {
         let pool = ThreadPool::new(3);
-        let data = vec![1usize, 2, 3];
+        let data = [1usize, 2, 3];
         let total = AtomicUsize::new(0);
         pool.parallel(|ctx| {
             total.fetch_add(data[ctx.tid()], Ordering::Relaxed);
@@ -374,6 +380,32 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_drain_covers_queue_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let q = crate::sched::DynamicQueue::new(500, 3);
+        pool.parallel_drain(&q, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(q.next().is_none());
+    }
+
+    #[test]
+    fn in_parallel_region_flag_tracks_nesting() {
+        let pool = ThreadPool::new(2);
+        assert!(!ThreadPool::in_parallel_region());
+        let seen = AtomicUsize::new(0);
+        pool.parallel(|_| {
+            if ThreadPool::in_parallel_region() {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert!(!ThreadPool::in_parallel_region());
     }
 
     #[test]

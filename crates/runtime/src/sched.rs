@@ -44,12 +44,7 @@ impl StaticChunks {
     /// Schedule for one thread. `chunk == 0` is treated as 1.
     pub fn new(total: usize, chunk: usize, tid: usize, nthreads: usize) -> Self {
         let chunk = chunk.max(1);
-        StaticChunks {
-            total,
-            chunk,
-            next: tid * chunk,
-            stride: nthreads * chunk,
-        }
+        StaticChunks { total, chunk, next: tid * chunk, stride: nthreads * chunk }
     }
 }
 
@@ -82,11 +77,7 @@ pub struct DynamicQueue {
 impl DynamicQueue {
     /// A queue over `0..total` handing out chunks of `chunk` (min 1).
     pub fn new(total: usize, chunk: usize) -> Self {
-        DynamicQueue {
-            cursor: AtomicUsize::new(0),
-            total,
-            chunk: chunk.max(1),
-        }
+        DynamicQueue { cursor: AtomicUsize::new(0), total, chunk: chunk.max(1) }
     }
 
     /// Claims the next chunk, or `None` when the space is exhausted.

@@ -1,0 +1,181 @@
+//! The dynamic batcher: coalesces pending decode steps into
+//! BRGEMM-friendly batches with per-tenant fairness.
+//!
+//! Requests land in one bounded ring per tenant ([`BoundedQueue`]); batch
+//! formation round-robins over the tenants starting from a persistent
+//! cursor, taking one request per tenant per lap until the batch is full
+//! or every ring is empty. The cursor advances each batch, so under
+//! saturation every tenant gets within one request of an equal share no
+//! matter how asymmetric the offered load is — the admission-control
+//! analogue of the paper's PAR-MODE dynamic schedule (work is *pulled*
+//! fairly, never pushed to a fixed owner).
+
+use crate::queue::BoundedQueue;
+use crate::session::{SessionId, TenantId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::time::Instant;
+
+/// One pending decode step.
+pub struct StepRequest {
+    /// Target session.
+    pub session: SessionId,
+    /// Submitting tenant (also selects the ring).
+    pub tenant: TenantId,
+    /// The token's `hidden` input values.
+    pub x: Vec<f32>,
+    /// Submission time (latency accounting).
+    pub enqueued: Instant,
+    /// Completion channel back to the caller.
+    pub reply: Sender<crate::StepResult>,
+}
+
+/// Per-tenant rings plus the fairness cursor.
+pub struct DynamicBatcher {
+    queues: Vec<BoundedQueue<StepRequest>>,
+    cursor: AtomicUsize,
+}
+
+impl DynamicBatcher {
+    /// `tenants` rings of `capacity` requests each.
+    pub fn new(tenants: usize, capacity: usize) -> Self {
+        DynamicBatcher {
+            queues: (0..tenants.max(1)).map(|_| BoundedQueue::new(capacity)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of tenant rings.
+    pub fn tenants(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pending requests across all tenants (approximate).
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Pending requests for one tenant (approximate).
+    pub fn pending_for(&self, tenant: TenantId) -> usize {
+        self.queues.get(tenant).map_or(0, |q| q.len())
+    }
+
+    /// Enqueues a request on its tenant's ring; a full ring returns the
+    /// request back — the backpressure signal.
+    pub fn submit(&self, req: StepRequest) -> Result<(), StepRequest> {
+        match self.queues.get(req.tenant) {
+            Some(q) => q.push(req),
+            None => Err(req),
+        }
+    }
+
+    /// Forms the next batch: up to `max_batch` requests, round-robin
+    /// across tenants from the persistent cursor. Returns an empty vector
+    /// when nothing is pending.
+    pub fn collect(&self, max_batch: usize) -> Vec<StepRequest> {
+        let n = self.queues.len();
+        let start = self.cursor.load(Ordering::Relaxed);
+        let mut batch = Vec::new();
+        let mut exhausted = vec![false; n];
+        let mut live = n;
+        let mut offset = 0usize;
+        while batch.len() < max_batch && live > 0 {
+            let t = (start + offset) % n;
+            offset = (offset + 1) % n;
+            if exhausted[t] {
+                continue;
+            }
+            match self.queues[t].pop() {
+                Some(req) => batch.push(req),
+                None => {
+                    exhausted[t] = true;
+                    live -= 1;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            // Next batch starts one tenant later, so no ring is
+            // structurally favored.
+            self.cursor.store((start + 1) % n, Ordering::Relaxed);
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn req(tenant: TenantId, session: SessionId) -> StepRequest {
+        let (tx, _rx) = channel();
+        // Keep the receiver alive via leak so sends in tests don't error.
+        std::mem::forget(_rx);
+        StepRequest { session, tenant, x: vec![0.0], enqueued: Instant::now(), reply: tx }
+    }
+
+    #[test]
+    fn coalesces_up_to_max_batch() {
+        let b = DynamicBatcher::new(1, 16);
+        for i in 0..6 {
+            b.submit(req(0, i)).unwrap_or_else(|_| panic!("ring full"));
+        }
+        let batch = b.collect(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.iter().map(|r| r.session).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(b.collect(4).len(), 2);
+        assert!(b.collect(4).is_empty());
+    }
+
+    #[test]
+    fn round_robin_is_fair_under_asymmetric_load() {
+        let b = DynamicBatcher::new(3, 32);
+        // Tenant 0 floods; tenants 1 and 2 trickle.
+        for i in 0..20 {
+            b.submit(req(0, i)).unwrap_or_else(|_| panic!());
+        }
+        b.submit(req(1, 100)).unwrap_or_else(|_| panic!());
+        b.submit(req(2, 200)).unwrap_or_else(|_| panic!());
+        let batch = b.collect(6);
+        assert_eq!(batch.len(), 6);
+        let t1 = batch.iter().filter(|r| r.tenant == 1).count();
+        let t2 = batch.iter().filter(|r| r.tenant == 2).count();
+        let t0 = batch.iter().filter(|r| r.tenant == 0).count();
+        assert_eq!(t1, 1, "trickle tenant 1 must make the batch");
+        assert_eq!(t2, 1, "trickle tenant 2 must make the batch");
+        assert_eq!(t0, 4, "flooding tenant fills the remainder");
+    }
+
+    #[test]
+    fn cursor_rotates_start_tenant_across_batches() {
+        let b = DynamicBatcher::new(2, 8);
+        for i in 0..4 {
+            b.submit(req(0, i)).unwrap_or_else(|_| panic!());
+            b.submit(req(1, 10 + i)).unwrap_or_else(|_| panic!());
+        }
+        let first = b.collect(2);
+        let second = b.collect(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 2);
+        // Batch 1 starts at tenant 0, batch 2 at tenant 1.
+        assert_eq!(first[0].tenant, 0);
+        assert_eq!(second[0].tenant, 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_ring_full() {
+        let b = DynamicBatcher::new(1, 2);
+        b.submit(req(0, 0)).unwrap_or_else(|_| panic!());
+        b.submit(req(0, 1)).unwrap_or_else(|_| panic!());
+        let rejected = b.submit(req(0, 2));
+        assert!(rejected.is_err(), "third submit into capacity-2 ring must bounce");
+        assert_eq!(rejected.err().unwrap().session, 2);
+        assert_eq!(b.pending_for(0), 2);
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected() {
+        let b = DynamicBatcher::new(2, 4);
+        assert!(b.submit(req(7, 0)).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! # pl-serve — batched inference serving on the PARLOOPER/TPP stack
+//!
+//! The paper proves the kernels (BRGEMM, fused TPPs, KV-cached decoding,
+//! §IV-A/Fig. 11); this crate turns them into a *system*: a multi-tenant
+//! serving runtime that drives [`pl_dnn::DecoderModel`] under concurrent,
+//! bursty load.
+//!
+//! Architecture (see `crates/serve/README.md` for the full picture):
+//!
+//! * [`Session`] — one decode stream: a per-session KV cache
+//!   ([`pl_dnn::DecoderState`]) over the server's single shared weight
+//!   copy, with a prefill → step lifecycle.
+//! * [`DynamicBatcher`] — lock-light per-tenant submission rings
+//!   ([`BoundedQueue`], Vyukov-style atomic tickets in the spirit of
+//!   `pl_runtime::DynamicQueue`) plus round-robin batch formation.
+//! * [`Server`] — admission control (session caps, bounded rings =
+//!   backpressure), the batch execution path (one
+//!   `ThreadPool::parallel_drain` region per batch, PAR-MODE dynamic
+//!   scheduling over sessions), and the blocking client API.
+//! * [`ServerStats`] — lock-free counters and histograms: throughput,
+//!   p50/p99 step latency, batch-size distribution.
+//!
+//! Batched decode is **bit-identical** to unbatched decode: each session's
+//! step runs with the same per-element operation order inside the region
+//! as it would alone (every GEMM output block is produced by exactly one
+//! thread with a fixed reduction order), which the integration tests and
+//! `examples/serve_llm.rs` assert exactly.
+
+pub mod batcher;
+pub mod queue;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use batcher::{DynamicBatcher, StepRequest};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig};
+pub use session::{Session, SessionId, TenantId};
+pub use stats::{CountHistogram, LatencyHistogram, ServerStats, StatsSnapshot};
+
+/// What a decode step resolves to.
+pub type StepResult = Result<Vec<f32>, ServeError>;
+
+/// Errors surfaced by the serving runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The session id is not live on this server.
+    UnknownSession(SessionId),
+    /// The tenant index is outside `ServerConfig::tenants`.
+    UnknownTenant(TenantId),
+    /// The tenant's submission ring is full — retry later (backpressure).
+    Backpressure {
+        /// The tenant whose ring rejected the request.
+        tenant: TenantId,
+    },
+    /// The server-wide session cap is reached.
+    TooManySessions {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The session's KV cache cannot hold the requested tokens.
+    KvExhausted {
+        /// Tokens currently cached.
+        context: usize,
+        /// The session's KV capacity.
+        capacity: usize,
+    },
+    /// Input length does not match the model's hidden size.
+    BadInput {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServeError::Backpressure { tenant } => {
+                write!(f, "backpressure: tenant {tenant}'s queue is full")
+            }
+            ServeError::TooManySessions { limit } => {
+                write!(f, "session limit {limit} reached")
+            }
+            ServeError::KvExhausted { context, capacity } => {
+                write!(f, "KV cache exhausted ({context}/{capacity} tokens)")
+            }
+            ServeError::BadInput { expected, got } => {
+                write!(f, "bad input: expected {expected} values, got {got}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,247 @@
+//! A lock-light bounded MPMC queue for request submission.
+//!
+//! Same spirit as `pl_runtime::DynamicQueue` (atomic tickets, no mutex on
+//! the hot path), extended to carry owned payloads: the classic bounded
+//! ring with per-slot sequence numbers (Vyukov's MPMC queue). Producers
+//! are client threads submitting requests; consumers are the batcher (and
+//! tests). A full ring rejects immediately — that *is* the backpressure
+//! signal admission control turns into an error for the caller.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Ticket protocol: `seq == index` means free for the producer with
+    /// that ticket; `seq == index + 1` means filled for the consumer with
+    /// that ticket; after consumption `seq = index + capacity` re-arms the
+    /// slot for the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded multi-producer multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    slots: Box<[Slot<T>]>,
+    capacity: usize,
+    /// Consumer ticket counter.
+    head: AtomicUsize,
+    /// Producer ticket counter.
+    tail: AtomicUsize,
+}
+
+// SAFETY: slots are handed off between threads via the seq protocol —
+// a value written under ticket t is only read by the consumer holding
+// ticket t, with Release/Acquire ordering on `seq` publishing the write.
+unsafe impl<T: Send> Sync for BoundedQueue<T> {}
+unsafe impl<T: Send> Send for BoundedQueue<T> {}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (min 2: with a single slot
+    /// the ticket protocol cannot distinguish "free for the next lap" from
+    /// "filled one lap ago" — `index + 1 == index + capacity` — so a full
+    /// ring would accept a push, leak the unread item, and wedge `pop`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BoundedQueue { slots, capacity, head: AtomicUsize::new(0), tail: AtomicUsize::new(0) }
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently enqueued (approximate under contention).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `v`, or returns it when the ring is full (backpressure).
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail % self.capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == tail {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: ticket `tail` grants exclusive write
+                        // access to this slot until seq is published.
+                        unsafe { (*slot.value.get()).write(v) };
+                        slot.seq.store(tail + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => tail = actual,
+                }
+            } else if seq < tail {
+                // The slot still holds an unconsumed item from the
+                // previous lap: the ring is full.
+                return Err(v);
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest item, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head % self.capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == head + 1 {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: ticket `head` grants exclusive read
+                        // access; the producer published with Release.
+                        let v = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(head + self.capacity, Ordering::Release);
+                        return Some(v);
+                    }
+                    Err(actual) => head = actual,
+                }
+            } else if seq <= head {
+                // Slot not yet filled for this lap: queue is empty.
+                return None;
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for BoundedQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(9), Err(9), "5th push must be rejected");
+        assert_eq!((0..4).map(|_| q.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ring_wraps_across_laps() {
+        let q = BoundedQueue::new(2);
+        for lap in 0..10 {
+            q.push(lap * 2).unwrap();
+            q.push(lap * 2 + 1).unwrap();
+            assert!(q.push(777).is_err());
+            assert_eq!(q.pop(), Some(lap * 2));
+            assert_eq!(q.pop(), Some(lap * 2 + 1));
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn capacity_one_is_clamped_to_a_working_ring() {
+        // Regression: with one slot the seq protocol degenerates (a full
+        // ring accepted pushes and then wedged). The constructor clamps.
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.capacity(), 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3), "full ring must reject");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let q = BoundedQueue::new(8);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = std::sync::Arc::new(BoundedQueue::new(64));
+        let produced = 4 * 1000;
+        let got = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        let v = p * 1000 + i;
+                        loop {
+                            if q.push(v).is_ok() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = std::sync::Arc::clone(&q);
+                let got = &got;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while local.len() < produced / 2 {
+                        if let Some(v) = q.pop() {
+                            local.push(v);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    got.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = got.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..produced).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items() {
+        let counter = std::sync::Arc::new(());
+        let q = BoundedQueue::new(4);
+        q.push(std::sync::Arc::clone(&counter)).unwrap();
+        q.push(std::sync::Arc::clone(&counter)).unwrap();
+        assert_eq!(std::sync::Arc::strong_count(&counter), 3);
+        drop(q);
+        assert_eq!(std::sync::Arc::strong_count(&counter), 1);
+    }
+}

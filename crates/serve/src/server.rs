@@ -1,0 +1,586 @@
+//! The serving runtime: admission control, the batcher loop, and the
+//! request lifecycle.
+
+use crate::batcher::{DynamicBatcher, StepRequest};
+use crate::session::{Session, SessionId, TenantId};
+use crate::stats::ServerStats;
+use crate::{ServeError, StepResult};
+use parking_lot::Mutex;
+use pl_autotuner::{warm_gemm_db, Constraints, GemmProblem, TuningDb};
+use pl_dnn::{DecoderModel, DecoderState};
+use pl_kernels::GemmShape;
+use pl_perfmodel::Platform;
+use pl_runtime::ThreadPool;
+use pl_tensor::DType;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving runtime knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of tenants (rings) admitted.
+    pub tenants: usize,
+    /// Upper bound on a coalesced decode batch.
+    pub max_batch: usize,
+    /// Per-tenant submission-ring capacity (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Concurrent-session cap across all tenants.
+    pub max_sessions: usize,
+    /// KV capacity (tokens) given to every new session.
+    pub kv_capacity: usize,
+    /// How long a non-full batch lingers for stragglers before executing.
+    pub coalesce_wait: Duration,
+    /// Batcher sleep when no work is pending.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tenants: 1,
+            max_batch: 8,
+            queue_capacity: 64,
+            max_sessions: 64,
+            kv_capacity: 128,
+            coalesce_wait: Duration::from_micros(200),
+            idle_poll: Duration::from_millis(1),
+        }
+    }
+}
+
+struct ServerInner {
+    model: Arc<DecoderModel>,
+    pool: Arc<ThreadPool>,
+    cfg: ServerConfig,
+    sessions: Mutex<HashMap<SessionId, Session>>,
+    session_count: AtomicU64,
+    next_session: AtomicU64,
+    batcher: DynamicBatcher,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    tuning: Mutex<TuningDb>,
+}
+
+/// The multi-tenant batched serving runtime over one shared
+/// [`DecoderModel`].
+///
+/// Lifecycle: [`Server::new`] → optionally [`Server::warm_tuning`] →
+/// either [`Server::start`] (background batcher thread; clients call the
+/// blocking [`Server::step`]) or manual [`Server::pump`] (tests,
+/// single-threaded drivers). Protocol: **at most one in-flight operation
+/// per session** — the blocking API upholds this by construction.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    batcher_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// A server over `model`, executing on `pool`.
+    pub fn new(model: Arc<DecoderModel>, pool: Arc<ThreadPool>, cfg: ServerConfig) -> Self {
+        let inner = Arc::new(ServerInner {
+            batcher: DynamicBatcher::new(cfg.tenants, cfg.queue_capacity),
+            stats: ServerStats::new(cfg.max_batch),
+            model,
+            pool,
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+            session_count: AtomicU64::new(0),
+            next_session: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            tuning: Mutex::new(TuningDb::new()),
+        });
+        Server { inner, batcher_thread: None }
+    }
+
+    /// The metrics surface.
+    pub fn stats(&self) -> &ServerStats {
+        &self.inner.stats
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &Arc<DecoderModel> {
+        &self.inner.model
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.inner.session_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// GEMM problems the batcher's decode steps will run: for every
+    /// transformer block matmul, the `tokens = 1` instance (each batched
+    /// session steps one token), blocked exactly as the kernel layer
+    /// blocks them ([`GemmShape::with_default_blocks`] — the same call
+    /// `pl_dnn::matmul` makes, so the warmed keys name the shapes that
+    /// actually execute).
+    pub fn decode_gemm_problems(&self) -> Vec<GemmProblem> {
+        let cfg = self.inner.model.config();
+        let (h, f) = (cfg.hidden, cfg.ffn);
+        let mut out = Vec::new();
+        let mut push = |m: usize, n: usize, k: usize| {
+            let sh = GemmShape::with_default_blocks(m, n, k);
+            let p = GemmProblem { m, n, k, bm: sh.bm, bn: sh.bn, bk: sh.bk, dtype: DType::F32 };
+            if !out.iter().any(|q: &GemmProblem| (q.m, q.n, q.k) == (p.m, p.n, p.k)) {
+                out.push(p);
+            }
+        };
+        push(h, 1, h); // qkv + output projections
+        push(f, 1, h); // FFN up
+        push(h, 1, f); // FFN down
+        out
+    }
+
+    /// Warms the tuning database for [`Server::decode_gemm_problems`] on
+    /// `platform`: the paper's offline search (Fig. 1 boxes B2/B3) runs at
+    /// server startup so results are ready before traffic arrives. The
+    /// kernel layer does not consult the DB yet — `pl_dnn::matmul` still
+    /// uses its built-in parallel spec — so today this populates the DB
+    /// for inspection/export only (wiring it into kernel selection is a
+    /// ROADMAP item). Returns the number of shapes tuned.
+    pub fn warm_tuning(&self, platform: &Platform, threads: usize) -> usize {
+        let problems = self.decode_gemm_problems();
+        let constraints = Constraints::gemm(0, 1, 1, 200);
+        let mut db = self.inner.tuning.lock();
+        warm_gemm_db(&mut db, &problems, &constraints, platform, threads)
+    }
+
+    /// Read access to the warmed tuning database.
+    pub fn tuning_db(&self) -> parking_lot::MutexGuard<'_, TuningDb> {
+        self.inner.tuning.lock()
+    }
+
+    /// Admits a new session for `tenant`. Rejects when the session cap is
+    /// reached or the tenant id is out of range.
+    pub fn create_session(&self, tenant: TenantId) -> Result<SessionId, ServeError> {
+        if tenant >= self.inner.cfg.tenants {
+            return Err(ServeError::UnknownTenant(tenant));
+        }
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Optimistic admission: bump, then verify the cap.
+        let live = self.inner.session_count.fetch_add(1, Ordering::AcqRel) + 1;
+        if live as usize > self.inner.cfg.max_sessions {
+            self.inner.session_count.fetch_sub(1, Ordering::AcqRel);
+            self.inner.stats.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::TooManySessions { limit: self.inner.cfg.max_sessions });
+        }
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let state = self.inner.model.new_state(self.inner.cfg.kv_capacity);
+        self.inner.sessions.lock().insert(id, Session::new(id, tenant, state));
+        Ok(id)
+    }
+
+    /// Ends a session, freeing its KV cache. Returns how many tokens it
+    /// decoded.
+    pub fn close_session(&self, id: SessionId) -> Result<u64, ServeError> {
+        let sess = self.inner.sessions.lock().remove(&id).ok_or(ServeError::UnknownSession(id))?;
+        self.inner.session_count.fetch_sub(1, Ordering::AcqRel);
+        Ok(sess.generated)
+    }
+
+    /// Runs a whole-prompt prefill (`hidden x tokens`, column-major) for
+    /// `id` on the calling thread. Prefill is compute-bound and already
+    /// saturates the pool on its own, so it bypasses the decode batcher.
+    pub fn prefill(&self, id: SessionId, x: &[f32], tokens: usize) -> Result<Vec<f32>, ServeError> {
+        let hidden = self.inner.model.config().hidden;
+        if x.len() != hidden * tokens || tokens == 0 {
+            return Err(ServeError::BadInput { expected: hidden * tokens.max(1), got: x.len() });
+        }
+        let mut sess =
+            self.inner.sessions.lock().remove(&id).ok_or(ServeError::UnknownSession(id))?;
+        if !sess.fits(tokens) {
+            let ctx = sess.context_len();
+            self.inner.sessions.lock().insert(id, sess);
+            return Err(ServeError::KvExhausted {
+                context: ctx,
+                capacity: self.inner.cfg.kv_capacity,
+            });
+        }
+        let y = self.inner.model.forward(&mut sess.state, x, tokens, &self.inner.pool);
+        self.inner.sessions.lock().insert(id, sess);
+        self.inner.stats.prefills.fetch_add(1, Ordering::Relaxed);
+        Ok(y)
+    }
+
+    /// Submits one decode step without blocking; the result arrives on the
+    /// returned channel once a batch containing it executes.
+    pub fn submit_step(
+        &self,
+        id: SessionId,
+        x: &[f32],
+    ) -> Result<mpsc::Receiver<StepResult>, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let hidden = self.inner.model.config().hidden;
+        if x.len() != hidden {
+            return Err(ServeError::BadInput { expected: hidden, got: x.len() });
+        }
+        let tenant = {
+            let sessions = self.inner.sessions.lock();
+            sessions.get(&id).ok_or(ServeError::UnknownSession(id))?.tenant
+        };
+        let (tx, rx) = mpsc::channel();
+        let req =
+            StepRequest { session: id, tenant, x: x.to_vec(), enqueued: Instant::now(), reply: tx };
+        match self.inner.batcher.submit(req) {
+            Ok(()) => {
+                // Close the check-then-push race with shutdown(): if the
+                // flag flipped while we were enqueueing, the batcher (and
+                // shutdown's drain) may already be gone — bounce whatever
+                // is pending ourselves so no caller blocks forever.
+                if self.inner.shutdown.load(Ordering::Acquire) {
+                    self.bounce_pending();
+                }
+                self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(rx)
+            }
+            Err(_) => {
+                self.inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Backpressure { tenant })
+            }
+        }
+    }
+
+    /// Drains the submission rings, replying `ShuttingDown` to every
+    /// queued request.
+    fn bounce_pending(&self) {
+        loop {
+            let left = self.inner.batcher.collect(usize::MAX);
+            if left.is_empty() {
+                break;
+            }
+            for req in left {
+                let _ = req.reply.send(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+
+    /// Blocking decode step: submit, then wait for the batcher. Requires
+    /// [`Server::start`] (or a concurrent [`Server::pump`] driver).
+    pub fn step(&self, id: SessionId, x: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let rx = self.submit_step(id, x)?;
+        match rx.recv() {
+            Ok(res) => res,
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Collects and executes one batch on the calling thread. Returns the
+    /// executed batch size (0 when nothing was pending). This is the same
+    /// code path the background batcher runs.
+    pub fn pump(&self) -> usize {
+        let inner = &self.inner;
+        let mut batch = inner.batcher.collect(inner.cfg.max_batch);
+        if batch.is_empty() {
+            return 0;
+        }
+        // Linger briefly for stragglers so bursts coalesce into one
+        // region even when submitters race the batcher.
+        if batch.len() < inner.cfg.max_batch && !inner.cfg.coalesce_wait.is_zero() {
+            let deadline = Instant::now() + inner.cfg.coalesce_wait;
+            while batch.len() < inner.cfg.max_batch && Instant::now() < deadline {
+                let more = inner.batcher.collect(inner.cfg.max_batch - batch.len());
+                if more.is_empty() {
+                    std::thread::yield_now();
+                } else {
+                    batch.extend(more);
+                }
+            }
+        }
+        self.run_batch(batch)
+    }
+
+    /// Executes `batch` in one parallel region and delivers replies.
+    fn run_batch(&self, batch: Vec<StepRequest>) -> usize {
+        let inner = &self.inner;
+        // Pull the target sessions out of the table so the region holds no
+        // lock while computing. A session can appear in a batch at most
+        // once (its state is stepped sequentially); pipelined duplicates
+        // are deferred to the next batch in submission order.
+        let mut ready: Vec<(StepRequest, Session)> = Vec::with_capacity(batch.len());
+        let mut deferred: Vec<StepRequest> = Vec::new();
+        {
+            let mut sessions = inner.sessions.lock();
+            for req in batch {
+                if ready.iter().any(|(r, _)| r.session == req.session) {
+                    deferred.push(req);
+                    continue;
+                }
+                match sessions.remove(&req.session) {
+                    Some(sess) if sess.fits(1) => ready.push((req, sess)),
+                    Some(sess) => {
+                        let err = ServeError::KvExhausted {
+                            context: sess.context_len(),
+                            capacity: inner.cfg.kv_capacity,
+                        };
+                        sessions.insert(req.session, sess);
+                        let _ = req.reply.send(Err(err));
+                    }
+                    None => {
+                        let _ = req.reply.send(Err(ServeError::UnknownSession(req.session)));
+                    }
+                }
+            }
+        }
+        for req in deferred {
+            if let Err(req) = self.inner.batcher.submit(req) {
+                // The ring refilled meanwhile; surface it as backpressure.
+                inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+                let tenant = req.tenant;
+                let _ = req.reply.send(Err(ServeError::Backpressure { tenant }));
+            }
+        }
+        if ready.is_empty() {
+            return 0;
+        }
+        let items: Vec<(&mut DecoderState, &[f32])> =
+            ready.iter_mut().map(|(req, sess)| (&mut sess.state, req.x.as_slice())).collect();
+        let outputs = inner.model.step_batch(items, &inner.pool);
+        let size = ready.len();
+        inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+        inner.stats.batch_sizes.record(size);
+        let mut sessions = inner.sessions.lock();
+        for ((req, mut sess), y) in ready.into_iter().zip(outputs) {
+            sess.generated += 1;
+            sessions.insert(req.session, sess);
+            let us = req.enqueued.elapsed().as_micros() as u64;
+            inner.stats.step_latency.record_us(us);
+            inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = req.reply.send(Ok(y));
+        }
+        size
+    }
+
+    /// Spawns the background batcher thread. Idempotent.
+    pub fn start(&mut self) {
+        if self.batcher_thread.is_some() {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        let server = Server { inner, batcher_thread: None };
+        self.batcher_thread = Some(
+            std::thread::Builder::new()
+                .name("pl-serve-batcher".into())
+                .spawn(move || loop {
+                    let ran = server.pump();
+                    if ran == 0 {
+                        if server.inner.shutdown.load(Ordering::Acquire)
+                            && server.inner.batcher.pending() == 0
+                        {
+                            break;
+                        }
+                        std::thread::sleep(server.inner.cfg.idle_poll);
+                    }
+                })
+                .expect("failed to spawn batcher thread"),
+        );
+    }
+
+    /// Stops admitting work, drains the queues, and joins the batcher.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.batcher_thread.take() {
+            let _ = h.join();
+        }
+        // Without a batcher thread, bounce whatever is still queued.
+        self.bounce_pending();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.batcher_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_dnn::DecoderConfig;
+    use pl_tensor::{fill_uniform, Xorshift};
+
+    fn tiny_server(cfg: ServerConfig) -> Server {
+        let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 77));
+        let pool = Arc::new(ThreadPool::new(4));
+        Server::new(model, pool, cfg)
+    }
+
+    fn token(seed: u64, hidden: usize) -> Vec<f32> {
+        let mut x = vec![0.0f32; hidden];
+        fill_uniform(&mut x, &mut Xorshift::new(seed), -0.5, 0.5);
+        x
+    }
+
+    #[test]
+    fn session_lifecycle_and_caps() {
+        let server = tiny_server(ServerConfig { max_sessions: 2, ..Default::default() });
+        let a = server.create_session(0).unwrap();
+        let b = server.create_session(0).unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(server.create_session(0), Err(ServeError::TooManySessions { limit: 2 })));
+        assert_eq!(server.stats().rejected_sessions.load(Ordering::Relaxed), 1);
+        assert_eq!(server.close_session(a).unwrap(), 0);
+        // Freed capacity is reusable.
+        let c = server.create_session(0).unwrap();
+        assert!(matches!(server.close_session(a), Err(ServeError::UnknownSession(_))));
+        assert!(matches!(server.create_session(9), Err(ServeError::UnknownTenant(9))));
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn pump_executes_submitted_steps_and_matches_unbatched() {
+        let server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let n = 4;
+        let ids: Vec<SessionId> = (0..n).map(|_| server.create_session(0).unwrap()).collect();
+        let xs: Vec<Vec<f32>> = (0..n).map(|s| token(500 + s as u64, hidden)).collect();
+        let rxs: Vec<_> =
+            ids.iter().zip(&xs).map(|(&id, x)| server.submit_step(id, x).unwrap()).collect();
+        assert_eq!(server.pump(), n);
+        // Baseline: independent unbatched decoders over the same weights.
+        for ((rx, x), _id) in rxs.into_iter().zip(&xs).zip(&ids) {
+            let got = rx.recv().unwrap().unwrap();
+            let mut st = server.model().new_state(8);
+            let want = server.model().forward(&mut st, x, 1, &ThreadPool::new(2));
+            assert_eq!(got, want, "batched step must be bit-identical");
+        }
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.completed, n as u64);
+        assert_eq!(snap.max_batch_observed, n);
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn prefill_then_step_continues_the_stream() {
+        let server = tiny_server(ServerConfig::default());
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let prompt = token(1, hidden * 3);
+        let y = server.prefill(id, &prompt, 3).unwrap();
+        assert_eq!(y.len(), hidden * 3);
+        let rx = server.submit_step(id, &token(2, hidden)).unwrap();
+        assert_eq!(server.pump(), 1);
+        let stepped = rx.recv().unwrap().unwrap();
+        // Baseline continues from the same 3-token context.
+        let mut st = server.model().new_state(server.model().config().hidden * 4);
+        let pool = ThreadPool::new(2);
+        let _ = server.model().forward(&mut st, &prompt, 3, &pool);
+        let want = server.model().forward(&mut st, &token(2, hidden), 1, &pool);
+        assert_eq!(stepped, want);
+    }
+
+    #[test]
+    fn pipelined_steps_on_one_session_defer_not_error() {
+        // Two queued steps for the same session must both complete (the
+        // second rides the next batch), not error with UnknownSession.
+        let server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let x1 = token(21, hidden);
+        let rx1 = server.submit_step(id, &x1).unwrap();
+        let rx2 = server.submit_step(id, &token(22, hidden)).unwrap();
+        assert_eq!(server.pump(), 1, "first batch runs only the first step");
+        let y1 = rx1.recv().unwrap().unwrap();
+        assert_eq!(server.pump(), 1, "deferred step rides the next batch");
+        let y2 = rx2.recv().unwrap().unwrap();
+        assert_ne!(y1, y2);
+        // Both steps landed in the KV cache, in order.
+        let mut st = server.model().new_state(8);
+        let pool = ThreadPool::new(2);
+        let w1 = server.model().forward(&mut st, &x1, 1, &pool);
+        let w2 = server.model().forward(&mut st, &token(22, hidden), 1, &pool);
+        assert_eq!(y1, w1);
+        assert_eq!(y2, w2);
+    }
+
+    #[test]
+    fn backpressure_surfaces_to_submitter() {
+        let server = tiny_server(ServerConfig { queue_capacity: 2, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let x = token(3, hidden);
+        let _r1 = server.submit_step(id, &x).unwrap();
+        let _r2 = server.submit_step(id, &x).unwrap();
+        assert!(matches!(server.submit_step(id, &x), Err(ServeError::Backpressure { tenant: 0 })));
+        assert_eq!(server.stats().rejected_backpressure.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn kv_exhaustion_is_an_error_not_a_crash() {
+        let server = tiny_server(ServerConfig { kv_capacity: 2, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let _ = server.prefill(id, &token(4, hidden * 2), 2).unwrap();
+        // Prefill beyond capacity rejected up front.
+        assert!(matches!(
+            server.prefill(id, &token(5, hidden), 1),
+            Err(ServeError::KvExhausted { context: 2, capacity: 2 })
+        ));
+        // A queued step on a full session errors through the reply channel.
+        let rx = server.submit_step(id, &token(6, hidden)).unwrap();
+        server.pump();
+        assert!(matches!(rx.recv().unwrap(), Err(ServeError::KvExhausted { .. })));
+        // The session survives for inspection/closing.
+        assert_eq!(server.close_session(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_input_length_is_rejected() {
+        let server = tiny_server(ServerConfig::default());
+        let id = server.create_session(0).unwrap();
+        assert!(matches!(server.submit_step(id, &[1.0, 2.0]), Err(ServeError::BadInput { .. })));
+        assert!(matches!(server.prefill(id, &[1.0], 1), Err(ServeError::BadInput { .. })));
+    }
+
+    #[test]
+    fn background_batcher_serves_blocking_steps() {
+        let mut server = tiny_server(ServerConfig {
+            tenants: 2,
+            coalesce_wait: Duration::from_micros(100),
+            ..Default::default()
+        });
+        server.start();
+        let hidden = server.model().config().hidden;
+        let ids: Vec<SessionId> = (0..4).map(|s| server.create_session(s % 2).unwrap()).collect();
+        std::thread::scope(|scope| {
+            for (s, &id) in ids.iter().enumerate() {
+                let server = &server;
+                scope.spawn(move || {
+                    let x = token(900 + s as u64, hidden);
+                    for _ in 0..3 {
+                        let y = server.step(id, &x).unwrap();
+                        assert_eq!(y.len(), hidden);
+                    }
+                });
+            }
+        });
+        server.shutdown();
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.completed, 12);
+        assert!(matches!(
+            server.submit_step(ids[0], &token(1, hidden)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn warm_tuning_covers_decode_shapes() {
+        let server = tiny_server(ServerConfig::default());
+        let problems = server.decode_gemm_problems();
+        assert_eq!(problems.len(), 3, "h/h, ffn/h, h/ffn decode GEMMs");
+        let tuned = server.warm_tuning(&Platform::zen4(), 4);
+        assert_eq!(tuned, problems.len());
+        assert_eq!(server.tuning_db().len(), problems.len());
+        // Idempotent.
+        assert_eq!(server.warm_tuning(&Platform::zen4(), 4), 0);
+    }
+}

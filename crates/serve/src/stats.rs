@@ -1,0 +1,276 @@
+//! `ServerStats` — the serving runtime's metrics surface.
+//!
+//! Everything is atomics, so the hot path (batcher + client threads)
+//! records without locks; a [`ServerStats::snapshot`] folds the counters
+//! into human-facing rates and quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets (bucket i covers
+/// `[2^(i-1), 2^i)` microseconds; bucket 0 is `< 1 µs`).
+const LATENCY_BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram over microseconds.
+///
+/// Quantile answers are the upper edge of the containing bucket, i.e.
+/// within 2x of the true value — the fidelity latency SLOs actually need,
+/// at the cost of 40 counters and zero locks.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Upper-edge estimate of quantile `q` (`0.0..=1.0`) in microseconds.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i; // upper edge of bucket i
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
+/// A dense counting histogram over small integer values (batch sizes).
+#[derive(Debug)]
+pub struct CountHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl CountHistogram {
+    /// Histogram over values `0..=max_value` (larger values clamp).
+    pub fn new(max_value: usize) -> Self {
+        CountHistogram { buckets: (0..=max_value).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: usize) {
+        let i = value.min(self.buckets.len() - 1);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count at `value`.
+    pub fn count_at(&self, value: usize) -> u64 {
+        self.buckets.get(value).map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+
+    /// Largest value with a nonzero count.
+    pub fn max_observed(&self) -> usize {
+        (0..self.buckets.len())
+            .rev()
+            .find(|&i| self.buckets[i].load(Ordering::Relaxed) > 0)
+            .unwrap_or(0)
+    }
+
+    /// `(value, count)` pairs with nonzero counts.
+    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+}
+
+/// Live counters of a serving runtime.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    /// Step requests accepted into a queue.
+    pub submitted: AtomicU64,
+    /// Step requests completed (reply delivered).
+    pub completed: AtomicU64,
+    /// Rejections because the tenant's queue ring was full.
+    pub rejected_backpressure: AtomicU64,
+    /// Rejections because the session cap was reached.
+    pub rejected_sessions: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Prefill calls served.
+    pub prefills: AtomicU64,
+    /// Queue-to-reply latency of decode steps.
+    pub step_latency: LatencyHistogram,
+    /// Distribution of executed batch sizes.
+    pub batch_sizes: CountHistogram,
+}
+
+impl ServerStats {
+    /// Fresh stats; `max_batch` bounds the batch-size histogram.
+    pub fn new(max_batch: usize) -> Self {
+        ServerStats {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_backpressure: AtomicU64::new(0),
+            rejected_sessions: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            prefills: AtomicU64::new(0),
+            step_latency: LatencyHistogram::new(),
+            batch_sizes: CountHistogram::new(max_batch),
+        }
+    }
+
+    /// Folds the counters into a point-in-time summary.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        StatsSnapshot {
+            elapsed_s: elapsed,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected_backpressure: self.rejected_backpressure.load(Ordering::Relaxed),
+            rejected_sessions: self.rejected_sessions.load(Ordering::Relaxed),
+            batches,
+            prefills: self.prefills.load(Ordering::Relaxed),
+            tokens_per_s: completed as f64 / elapsed,
+            mean_batch: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            max_batch_observed: self.batch_sizes.max_observed(),
+            batch_distribution: self.batch_sizes.nonzero(),
+            p50_us: self.step_latency.quantile_us(0.50),
+            p99_us: self.step_latency.quantile_us(0.99),
+            mean_us: self.step_latency.mean_us(),
+        }
+    }
+}
+
+/// Point-in-time summary of [`ServerStats`].
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Seconds since server start.
+    pub elapsed_s: f64,
+    /// Steps accepted.
+    pub submitted: u64,
+    /// Steps completed.
+    pub completed: u64,
+    /// Backpressure rejections.
+    pub rejected_backpressure: u64,
+    /// Session-cap rejections.
+    pub rejected_sessions: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Prefills served.
+    pub prefills: u64,
+    /// Decode throughput (completed steps per second since start).
+    pub tokens_per_s: f64,
+    /// Mean executed batch size.
+    pub mean_batch: f64,
+    /// Largest executed batch.
+    pub max_batch_observed: usize,
+    /// `(batch size, count)` pairs.
+    pub batch_distribution: Vec<(usize, u64)>,
+    /// Median queue-to-reply step latency (µs, bucket upper edge).
+    pub p50_us: u64,
+    /// 99th percentile step latency (µs, bucket upper edge).
+    pub p99_us: u64,
+    /// Mean step latency (µs).
+    pub mean_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_us(0.5);
+        // 3rd of 5 sorted observations is 30 µs -> bucket upper edge 32.
+        assert!((30..=64).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((1000..=2048).contains(&p99), "p99 {p99}");
+        assert!((h.mean_us() - 220.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn count_histogram_tracks_max_and_distribution() {
+        let h = CountHistogram::new(8);
+        h.record(1);
+        h.record(4);
+        h.record(4);
+        h.record(100); // clamps to 8
+        assert_eq!(h.max_observed(), 8);
+        assert_eq!(h.count_at(4), 2);
+        assert_eq!(h.nonzero(), vec![(1, 1), (4, 2), (8, 1)]);
+    }
+
+    #[test]
+    fn snapshot_derives_rates() {
+        let s = ServerStats::new(4);
+        s.submitted.fetch_add(10, Ordering::Relaxed);
+        s.completed.fetch_add(10, Ordering::Relaxed);
+        s.batches.fetch_add(4, Ordering::Relaxed);
+        s.batch_sizes.record(2);
+        s.batch_sizes.record(4);
+        let snap = s.snapshot();
+        assert_eq!(snap.completed, 10);
+        assert_eq!(snap.max_batch_observed, 4);
+        assert!((snap.mean_batch - 2.5).abs() < 1e-12);
+        assert!(snap.tokens_per_s > 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` crate (this environment builds
+//! with no registry access; see `crates/shims/README.md`).
+//!
+//! Implements the subset the workspace's micro-benchmarks use —
+//! `benchmark_group` / `sample_size` / `throughput` / `bench_function` /
+//! `iter` plus the `criterion_group!` / `criterion_main!` macros — with a
+//! plain median-of-samples timer printing one line per benchmark. No
+//! statistics engine, no plots; the goal is that `cargo bench` runs and
+//! reports useful numbers, not criterion parity.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark (affects the printed rate).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (or flops) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to the bench closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count so one sample takes
+    /// roughly a millisecond, then recording `samples` medians.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt > 1e-3 || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 4;
+        }
+        let n_samples = self.samples.capacity().max(1);
+        for _ in 0..n_samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time (and rate, when a
+    /// throughput annotation is set).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size), iters_per_sample: 1 };
+        f(&mut b);
+        b.samples.sort_by(f64::total_cmp);
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or(f64::NAN);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>12.1} Melem/s", n as f64 / median / 1e6),
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 / median / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<32} {:>12.0} ns/iter{}", self.name, id, median * 1e9, rate);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver (the real criterion reads CLI args here; we don't).
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+    }
+}
+
+/// Mirrors `criterion::black_box` (stable `std::hint` version).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects bench functions under a group name, as the real macro does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0);
+        g.finish();
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for the `crossbeam` crate (this environment builds
+//! with no registry access; see `crates/shims/README.md`).
+//!
+//! Only the `channel` subset the workspace uses is provided, mapped onto
+//! `std::sync::mpsc` (whose `Sender` has been `Sync` and lock-free on the
+//! fast path since Rust 1.72 — it *is* a crossbeam-derived implementation).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel (crossbeam's `unbounded` signature).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn sender_is_sync_and_clonable_across_threads() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

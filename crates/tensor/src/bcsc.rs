@@ -76,15 +76,7 @@ impl<T: Element> BcscMatrix<T> {
             ptr.push(kidx.len());
         }
         let vals = AlignedVec::from_fn(blocks.len(), |i| T::from_f32(blocks[i]));
-        Ok(BcscMatrix {
-            rows,
-            cols,
-            bm,
-            bk,
-            ptr,
-            kidx,
-            vals,
-        })
+        Ok(BcscMatrix { rows, cols, bm, bk, ptr, kidx, vals })
     }
 
     /// Generates a random block-sparse matrix with the given fraction of
@@ -129,15 +121,7 @@ impl<T: Element> BcscMatrix<T> {
             ptr.push(count);
         }
         let vals = AlignedVec::from_fn(count * bm * bk, |_| T::from_f32(rng.next_f32() - 0.5));
-        Ok(BcscMatrix {
-            rows,
-            cols,
-            bm,
-            bk,
-            ptr,
-            kidx,
-            vals,
-        })
+        Ok(BcscMatrix { rows, cols, bm, bk, ptr, kidx, vals })
     }
 
     /// Logical row count (`M`).
@@ -242,7 +226,7 @@ mod tests {
         let mut d = vec![0.0f32; rows * cols];
         for c in 0..cols {
             for r in 0..rows {
-                if (r / bm + c / bk) % 2 == 0 {
+                if (r / bm + c / bk).is_multiple_of(2) {
                     d[c * rows + r] = (r * cols + c) as f32 + 1.0;
                 }
             }

@@ -58,15 +58,7 @@ impl<T: Element> BlockedMatrix<T> {
         if let InnerLayout::Vnni(v) = inner {
             check_block("block-rows (vnni)", br, v)?;
         }
-        Ok(BlockedMatrix {
-            data: AlignedVec::zeroed(rows * cols),
-            rows,
-            cols,
-            br,
-            bc,
-            grid,
-            inner,
-        })
+        Ok(BlockedMatrix { data: AlignedVec::zeroed(rows * cols), rows, cols, br, bc, grid, inner })
     }
 
     /// GEMM `A` operand: `M x K` blocked `bm x bk`, grid `[Mb][Kb]`.

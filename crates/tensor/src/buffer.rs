@@ -61,9 +61,7 @@ impl<T: Copy + Default> AlignedVec<T> {
     }
 
     fn layout(len: usize) -> Layout {
-        let bytes = len
-            .checked_mul(std::mem::size_of::<T>())
-            .expect("AlignedVec: size overflow");
+        let bytes = len.checked_mul(std::mem::size_of::<T>()).expect("AlignedVec: size overflow");
         Layout::from_size_align(bytes, TENSOR_ALIGN.max(std::mem::align_of::<T>()))
             .expect("AlignedVec: invalid layout")
     }

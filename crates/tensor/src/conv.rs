@@ -102,21 +102,20 @@ pub struct ActTensor<T> {
 
 impl<T: Element> ActTensor<T> {
     /// Zeroed activation tensor; `pad` rows/cols of physical zero padding.
-    pub fn new(n: usize, c: usize, h: usize, w: usize, bc: usize, pad: usize) -> Result<Self, TensorError> {
+    pub fn new(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        bc: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
         check_block("C", c, bc)?;
         if n == 0 || h == 0 || w == 0 {
             return Err(TensorError::ZeroDim("activation"));
         }
         let (hp, wp) = (h + 2 * pad, w + 2 * pad);
-        Ok(ActTensor {
-            data: AlignedVec::zeroed(n * c * hp * wp),
-            n,
-            c,
-            h,
-            w,
-            bc,
-            pad,
-        })
+        Ok(ActTensor { data: AlignedVec::zeroed(n * c * hp * wp), n, c, h, w, bc, pad })
     }
 
     /// Minibatch extent.
@@ -172,16 +171,14 @@ impl<T: Element> ActTensor<T> {
     /// Read logical element `(n, ch, y, x)` in unpadded coordinates.
     #[inline(always)]
     pub fn get(&self, ni: usize, ch: usize, y: usize, x: usize) -> T {
-        let off =
-            self.offset_padded(ni, ch / self.bc, y + self.pad, x + self.pad) + ch % self.bc;
+        let off = self.offset_padded(ni, ch / self.bc, y + self.pad, x + self.pad) + ch % self.bc;
         self.data[off]
     }
 
     /// Write logical element `(n, ch, y, x)` in unpadded coordinates.
     #[inline(always)]
     pub fn set(&mut self, ni: usize, ch: usize, y: usize, x: usize, v: T) {
-        let off =
-            self.offset_padded(ni, ch / self.bc, y + self.pad, x + self.pad) + ch % self.bc;
+        let off = self.offset_padded(ni, ch / self.bc, y + self.pad, x + self.pad) + ch % self.bc;
         self.data[off] = v;
     }
 
@@ -257,21 +254,20 @@ pub struct ConvWeights<T> {
 
 impl<T: Element> ConvWeights<T> {
     /// Zeroed weight tensor.
-    pub fn new(c: usize, k: usize, r: usize, s: usize, bc: usize, bk: usize) -> Result<Self, TensorError> {
+    pub fn new(
+        c: usize,
+        k: usize,
+        r: usize,
+        s: usize,
+        bc: usize,
+        bk: usize,
+    ) -> Result<Self, TensorError> {
         check_block("C", c, bc)?;
         check_block("K", k, bk)?;
         if r == 0 || s == 0 {
             return Err(TensorError::ZeroDim("filter"));
         }
-        Ok(ConvWeights {
-            data: AlignedVec::zeroed(c * k * r * s),
-            c,
-            k,
-            r,
-            s,
-            bc,
-            bk,
-        })
+        Ok(ConvWeights { data: AlignedVec::zeroed(c * k * r * s), c, k, r, s, bc, bk })
     }
 
     /// Input feature extent.
@@ -309,9 +305,7 @@ impl<T: Element> ConvWeights<T> {
     /// matrix, the BRGEMM `A` block of Listing 4.
     #[inline(always)]
     pub fn block_offset(&self, kb: usize, cb: usize, ri: usize, si: usize) -> usize {
-        debug_assert!(
-            kb < self.k / self.bk && cb < self.c / self.bc && ri < self.r && si < self.s
-        );
+        debug_assert!(kb < self.k / self.bk && cb < self.c / self.bc && ri < self.r && si < self.s);
         (((kb * (self.c / self.bc) + cb) * self.r + ri) * self.s + si) * self.bc * self.bk
     }
 
@@ -422,7 +416,7 @@ mod tests {
         .unwrap();
         // Element (ci=3, ko=4, r=1, s=2): block (kb=1, cb=1), inner (ci%2=1, ko%3=1)
         // -> offset block + 1*3 + 1.
-        let off = w.block_offset(1, 1, 1, 2) + 1 * 3 + 1;
+        let off = w.block_offset(1, 1, 1, 2) + 3 + 1; // inner (1, 1) at ld 3
         assert_eq!(w.data()[off], 3412.0);
         assert_eq!(w.get(3, 4, 1, 2), 3412.0);
     }
@@ -445,19 +439,8 @@ mod tests {
     fn rejects_invalid_shapes() {
         assert!(ActTensor::<f32>::new(1, 5, 4, 4, 4, 0).is_err());
         assert!(ConvWeights::<f32>::new(4, 5, 3, 3, 4, 4).is_err());
-        let bad = ConvShape {
-            n: 1,
-            c: 4,
-            k: 4,
-            h: 4,
-            w: 4,
-            r: 3,
-            s: 3,
-            stride: 0,
-            pad: 1,
-            bc: 4,
-            bk: 4,
-        };
+        let bad =
+            ConvShape { n: 1, c: 4, k: 4, h: 4, w: 4, r: 3, s: 3, stride: 0, pad: 1, bc: 4, bk: 4 };
         assert!(bad.validate().is_err());
     }
 }

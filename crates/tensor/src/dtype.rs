@@ -54,9 +54,7 @@ impl fmt::Display for DType {
 /// All arithmetic in the TPP back-end converts through `f32`, mirroring the
 /// F32-accumulate semantics of the low-precision FMA/AMX/MMLA instructions
 /// the paper targets.
-pub trait Element:
-    Copy + Clone + Default + Send + Sync + PartialEq + fmt::Debug + 'static
-{
+pub trait Element: Copy + Clone + Default + Send + Sync + PartialEq + fmt::Debug + 'static {
     /// Runtime tag for this type.
     const DTYPE: DType;
 
@@ -194,10 +192,7 @@ mod tests {
     fn bf16_preserves_specials() {
         assert!(Bf16::from_f32_rne(f32::NAN).to_f32_exact().is_nan());
         assert_eq!(Bf16::from_f32_rne(f32::INFINITY).to_f32_exact(), f32::INFINITY);
-        assert_eq!(
-            Bf16::from_f32_rne(f32::NEG_INFINITY).to_f32_exact(),
-            f32::NEG_INFINITY
-        );
+        assert_eq!(Bf16::from_f32_rne(f32::NEG_INFINITY).to_f32_exact(), f32::NEG_INFINITY);
         // Sign of zero survives.
         assert!(Bf16::from_f32_rne(-0.0).to_f32_exact().is_sign_negative());
     }

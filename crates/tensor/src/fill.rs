@@ -14,9 +14,7 @@ impl Xorshift {
     /// Creates a generator; a zero seed is remapped to a fixed constant
     /// (xorshift has a zero fixpoint).
     pub fn new(seed: u64) -> Self {
-        Xorshift {
-            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
-        }
+        Xorshift { state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed } }
     }
 
     /// Next 64 random bits.

@@ -18,6 +18,9 @@
 //!   `K x N` matrix becomes `[Nb][K/v][bn][v]` — the layout consumed by
 //!   AVX512-BF16 / AMX / SVE-MMLA style accumulation.
 
+// Seed layout keeps private helpers below each file's test module.
+#![allow(clippy::items_after_test_module)]
+
 pub mod bcsc;
 pub mod blocked;
 pub mod buffer;
@@ -76,11 +79,15 @@ impl std::fmt::Display for TensorError {
 impl std::error::Error for TensorError {}
 
 /// Checks `extent % block == 0` and both non-zero, the common constructor guard.
-pub(crate) fn check_block(dim: &'static str, extent: usize, block: usize) -> Result<(), TensorError> {
+pub(crate) fn check_block(
+    dim: &'static str,
+    extent: usize,
+    block: usize,
+) -> Result<(), TensorError> {
     if extent == 0 || block == 0 {
         return Err(TensorError::ZeroDim(dim));
     }
-    if extent % block != 0 {
+    if !extent.is_multiple_of(block) {
         return Err(TensorError::NotDivisible { dim, extent, block });
     }
     Ok(())

@@ -26,13 +26,7 @@ impl<T: Element> VnniMatrix<T> {
     pub fn new(rows: usize, cols: usize, bn: usize, v: usize) -> Result<Self, TensorError> {
         check_block("rows (vnni)", rows, v)?;
         check_block("cols", cols, bn)?;
-        Ok(VnniMatrix {
-            data: AlignedVec::zeroed(rows * cols),
-            rows,
-            cols,
-            bn,
-            v,
-        })
+        Ok(VnniMatrix { data: AlignedVec::zeroed(rows * cols), rows, cols, bn, v })
     }
 
     /// Logical row count.

@@ -49,30 +49,12 @@ impl BrgemmDesc {
     /// Plain GEMM-shaped descriptor with tight leading dimensions and
     /// `beta = 1` (the paper's kernels zero `C` explicitly via `zero_tpp`).
     pub fn blocked(m: usize, n: usize, k: usize) -> Self {
-        BrgemmDesc {
-            m,
-            n,
-            k,
-            lda: m,
-            ldb: k,
-            ldc: m,
-            beta_one: true,
-            b_vnni: None,
-        }
+        BrgemmDesc { m, n, k, lda: m, ldb: k, ldc: m, beta_one: true, b_vnni: None }
     }
 
     /// Same but with VNNI-packed B.
     pub fn blocked_vnni(m: usize, n: usize, k: usize, v: usize) -> Self {
-        BrgemmDesc {
-            m,
-            n,
-            k,
-            lda: m,
-            ldb: n,
-            ldc: m,
-            beta_one: true,
-            b_vnni: Some(v),
-        }
+        BrgemmDesc { m, n, k, lda: m, ldb: n, ldc: m, beta_one: true, b_vnni: Some(v) }
     }
 
     fn validate(&self) {
@@ -82,7 +64,11 @@ impl BrgemmDesc {
         match self.b_vnni {
             None => assert!(self.ldb >= self.k, "ldb {} < k {}", self.ldb, self.k),
             Some(v) => {
-                assert!(v > 0 && self.k % v == 0, "k {} not divisible by vnni {v}", self.k);
+                assert!(
+                    v > 0 && self.k.is_multiple_of(v),
+                    "k {} not divisible by vnni {v}",
+                    self.k
+                );
                 assert!(self.ldb >= self.n, "vnni ldb {} < n {}", self.ldb, self.n);
             }
         }
@@ -469,9 +455,9 @@ mod tests {
             (8, 4, 8, 1),
             (8, 4, 8, 4),
             (16, 16, 32, 2),
-            (7, 5, 3, 2),   // edge tiles everywhere
-            (9, 6, 10, 3),  // mixed full/edge
-            (1, 1, 1, 1),   // degenerate
+            (7, 5, 3, 2),  // edge tiles everywhere
+            (9, 6, 10, 3), // mixed full/edge
+            (1, 1, 1, 1),  // degenerate
             (32, 32, 64, 1),
         ] {
             run_case(m, n, k, br, true);
@@ -599,10 +585,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "lda")]
     fn rejects_bad_leading_dim() {
-        let _ = Brgemm::<f32, f32, f32>::new(BrgemmDesc {
-            lda: 4,
-            ..BrgemmDesc::blocked(8, 8, 8)
-        });
+        let _ = Brgemm::<f32, f32, f32>::new(BrgemmDesc { lda: 4, ..BrgemmDesc::blocked(8, 8, 8) });
     }
 
     #[test]

@@ -27,11 +27,7 @@ pub fn dropout<TI: Element, TO: Element>(
         for r in 0..m {
             let keep = rng.next_f32() >= p;
             mask[c * m + r] = keep as u8;
-            let v = if keep {
-                input[c * ldi + r].to_f32() * scale
-            } else {
-                0.0
-            };
+            let v = if keep { input[c * ldi + r].to_f32() * scale } else { 0.0 };
             out[c * ldo + r] = TO::from_f32(v);
         }
     }
@@ -52,11 +48,7 @@ pub fn dropout_backward<TI: Element, TO: Element>(
     let scale = 1.0 / (1.0 - p);
     for c in 0..n {
         for r in 0..m {
-            let v = if mask[c * m + r] != 0 {
-                dy[c * ldi + r].to_f32() * scale
-            } else {
-                0.0
-            };
+            let v = if mask[c * m + r] != 0 { dy[c * ldi + r].to_f32() * scale } else { 0.0 };
             dx[c * ldo + r] = TO::from_f32(v);
         }
     }

@@ -168,9 +168,8 @@ mod tests {
 
         // Flat reference per token.
         for t in 0..s2 {
-            let feats: Vec<f32> = (0..nk * bk)
-                .map(|f| x[((f / bk) * s2 + t) * bk + f % bk])
-                .collect();
+            let feats: Vec<f32> =
+                (0..nk * bk).map(|f| x[((f / bk) * s2 + t) * bk + f % bk]).collect();
             let mu: f32 = feats.iter().sum::<f32>() / feats.len() as f32;
             let var: f32 =
                 feats.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / feats.len() as f32;
@@ -209,7 +208,17 @@ mod tests {
         let mut dgamma = vec![0.0f32; total];
         let mut dbeta = vec![0.0f32; total];
         layernorm_blocked_backward(
-            nk, s2, bk, &x, &dy, &gamma, &mean, &rstd, &mut dx, &mut dgamma, &mut dbeta,
+            nk,
+            s2,
+            bk,
+            &x,
+            &dy,
+            &gamma,
+            &mean,
+            &rstd,
+            &mut dx,
+            &mut dgamma,
+            &mut dbeta,
         );
         for i in 0..total {
             let h = 1e-2;

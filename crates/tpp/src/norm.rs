@@ -84,7 +84,13 @@ pub fn layernorm_backward<TI: Element, TG: Element, TO: Element>(
 mod tests {
     use super::*;
 
-    fn run_fwd(x: &[f32], m: usize, n: usize, gamma: &[f32], beta: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    fn run_fwd(
+        x: &[f32],
+        m: usize,
+        n: usize,
+        gamma: &[f32],
+        beta: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
         let mut y = vec![0.0f32; m * n];
         let mut mean = vec![0.0f32; n];
         let mut rstd = vec![0.0f32; n];
@@ -153,7 +159,19 @@ mod tests {
         let mut dgamma = vec![0.0f32; m];
         let mut dbeta = vec![0.0f32; m];
         layernorm_backward(
-            m, 1, &x, m, &dy, m, &gamma, &mean, &rstd, &mut dx, m, &mut dgamma, &mut dbeta,
+            m,
+            1,
+            &x,
+            m,
+            &dy,
+            m,
+            &gamma,
+            &mean,
+            &rstd,
+            &mut dx,
+            m,
+            &mut dgamma,
+            &mut dbeta,
         );
         let h = 1e-2;
         for i in 0..m {

@@ -91,10 +91,7 @@ pub fn col_mean_var<TI: Element>(
 pub fn total_sum<TI: Element>(m: usize, n: usize, input: &[TI], ldi: usize) -> f32 {
     let mut s = 0.0f64;
     for c in 0..n {
-        s += input[c * ldi..c * ldi + m]
-            .iter()
-            .map(|v| v.to_f32() as f64)
-            .sum::<f64>();
+        s += input[c * ldi..c * ldi + m].iter().map(|v| v.to_f32() as f64).sum::<f64>();
     }
     s as f32
 }

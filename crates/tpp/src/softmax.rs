@@ -75,11 +75,7 @@ pub fn softmax_cols_backward<TY: Element, TG: Element, TO: Element>(
     for c in 0..n {
         let ycol = &y[c * ldy..c * ldy + m];
         let gcol = &dy[c * ldg..c * ldg + m];
-        let dot: f32 = ycol
-            .iter()
-            .zip(gcol)
-            .map(|(a, b)| a.to_f32() * b.to_f32())
-            .sum();
+        let dot: f32 = ycol.iter().zip(gcol).map(|(a, b)| a.to_f32() * b.to_f32()).sum();
         for r in 0..m {
             let v = ycol[r].to_f32() * (gcol[r].to_f32() - dot);
             dx[c * ldo + r] = TO::from_f32(v);

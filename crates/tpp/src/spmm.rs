@@ -29,10 +29,7 @@ impl BcscSpmm {
     /// Creates the kernel handle; `bm * bn` must fit the accumulator tile.
     pub fn new(bm: usize, bk: usize, bn: usize) -> Self {
         assert!(bm > 0 && bk > 0 && bn > 0);
-        assert!(
-            bm * bn <= MAX_TILE,
-            "output tile {bm}x{bn} exceeds accumulator capacity"
-        );
+        assert!(bm * bn <= MAX_TILE, "output tile {bm}x{bn} exceeds accumulator capacity");
         BcscSpmm { bm, bk, bn }
     }
 

@@ -20,15 +20,8 @@ fn main() {
     let shape = GemmShape::with_default_blocks(m, n, k);
     let pool = global_pool();
     let host = Platform::generic_host(pool.nthreads());
-    let problem = GemmProblem {
-        m,
-        n,
-        k,
-        bm: shape.bm,
-        bn: shape.bn,
-        bk: shape.bk,
-        dtype: DType::F32,
-    };
+    let problem =
+        GemmProblem { m, n, k, bm: shape.bm, bn: shape.bn, bk: shape.bk, dtype: DType::F32 };
 
     // Phase 1: offline, model-based search (cross-platform capable).
     let constraints = Constraints::gemm(1, 2, 2, 200);

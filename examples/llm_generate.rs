@@ -25,10 +25,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut state = decoder.prefill(&x, prompt, pool);
     let t_first = t0.elapsed().as_secs_f64();
-    println!(
-        "prefill {prompt} tokens: {:.2} ms (first-token latency)",
-        t_first * 1e3
-    );
+    println!("prefill {prompt} tokens: {:.2} ms (first-token latency)", t_first * 1e3);
 
     let mut next_times = Vec::new();
     for i in 0..generate {

@@ -61,11 +61,7 @@ fn main() {
     // Correctness spot-check against a scalar reference.
     let got = c.unpack_to_colmajor();
     let want = pl_kernels::gemm::reference_gemm(&a_cm, &b_cm, m, n, k);
-    let max_err = got
-        .iter()
-        .zip(&want)
-        .map(|(g, w)| (g - w).abs())
-        .fold(0.0f32, f32::max);
+    let max_err = got.iter().zip(&want).map(|(g, w)| (g - w).abs()).fold(0.0f32, f32::max);
     println!("max |err| vs reference = {max_err:.2e}");
     assert!(max_err < 1e-2);
 

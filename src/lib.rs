@@ -12,6 +12,8 @@
 //! * [`pl_dnn`] — BERT, sparse BERT, LLM decoding, ResNet-50 pieces
 //! * [`pl_perfmodel`] — platform models + the §II-E cache simulator
 //! * [`pl_autotuner`] — spec-string generation, search, tuning DB
+//! * [`pl_serve`] — multi-tenant dynamically-batched inference serving
+//!   (sessions, fair admission, PAR-MODE batch execution, metrics)
 
 pub use parlooper;
 pub use pl_autotuner;
@@ -19,5 +21,6 @@ pub use pl_dnn;
 pub use pl_kernels;
 pub use pl_perfmodel;
 pub use pl_runtime;
+pub use pl_serve;
 pub use pl_tensor;
 pub use pl_tpp;

@@ -7,10 +7,7 @@ use pl_kernels::{Gemm, GemmShape, GemmTuning};
 use pl_runtime::ThreadPool;
 use pl_tensor::{fill_uniform, BlockedMatrix, Xorshift};
 
-fn problem(
-    sh: GemmShape,
-    seed: u64,
-) -> (BlockedMatrix<f32>, BlockedMatrix<f32>, Vec<f32>) {
+fn problem(sh: GemmShape, seed: u64) -> (BlockedMatrix<f32>, BlockedMatrix<f32>, Vec<f32>) {
     let mut rng = Xorshift::new(seed);
     let mut a_cm = vec![0.0f32; sh.m * sh.k];
     let mut b_cm = vec![0.0f32; sh.k * sh.n];
@@ -120,8 +117,8 @@ fn bf16_matches_quantized_reference_end_to_end() {
     b.pack_from_colmajor(&b_cm);
     let c_ref = reference_gemm(&a.unpack_to_colmajor(), &b.unpack_to_colmajor(), sh.m, sh.n, sh.k);
 
-    let gemm = Gemm::<Bf16, Bf16, f32>::new_vnni(sh, GemmTuning::default_parallel(sh.kb()), 2)
-        .unwrap();
+    let gemm =
+        Gemm::<Bf16, Bf16, f32>::new_vnni(sh, GemmTuning::default_parallel(sh.kb()), 2).unwrap();
     let mut c = BlockedMatrix::<f32>::c_layout(sh.m, sh.n, sh.bm, sh.bn).unwrap();
     gemm.execute(&a, &b, &mut c, &pool).unwrap();
     let got = c.unpack_to_colmajor();

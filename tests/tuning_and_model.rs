@@ -53,10 +53,7 @@ fn modeled_winner_beats_pathological_schedule_when_measured() {
     // Pathological: fully sequential on a 2-thread pool (replicated work).
     let seq_pool = ThreadPool::new(2);
     let seq_time = time_spec(GemmTuning::simple("abc"), &seq_pool);
-    assert!(
-        best_time < seq_time,
-        "tuned {best_time}s not faster than sequential {seq_time}s"
-    );
+    assert!(best_time < seq_time, "tuned {best_time}s not faster than sequential {seq_time}s");
 }
 
 #[test]

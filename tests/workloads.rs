@@ -23,10 +23,7 @@ fn bert_fine_tuning_converges() {
     }
     // The output is layernormed and the LN affine params are frozen, so a
     // random target cannot be fit exactly; require a clear downward trend.
-    assert!(
-        last < 0.9 * first,
-        "fine-tuning failed to converge: {first} -> {last}"
-    );
+    assert!(last < 0.9 * first, "fine-tuning failed to converge: {first} -> {last}");
 }
 
 #[test]
@@ -120,8 +117,7 @@ fn batchnorm_composes_with_conv() {
     use pl_tensor::ActTensor;
     let pool = ThreadPool::new(2);
     let mut rng = Xorshift::new(41);
-    let x = ActTensor::<f32>::from_fn(2, 8, 6, 6, 4, 0, |_, _, _, _| rng.next_f32() * 2.0)
-        .unwrap();
+    let x = ActTensor::<f32>::from_fn(2, 8, 6, 6, 4, 0, |_, _, _, _| rng.next_f32() * 2.0).unwrap();
     let bn = BatchNorm::new(8);
     let mut y = ActTensor::<f32>::new(2, 8, 6, 6, 4, 0).unwrap();
     let _ = bn.forward(&x, &mut y, &pool);
