@@ -15,8 +15,11 @@ pub struct DbEntry {
     pub score: f64,
 }
 
-/// In-memory tuning database with text-file persistence.
-#[derive(Debug, Default)]
+/// In-memory tuning database with text-file persistence. `Clone` takes a
+/// point-in-time snapshot — consumers (e.g. the kernel-selection registry
+/// in `pl_dnn`) hold an immutable copy while the warmer keeps extending
+/// the original.
+#[derive(Debug, Default, Clone)]
 pub struct TuningDb {
     entries: HashMap<String, DbEntry>,
 }
@@ -30,6 +33,11 @@ impl TuningDb {
     /// Canonical key for a GEMM problem on a platform.
     pub fn gemm_key(platform: &str, m: usize, n: usize, k: usize, dtype: &str) -> String {
         format!("gemm/{platform}/{m}x{n}x{k}/{dtype}")
+    }
+
+    /// Canonical key for a Block-SpMM problem on a platform.
+    pub fn spmm_key(platform: &str, m: usize, n: usize, k: usize, dtype: &str) -> String {
+        format!("spmm/{platform}/{m}x{n}x{k}/{dtype}")
     }
 
     /// Inserts or replaces an entry.
@@ -99,6 +107,25 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded.get(&k1).unwrap().spec, "bcaBCb");
         assert!((loaded.get(&k1).unwrap().score - 40321.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut db = TuningDb::new();
+        db.put("k1", DbEntry { spec: "abc".into(), score: 1.0 });
+        let snap = db.clone();
+        db.put("k2", DbEntry { spec: "bca".into(), score: 2.0 });
+        assert_eq!(snap.len(), 1);
+        assert_eq!(db.len(), 2);
+        assert_eq!(snap.get("k1").unwrap().spec, "abc");
+    }
+
+    #[test]
+    fn spmm_and_gemm_keys_are_disjoint() {
+        assert_ne!(
+            TuningDb::gemm_key("Zen4", 8, 8, 8, "f32"),
+            TuningDb::spmm_key("Zen4", 8, 8, 8, "f32")
+        );
     }
 
     #[test]

@@ -129,6 +129,24 @@ pub fn tune_gemm_measured(
     finish(evaluated, t0)
 }
 
+/// A power-of-two width ladder: `1, 2, 4, ...` up to `max`, plus `max`
+/// itself when it is not a power of two. Serving runtimes warm the
+/// N-dimension variants of their per-layer GEMMs on this schedule for
+/// widths too numerous to enumerate (prompt lengths); consumers round a
+/// missed width up to the next rung to reuse the nearest warmed spec.
+pub fn batch_ladder(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut b = 1usize;
+    while b <= max {
+        out.push(b);
+        b *= 2;
+    }
+    if *out.last().unwrap_or(&0) != max && max > 0 {
+        out.push(max);
+    }
+    out
+}
+
 /// Warms a [`TuningDb`] with the model-based winners for a set of GEMM
 /// problems on one platform — the serving runtime calls this at startup for
 /// every shape its batcher can produce, so steady-state traffic never pays
@@ -224,6 +242,15 @@ mod tests {
         assert!(entry.score > 0.0);
         // Re-warming is a no-op.
         assert_eq!(warm_gemm_db(&mut db, &[p], &c, &platform, 8), 0);
+    }
+
+    #[test]
+    fn batch_ladder_covers_powers_and_ragged_max() {
+        assert_eq!(batch_ladder(0), Vec::<usize>::new());
+        assert_eq!(batch_ladder(1), vec![1]);
+        assert_eq!(batch_ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(batch_ladder(6), vec![1, 2, 4, 6]);
+        assert_eq!(batch_ladder(13), vec![1, 2, 4, 8, 13]);
     }
 
     #[test]

@@ -1,12 +1,17 @@
-//! Serving throughput: the pl-serve dynamic batcher vs unbatched decode.
+//! Serving throughput: the pl-serve dynamic batcher vs unbatched decode,
+//! serial vs fused batch execution.
 //!
 //! N closed-loop client sessions decode through the server at several
 //! `max_batch` settings (1 disables coalescing — every step is its own
-//! parallel region). Reported: decode steps/s, mean executed batch,
+//! parallel region), in both batch-execution modes: **serial** (each
+//! session's step runs whole inside the region; B `hidden x 1` GEMVs per
+//! layer) and **fused** (`ServerConfig::fused`: one `hidden x B` GEMM per
+//! layer projection). Reported: decode steps/s, mean executed batch,
 //! p50/p99 queue-to-reply latency. The batched rows amortize region
-//! broadcasts and keep the team busy across sessions (PAR-MODE dynamic
-//! scheduling at the request level), which is where the throughput
-//! headroom over row one comes from.
+//! broadcasts (PAR-MODE dynamic scheduling at the request level); the
+//! fused rows additionally raise decode arithmetic intensity from O(1)
+//! to O(B) — the throughput lever the paper's BRGEMM design exists for,
+//! which is where the fused-over-serial headroom at B >= 4 comes from.
 
 use pl_bench::{f1, f2, header, row};
 use pl_dnn::{DecoderConfig, DecoderModel};
@@ -20,7 +25,7 @@ const SESSIONS: usize = 8;
 const STEPS: usize = 32;
 const KV: usize = 64;
 
-fn drive(max_batch: usize, model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) -> Vec<String> {
+fn drive(max_batch: usize, fused: bool, model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) -> f64 {
     let cfg = model.config();
     let hidden = cfg.hidden;
     let mut server = Server::new(
@@ -31,6 +36,7 @@ fn drive(max_batch: usize, model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) ->
             max_batch,
             kv_capacity: KV,
             coalesce_wait: Duration::from_millis(1),
+            fused,
             ..Default::default()
         },
     );
@@ -51,14 +57,16 @@ fn drive(max_batch: usize, model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) ->
     });
     let snap = server.stats().snapshot();
     server.shutdown();
-    vec![
+    row(&[
         max_batch.to_string(),
+        if fused { "fused" } else { "serial" }.to_string(),
         f1(snap.tokens_per_s),
         f2(snap.mean_batch),
         snap.max_batch_observed.to_string(),
         snap.p50_us.to_string(),
         snap.p99_us.to_string(),
-    ]
+    ]);
+    snap.tokens_per_s
 }
 
 fn main() {
@@ -69,9 +77,16 @@ fn main() {
             "pl-serve decode throughput ({SESSIONS} sessions x {STEPS} steps, {} threads) [measured]",
             pool.nthreads()
         ),
-        &["max_batch", "steps/s", "mean batch", "max batch", "p50 us", "p99 us"],
+        &["max_batch", "mode", "steps/s", "mean batch", "max batch", "p50 us", "p99 us"],
     );
+    let mut serial_at_max = 0.0;
+    let mut fused_at_max = 0.0;
     for max_batch in [1usize, 2, 4, 8] {
-        row(&drive(max_batch, &model, &pool));
+        serial_at_max = drive(max_batch, false, &model, &pool);
+        fused_at_max = drive(max_batch, true, &model, &pool);
     }
+    println!(
+        "\nfused/serial speedup at max_batch=8: {:.2}x",
+        fused_at_max / serial_at_max.max(1e-9)
+    );
 }

@@ -13,12 +13,17 @@
 //! * [`resnet`] — the Fig. 7 convolution shape table, batchnorm (fwd/bwd)
 //!   and pooling for ResNet-50 training (Table II).
 //! * [`matmul`] — the flat-matrix bridge onto the PARLOOPER GEMM kernel.
+//! * [`tuning`] — process-wide consumption of the offline tuning DB: the
+//!   matmul/SpMM bridges resolve their `loop_spec_string` through an
+//!   installed [`pl_autotuner::TuningDb`] snapshot, falling back to the
+//!   built-in `default_parallel` specs.
 
 pub mod bert;
 pub mod llm;
 pub mod matmul;
 pub mod resnet;
 pub mod sparse_bert;
+pub mod tuning;
 
 pub use bert::{BertConfig, BertEncoder, BertLayer};
 pub use llm::{Decoder, DecoderConfig, DecoderModel, DecoderState};

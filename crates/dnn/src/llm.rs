@@ -18,9 +18,24 @@
 //! ([`DecoderModel::step_batch`]) that coalesces many sessions' next-token
 //! computations into a single parallel region. [`Decoder`] remains the
 //! convenience single-stream wrapper over the pair.
+//!
+//! ## Serial vs fused batched decode
+//!
+//! [`DecoderModel::step_batch`] runs each session's step *serially* inside
+//! the region — bit-identical to unbatched decode, but every layer
+//! executes B rank-deficient `hidden x 1` GEMVs (the memory-bound shape
+//! the paper's Fig. 11 next-token row measures).
+//! [`DecoderModel::step_batch_fused`] instead gathers the B token vectors
+//! into one `hidden x B` activation matrix and runs each layer's
+//! QKV/output/FFN projections as single `hidden x B` GEMMs — every weight
+//! element loaded once serves B tokens, turning decode arithmetic
+//! intensity from O(1) to O(B). Attention stays per-session against each
+//! session's own KV cache (ragged context lengths are fine), batched over
+//! sessions inside one parallel region. Fused outputs agree with serial
+//! ones to floating-point reassociation tolerance, not bitwise.
 
 use crate::matmul::{matmul, Trans};
-use pl_runtime::{DynamicQueue, ThreadPool};
+use pl_runtime::ThreadPool;
 use pl_tensor::Xorshift;
 use pl_tpp::{norm, softmax, unary};
 use std::sync::{Arc, Mutex};
@@ -236,13 +251,12 @@ impl DecoderModel {
     ) -> Vec<Vec<f32>> {
         let n = batch.len();
         // Hand each slot to exactly one claiming thread. The per-item
-        // mutexes are uncontended (the dynamic queue assigns every index
+        // mutexes are uncontended (the dynamic schedule assigns every index
         // once); they only launder the &mut across the team.
         let slots: Vec<BatchSlot<'_, '_>> =
             batch.into_iter().map(|item| Mutex::new(Some(item))).collect();
         let outs: Vec<Mutex<Vec<f32>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let queue = DynamicQueue::new(n, 1);
-        pool.parallel_drain(&queue, |i| {
+        pool.parallel_tasks(n, |i| {
             let (state, x) = slots[i].lock().unwrap().take().expect("slot claimed once");
             // Nested pool calls inside the region serialize, so the
             // per-session compute is deterministic and identical to the
@@ -251,6 +265,138 @@ impl DecoderModel {
             *outs[i].lock().unwrap() = y;
         });
         outs.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    }
+
+    /// One decode step for each of `batch` independent sessions with the
+    /// per-layer projections **fused across sessions**: the B token
+    /// vectors are gathered into one `hidden x B` activation matrix and
+    /// every layer's QKV, output and FFN projections run as single
+    /// `hidden x B` GEMMs (weight reuse of B instead of 1 — the
+    /// arithmetic-intensity lever batched serving exists for). Attention
+    /// runs per-session against each session's own KV cache — ragged
+    /// context lengths across the batch are fine — batched over sessions
+    /// inside one parallel region.
+    ///
+    /// Entries are `(state, x)` exactly as in [`DecoderModel::step_batch`];
+    /// returns the per-session outputs in input order. Outputs agree with
+    /// the serial path to floating-point reassociation tolerance (the
+    /// per-element reduction shapes change), **not** bitwise — callers
+    /// that need bit-identity with unbatched decode must use
+    /// [`DecoderModel::step_batch`].
+    pub fn step_batch_fused(
+        &self,
+        batch: Vec<(&mut DecoderState, &[f32])>,
+        pool: &ThreadPool,
+    ) -> Vec<Vec<f32>> {
+        let b = batch.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let h = self.cfg.hidden;
+        // Gather: column s of the activation matrix is session s's token.
+        let mut x = vec![0.0f32; h * b];
+        let mut states: Vec<Mutex<&mut DecoderState>> = Vec::with_capacity(b);
+        for (s, (state, xs)) in batch.into_iter().enumerate() {
+            assert_eq!(xs.len(), h, "session {s}: input must be `hidden` values");
+            x[s * h..(s + 1) * h].copy_from_slice(xs);
+            states.push(Mutex::new(state));
+        }
+        for l in 0..self.blocks.len() {
+            x = self.block_forward_fused(l, &states, &x, pool);
+        }
+        // Scatter the final activation columns back out per session.
+        (0..b).map(|s| x[s * h..(s + 1) * h].to_vec()).collect()
+    }
+
+    /// One transformer block of the fused batched step: shared-weight
+    /// projections over all B columns at once, per-session KV append +
+    /// attention inside a single parallel region.
+    fn block_forward_fused(
+        &self,
+        l: usize,
+        states: &[Mutex<&mut DecoderState>],
+        x: &[f32],
+        pool: &ThreadPool,
+    ) -> Vec<f32> {
+        let b = states.len();
+        let h = self.cfg.hidden;
+        let nh = self.cfg.heads;
+        let dh = h / nh;
+        let blk = &self.blocks[l];
+
+        // Pre-LN over the whole `hidden x B` matrix (per-column, so
+        // per-session, exactly as the serial path normalizes).
+        let mut xn = vec![0.0f32; h * b];
+        let (mut mean, mut rstd) = (vec![0.0; b], vec![0.0; b]);
+        norm::layernorm(h, b, x, h, &blk.ln1_g, &blk.ln1_b, 1e-5, &mut xn, h, &mut mean, &mut rstd);
+
+        // The fused projections: one `hidden x B` GEMM each where the
+        // serial path runs B `hidden x 1` GEMVs.
+        let q = matmul(&blk.wq, Trans::No, &xn, Trans::No, h, b, h, pool);
+        let knew = matmul(&blk.wk, Trans::No, &xn, Trans::No, h, b, h, pool);
+        let vnew = matmul(&blk.wv, Trans::No, &xn, Trans::No, h, b, h, pool);
+
+        // Per-session attention against each session's own cache, all
+        // sessions load-balanced inside one region. The per-session
+        // mutexes are uncontended (the dynamic schedule hands each index
+        // to exactly one thread); they only launder the &mut across the
+        // team.
+        let ctx_cols: Vec<Mutex<Vec<f32>>> = (0..b).map(|_| Mutex::new(Vec::new())).collect();
+        let scale = 1.0 / (dh as f32).sqrt();
+        pool.parallel_tasks(b, |s| {
+            let mut state = states[s].lock().unwrap();
+            let cache = &mut state.caches[l];
+            let past = cache.len;
+            assert!(past < cache.capacity, "KV cache overflow (session {s})");
+            cache.k[past * h..(past + 1) * h].copy_from_slice(&knew[s * h..(s + 1) * h]);
+            cache.v[past * h..(past + 1) * h].copy_from_slice(&vnew[s * h..(s + 1) * h]);
+            cache.len += 1;
+            let total = past + 1;
+            let qs = &q[s * h..(s + 1) * h];
+            let mut col = vec![0.0f32; h];
+            for hd in 0..nh {
+                let mut sc = vec![0.0f32; total];
+                for (tk, score) in sc.iter_mut().enumerate() {
+                    let koff = tk * h + hd * dh;
+                    let mut dot = 0.0f32;
+                    for d in 0..dh {
+                        dot += qs[hd * dh + d] * cache.k[koff + d];
+                    }
+                    *score = dot * scale;
+                }
+                let mut p = vec![0.0f32; total];
+                softmax::softmax_cols(total, 1, &sc, total, &mut p, total);
+                for d in 0..dh {
+                    let mut acc = 0.0f32;
+                    for (tk, pv) in p.iter().enumerate() {
+                        acc += pv * cache.v[tk * h + hd * dh + d];
+                    }
+                    col[hd * dh + d] = acc;
+                }
+            }
+            *ctx_cols[s].lock().unwrap() = col;
+        });
+        let mut ctx = vec![0.0f32; h * b];
+        for (s, col) in ctx_cols.iter().enumerate() {
+            ctx[s * h..(s + 1) * h].copy_from_slice(&col.lock().unwrap());
+        }
+
+        let attn = matmul(&blk.wo, Trans::No, &ctx, Trans::No, h, b, h, pool);
+        let mut resid: Vec<f32> = x.iter().zip(&attn).map(|(a, b)| a + b).collect();
+
+        // FFN with pre-LN, again over all B columns at once.
+        let mut rn = vec![0.0f32; h * b];
+        norm::layernorm(
+            h, b, &resid, h, &blk.ln2_g, &blk.ln2_b, 1e-5, &mut rn, h, &mut mean, &mut rstd,
+        );
+        let pre = matmul(&blk.w1, Trans::No, &rn, Trans::No, self.cfg.ffn, b, h, pool);
+        let mut act = vec![0.0f32; self.cfg.ffn * b];
+        unary::gelu(self.cfg.ffn, b, &pre, self.cfg.ffn, &mut act, self.cfg.ffn);
+        let ffn = matmul(&blk.w2, Trans::No, &act, Trans::No, h, b, self.cfg.ffn, pool);
+        for (r, f) in resid.iter_mut().zip(&ffn) {
+            *r += *f;
+        }
+        resid
     }
 
     fn block_forward(
@@ -520,6 +666,77 @@ mod tests {
             assert_eq!(w, g, "session {s} diverged");
         }
         assert!(states.iter().all(|s| s.cached_tokens() == 1));
+    }
+
+    use pl_tensor::max_rel_err;
+
+    #[test]
+    fn step_batch_fused_matches_serial_within_tolerance() {
+        // Ragged batch (B = 5, not a power of two) with ragged context
+        // lengths (each session prefills a different prompt length), then
+        // several fused steps — every output must agree with the serial
+        // step_batch path to 1e-5 relative error and leave identical KV
+        // bookkeeping behind.
+        let pool = ThreadPool::new(4);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = Arc::new(DecoderModel::new(cfg, 2024));
+        let n = 5;
+        let steps = 3;
+
+        let mut fused_states: Vec<DecoderState> = (0..n).map(|_| model.new_state(16)).collect();
+        let mut serial_states: Vec<DecoderState> = (0..n).map(|_| model.new_state(16)).collect();
+        let mut inputs = Vec::new();
+        for s in 0..n {
+            // Prompt lengths 1..=5: every session enters decode at a
+            // different KV length.
+            let prompt = s + 1;
+            let mut px = vec![0.0f32; cfg.hidden * prompt];
+            fill_uniform(&mut px, &mut Xorshift::new(300 + s as u64), -0.5, 0.5);
+            let yf = model.forward(&mut fused_states[s], &px, prompt, &pool);
+            let ys = model.forward(&mut serial_states[s], &px, prompt, &pool);
+            assert_eq!(yf, ys);
+            inputs.push(yf[(prompt - 1) * cfg.hidden..prompt * cfg.hidden].to_vec());
+        }
+
+        for step in 0..steps {
+            let fused_batch: Vec<(&mut DecoderState, &[f32])> =
+                fused_states.iter_mut().zip(inputs.iter().map(|x| x.as_slice())).collect();
+            let fused = model.step_batch_fused(fused_batch, &pool);
+            let serial_batch: Vec<(&mut DecoderState, &[f32])> =
+                serial_states.iter_mut().zip(inputs.iter().map(|x| x.as_slice())).collect();
+            let serial = model.step_batch(serial_batch, &pool);
+            for s in 0..n {
+                let err = max_rel_err(&fused[s], &serial[s]);
+                assert!(err <= 1e-5, "session {s} step {step}: rel err {err}");
+            }
+            // Closed loop: feed the fused outputs back so KV raggedness
+            // compounds across steps.
+            inputs = fused.clone();
+        }
+        for s in 0..n {
+            assert_eq!(fused_states[s].cached_tokens(), s + 1 + steps);
+            assert_eq!(serial_states[s].cached_tokens(), s + 1 + steps);
+        }
+    }
+
+    #[test]
+    fn step_batch_fused_handles_empty_and_singleton_batches() {
+        let pool = ThreadPool::new(2);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = Arc::new(DecoderModel::new(cfg, 9));
+        assert!(model.step_batch_fused(Vec::new(), &pool).is_empty());
+
+        // B = 1: the fused path degenerates to a plain forward.
+        let mut x = vec![0.0f32; cfg.hidden];
+        fill_uniform(&mut x, &mut Xorshift::new(17), -0.5, 0.5);
+        let mut st_fused = model.new_state(8);
+        let got = model.step_batch_fused(vec![(&mut st_fused, x.as_slice())], &pool);
+        let mut st_plain = model.new_state(8);
+        let want = model.forward(&mut st_plain, &x, 1, &pool);
+        assert_eq!(got.len(), 1);
+        let err = max_rel_err(&got[0], &want);
+        assert!(err <= 1e-5, "rel err {err}");
+        assert_eq!(st_fused.cached_tokens(), 1);
     }
 
     #[test]

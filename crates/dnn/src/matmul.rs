@@ -5,6 +5,14 @@
 //! runs the tuned GEMM kernel, and unpacks. Packing is `O(n^2)` against the
 //! GEMM's `O(n^3)` — the same layout-transformation cost the paper's
 //! blocked tensors pay once per layer boundary.
+//!
+//! Kernel selection goes through [`crate::tuning`]: when a warmed
+//! [`pl_autotuner::TuningDb`] snapshot is installed (e.g. by a serving
+//! runtime at startup), every call resolves its `loop_spec_string` from
+//! the database entry for this exact `(m, n, k)`; otherwise the built-in
+//! `GemmTuning::default_parallel` spec is used. Either way the numeric
+//! result is identical — specs only reorder *which thread* produces each
+//! output block, never the per-element reduction order.
 
 use pl_kernels::{Gemm, GemmShape, GemmTuning};
 use pl_runtime::ThreadPool;
@@ -44,7 +52,11 @@ pub fn matmul(
         Trans::Yes => transpose_cm(b, n, k),
     };
     let shape = GemmShape::with_default_blocks(m, n, k);
-    let kernel = Gemm::<f32, f32, f32>::new(shape, GemmTuning::default_parallel(shape.kb()))
+    // A registry entry whose spec the loop layer rejects (e.g. a corrupted
+    // persisted DB) must degrade to the built-in spec, not panic the
+    // caller — the lookup-or-fallback contract of `crate::tuning`.
+    let kernel = Gemm::<f32, f32, f32>::new(shape, crate::tuning::gemm_tuning_for(&shape))
+        .or_else(|_| Gemm::<f32, f32, f32>::new(shape, GemmTuning::default_parallel(shape.kb())))
         .expect("matmul shape");
     let mut am = BlockedMatrix::<f32>::a_layout(m, k, shape.bm, shape.bk).unwrap();
     am.pack_from_colmajor(&a_cm);

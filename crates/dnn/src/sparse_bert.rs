@@ -8,7 +8,7 @@
 //! dense BRGEMM.
 
 use crate::bert::{BertConfig, BertLayer, DenseWeights};
-use pl_kernels::{BlockSpmm, SpmmTuning};
+use pl_kernels::BlockSpmm;
 use pl_runtime::ThreadPool;
 use pl_tensor::{BcscMatrix, VnniMatrix, Xorshift};
 use pl_tpp::{softmax, unary};
@@ -53,12 +53,23 @@ pub fn prune_to_block_sparse(
 }
 
 /// One sparse contraction: `y (m x t) = A_sparse (m x k) * x (k x t)`.
+///
+/// The `loop_spec_string` resolves through [`crate::tuning`]: an installed
+/// tuning-DB snapshot with an `spmm/…/{m}x{t}x{k}` entry wins, otherwise
+/// [`SpmmTuning::default_parallel`] applies.
 pub fn spmm_matmul(a: &BcscMatrix<f32>, x: &[f32], tokens: usize, pool: &ThreadPool) -> Vec<f32> {
     let (m, k) = (a.rows(), a.cols());
     let bn = pick_bn(tokens);
-    let kernel =
-        BlockSpmm::new(m, tokens, k, a.bm(), a.bk(), bn, SpmmTuning::default_parallel(k / a.bk()))
-            .expect("spmm kernel");
+    let blocks = pl_kernels::GemmShape { m, n: tokens, k, bm: a.bm(), bn, bk: a.bk() };
+    let tuning = crate::tuning::spmm_tuning_for(&blocks);
+    // Same degrade-don't-panic contract as `crate::matmul`: a rejected
+    // registry spec falls back to the built-in parallel spec.
+    let kernel = BlockSpmm::new(m, tokens, k, a.bm(), a.bk(), bn, tuning)
+        .or_else(|_| {
+            let fallback = pl_kernels::SpmmTuning::default_parallel(k / a.bk());
+            BlockSpmm::new(m, tokens, k, a.bm(), a.bk(), bn, fallback)
+        })
+        .expect("spmm kernel");
     let mut b = VnniMatrix::<f32>::new(k, tokens, bn, 1).expect("b vnni");
     b.pack_from_colmajor(x);
     let mut c = VnniMatrix::<f32>::new(m, tokens, bn, 1).expect("c vnni");

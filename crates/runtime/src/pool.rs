@@ -216,6 +216,24 @@ impl ThreadPool {
         });
     }
 
+    /// Dynamically distributes the task indices `0..tasks` over the team
+    /// inside a *single* parallel region: [`ThreadPool::parallel_drain`]
+    /// over a queue with chunk 1, without the caller having to build the
+    /// [`DynamicQueue`] itself. This is the right shape for a small number
+    /// of coarse, heterogeneous work items (a batch of decode sessions, the
+    /// per-session attention stage of a fused step): one region broadcast
+    /// for the whole batch, tasks load-balancing over the team.
+    pub fn parallel_tasks<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        let queue = crate::sched::DynamicQueue::new(tasks, 1);
+        self.parallel_drain(&queue, f);
+    }
+
     /// Whether the calling thread is currently inside a parallel region of
     /// *any* pool (nested regions serialize; see [`ThreadPool::parallel`]).
     /// Schedulers layered above the pool (e.g. a serving batcher) use this
@@ -392,6 +410,18 @@ mod tests {
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert!(q.next().is_none());
+    }
+
+    #[test]
+    fn parallel_tasks_covers_indices_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_tasks(37, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // Zero tasks is a no-op, not a broadcast.
+        pool.parallel_tasks(0, |_| panic!("no tasks to run"));
     }
 
     #[test]

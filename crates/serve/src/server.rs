@@ -6,7 +6,7 @@ use crate::session::{Session, SessionId, TenantId};
 use crate::stats::ServerStats;
 use crate::{ServeError, StepResult};
 use parking_lot::Mutex;
-use pl_autotuner::{warm_gemm_db, Constraints, GemmProblem, TuningDb};
+use pl_autotuner::{batch_ladder, warm_gemm_db, Constraints, GemmProblem, TuningDb};
 use pl_dnn::{DecoderModel, DecoderState};
 use pl_kernels::GemmShape;
 use pl_perfmodel::Platform;
@@ -35,6 +35,14 @@ pub struct ServerConfig {
     pub coalesce_wait: Duration,
     /// Batcher sleep when no work is pending.
     pub idle_poll: Duration,
+    /// Execute decode batches through the **fused** cross-session path
+    /// ([`DecoderModel::step_batch_fused`]): one `hidden x B` GEMM per
+    /// layer projection instead of B `hidden x 1` GEMVs. Off by default —
+    /// the serial path is bit-identical to unbatched decode, the fused
+    /// path trades that for arithmetic intensity (outputs agree to
+    /// floating-point reassociation tolerance; see `crates/serve/README.md`
+    /// for the accuracy contract).
+    pub fused: bool,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +55,7 @@ impl Default for ServerConfig {
             kv_capacity: 128,
             coalesce_wait: Duration::from_micros(200),
             idle_poll: Duration::from_millis(1),
+            fused: false,
         }
     }
 }
@@ -110,16 +119,14 @@ impl Server {
         self.inner.session_count.load(Ordering::Relaxed) as usize
     }
 
-    /// GEMM problems the batcher's decode steps will run: for every
-    /// transformer block matmul, the `tokens = 1` instance (each batched
-    /// session steps one token), blocked exactly as the kernel layer
-    /// blocks them ([`GemmShape::with_default_blocks`] — the same call
+    /// The three per-layer weight GEMMs at token/batch width `n`, blocked
+    /// exactly as the kernel layer blocks them
+    /// ([`GemmShape::with_default_blocks`] — the same call
     /// `pl_dnn::matmul` makes, so the warmed keys name the shapes that
     /// actually execute).
-    pub fn decode_gemm_problems(&self) -> Vec<GemmProblem> {
+    fn layer_gemm_problems(&self, n: usize, out: &mut Vec<GemmProblem>) {
         let cfg = self.inner.model.config();
         let (h, f) = (cfg.hidden, cfg.ffn);
-        let mut out = Vec::new();
         let mut push = |m: usize, n: usize, k: usize| {
             let sh = GemmShape::with_default_blocks(m, n, k);
             let p = GemmProblem { m, n, k, bm: sh.bm, bn: sh.bn, bk: sh.bk, dtype: DType::F32 };
@@ -127,24 +134,59 @@ impl Server {
                 out.push(p);
             }
         };
-        push(h, 1, h); // qkv + output projections
-        push(f, 1, h); // FFN up
-        push(h, 1, f); // FFN down
+        push(h, n, h); // qkv + output projections
+        push(f, n, h); // FFN up
+        push(h, n, f); // FFN down
+    }
+
+    /// GEMM problems the batcher's decode steps can run: for every
+    /// transformer block matmul, one instance per batch width the fused
+    /// path can see — **every** `B ∈ 1..=max_batch`, since the batcher
+    /// hands the fused path whatever ragged width was pending and the
+    /// tuning-DB lookup is exact-match. Serial batched decode only ever
+    /// runs the `B = 1` entries; the fused path hits the wider ones.
+    pub fn decode_gemm_problems(&self) -> Vec<GemmProblem> {
+        let mut out = Vec::new();
+        for b in 1..=self.inner.cfg.max_batch.max(1) {
+            self.layer_gemm_problems(b, &mut out);
+        }
         out
     }
 
-    /// Warms the tuning database for [`Server::decode_gemm_problems`] on
-    /// `platform`: the paper's offline search (Fig. 1 boxes B2/B3) runs at
-    /// server startup so results are ready before traffic arrives. The
-    /// kernel layer does not consult the DB yet — `pl_dnn::matmul` still
-    /// uses its built-in parallel spec — so today this populates the DB
-    /// for inspection/export only (wiring it into kernel selection is a
-    /// ROADMAP item). Returns the number of shapes tuned.
+    /// GEMM problems prefill forwards run: the same per-layer matmuls at
+    /// prompt widths `tokens ∈ {2, 4, 8, …} ∪ {kv_capacity}` (`tokens = 1`
+    /// already rides the decode set). Prompts land on arbitrary lengths;
+    /// the power-of-two ladder covers the widths the roofline actually
+    /// distinguishes, and `pl_dnn::tuning` rounds a missed lookup up to
+    /// the next power of two so in-between prompt lengths still reuse the
+    /// nearest warmed spec.
+    pub fn prefill_gemm_problems(&self) -> Vec<GemmProblem> {
+        let mut out = Vec::new();
+        for t in batch_ladder(self.inner.cfg.kv_capacity) {
+            if t > 1 {
+                self.layer_gemm_problems(t, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Warms the tuning database for every GEMM shape the server can
+    /// execute — decode at **every** batch width `1..=max_batch`
+    /// ([`Server::decode_gemm_problems`]) *and* prefill at the prompt-width
+    /// ladder ([`Server::prefill_gemm_problems`]) — on `platform`: the
+    /// paper's offline search (Fig. 1 boxes B2/B3) runs at server startup
+    /// so results are ready before traffic arrives. The warmed snapshot is
+    /// then **installed** into [`pl_dnn::tuning`], the kernel-selection
+    /// registry `pl_dnn::matmul` consults, so steady-state traffic runs
+    /// the search winners. Returns the number of shapes tuned.
     pub fn warm_tuning(&self, platform: &Platform, threads: usize) -> usize {
-        let problems = self.decode_gemm_problems();
+        let mut problems = self.decode_gemm_problems();
+        problems.extend(self.prefill_gemm_problems());
         let constraints = Constraints::gemm(0, 1, 1, 200);
         let mut db = self.inner.tuning.lock();
-        warm_gemm_db(&mut db, &problems, &constraints, platform, threads)
+        let added = warm_gemm_db(&mut db, &problems, &constraints, platform, threads);
+        pl_dnn::tuning::install(platform.name, db.clone());
+        added
     }
 
     /// Read access to the warmed tuning database.
@@ -340,8 +382,22 @@ impl Server {
         }
         let items: Vec<(&mut DecoderState, &[f32])> =
             ready.iter_mut().map(|(req, sess)| (&mut sess.state, req.x.as_slice())).collect();
-        let outputs = inner.model.step_batch(items, &inner.pool);
-        let size = ready.len();
+        let size = items.len();
+        let outputs = if inner.cfg.fused {
+            let out = inner.model.step_batch_fused(items, &inner.pool);
+            let cfg = inner.model.config();
+            let (h, f, l) = (cfg.hidden, cfg.ffn, cfg.layers as u64);
+            // Per layer: 4 h x h GEMMs (QKV + output) and one of each FFN
+            // shape — the actual GEMM executions this batch fused.
+            inner.stats.record_fused_batch(&[
+                ((h, size, h), 4 * l),
+                ((f, size, h), l),
+                ((h, size, f), l),
+            ]);
+            out
+        } else {
+            inner.model.step_batch(items, &inner.pool)
+        };
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
         inner.stats.batch_sizes.record(size);
         let mut sessions = inner.sessions.lock();
@@ -573,14 +629,65 @@ mod tests {
     }
 
     #[test]
-    fn warm_tuning_covers_decode_shapes() {
-        let server = tiny_server(ServerConfig::default());
-        let problems = server.decode_gemm_problems();
-        assert_eq!(problems.len(), 3, "h/h, ffn/h, h/ffn decode GEMMs");
+    fn warm_tuning_covers_decode_and_prefill_shapes() {
+        let server = tiny_server(ServerConfig { kv_capacity: 16, ..Default::default() });
+        let decode = server.decode_gemm_problems();
+        // Every width 1..=max_batch (8) x the three per-layer GEMMs: the
+        // batcher can hand the fused path any ragged B and the DB lookup
+        // is exact-match, so all of them must be warmed.
+        assert_eq!(decode.len(), 24);
+        for b in 1..=8 {
+            assert!(decode.iter().any(|p| p.n == b), "decode width {b} warmed");
+        }
+        let prefill = server.prefill_gemm_problems();
+        assert!(!prefill.is_empty());
+        assert!(prefill.iter().all(|p| p.n > 1), "tokens = 1 rides the decode set");
+        assert!(prefill.iter().any(|p| p.n == 16), "kv-capacity prompt width present");
+        // Warm count = distinct (m, n, k) across both sets.
+        let distinct: std::collections::BTreeSet<(usize, usize, usize)> =
+            decode.iter().chain(&prefill).map(|p| (p.m, p.n, p.k)).collect();
         let tuned = server.warm_tuning(&Platform::zen4(), 4);
-        assert_eq!(tuned, problems.len());
-        assert_eq!(server.tuning_db().len(), problems.len());
+        assert_eq!(tuned, distinct.len());
+        assert_eq!(server.tuning_db().len(), distinct.len());
+        // The warmed snapshot is live in the kernel-selection registry.
+        assert!(pl_dnn::tuning::is_installed());
         // Idempotent.
         assert_eq!(server.warm_tuning(&Platform::zen4(), 4), 0);
+    }
+
+    #[test]
+    fn fused_pump_matches_serial_within_tolerance_and_records_shapes() {
+        let mk = |fused| {
+            tiny_server(ServerConfig { fused, coalesce_wait: Duration::ZERO, ..Default::default() })
+        };
+        let fused_server = mk(true);
+        let serial_server = mk(false);
+        let hidden = fused_server.model().config().hidden;
+        let (h, f) = (hidden, fused_server.model().config().ffn);
+        let n = 4;
+        let xs: Vec<Vec<f32>> = (0..n).map(|s| token(700 + s as u64, hidden)).collect();
+
+        let run = |server: &Server| -> Vec<Vec<f32>> {
+            let ids: Vec<SessionId> = (0..n).map(|_| server.create_session(0).unwrap()).collect();
+            let rxs: Vec<_> =
+                ids.iter().zip(&xs).map(|(&id, x)| server.submit_step(id, x).unwrap()).collect();
+            assert_eq!(server.pump(), n);
+            rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect()
+        };
+        let got_fused = run(&fused_server);
+        let got_serial = run(&serial_server);
+        for (s, (a, b)) in got_fused.iter().zip(&got_serial).enumerate() {
+            let err = pl_tensor::max_rel_err(a, b);
+            assert!(err <= 1e-5, "session {s}: rel err {err}");
+        }
+        let snap = fused_server.stats().snapshot();
+        assert_eq!(snap.fused_batches, 1);
+        let layers = fused_server.model().config().layers as u64;
+        assert_eq!(
+            snap.fused_gemm_shapes,
+            vec![((h, n, h), 4 * layers), ((h, n, f), layers), ((f, n, h), layers)],
+            "the hidden x B GEMM executions are observable"
+        );
+        assert_eq!(serial_server.stats().snapshot().fused_batches, 0);
     }
 }

@@ -4,6 +4,8 @@
 //! records without locks; a [`ServerStats::snapshot`] folds the counters
 //! into human-facing rates and quantiles.
 
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -142,10 +144,19 @@ pub struct ServerStats {
     pub batches: AtomicU64,
     /// Prefill calls served.
     pub prefills: AtomicU64,
+    /// Batches executed through the fused cross-session path.
+    pub fused_batches: AtomicU64,
     /// Queue-to-reply latency of decode steps.
     pub step_latency: LatencyHistogram,
     /// Distribution of executed batch sizes.
     pub batch_sizes: CountHistogram,
+    /// `(m, n, k) -> GEMMs executed` over all fused batches (n is the
+    /// batch size B; the `hidden x hidden` shape runs 4x per layer for
+    /// QKV + output, the FFN shapes once per layer). One locked update per
+    /// batch — not per GEMM — so the hot path stays effectively lock-free;
+    /// the map is how operators *see* decode turning from `hidden x 1`
+    /// GEMVs into `hidden x B` GEMMs.
+    fused_gemm_shapes: Mutex<BTreeMap<(usize, usize, usize), u64>>,
 }
 
 impl ServerStats {
@@ -159,9 +170,27 @@ impl ServerStats {
             rejected_sessions: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             prefills: AtomicU64::new(0),
+            fused_batches: AtomicU64::new(0),
             step_latency: LatencyHistogram::new(),
             batch_sizes: CountHistogram::new(max_batch),
+            fused_gemm_shapes: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Records one fused batch: each `(shape, count)` entry says the batch
+    /// executed `count` GEMMs of that `(m, n, k)` shape.
+    pub fn record_fused_batch(&self, gemm_shapes: &[((usize, usize, usize), u64)]) {
+        self.fused_batches.fetch_add(1, Ordering::Relaxed);
+        let mut shapes = self.fused_gemm_shapes.lock();
+        for &(s, count) in gemm_shapes {
+            *shapes.entry(s).or_insert(0) += count;
+        }
+    }
+
+    /// The fused GEMM shapes observed so far, as sorted
+    /// `((m, n, k), GEMMs executed)` pairs.
+    pub fn fused_gemm_shapes(&self) -> Vec<((usize, usize, usize), u64)> {
+        self.fused_gemm_shapes.lock().iter().map(|(&s, &c)| (s, c)).collect()
     }
 
     /// Folds the counters into a point-in-time summary.
@@ -177,6 +206,8 @@ impl ServerStats {
             rejected_sessions: self.rejected_sessions.load(Ordering::Relaxed),
             batches,
             prefills: self.prefills.load(Ordering::Relaxed),
+            fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            fused_gemm_shapes: self.fused_gemm_shapes(),
             tokens_per_s: completed as f64 / elapsed,
             mean_batch: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
             max_batch_observed: self.batch_sizes.max_observed(),
@@ -205,6 +236,10 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Prefills served.
     pub prefills: u64,
+    /// Batches executed through the fused cross-session path.
+    pub fused_batches: u64,
+    /// `((m, n, k), GEMMs executed)` of the shapes fused batches ran.
+    pub fused_gemm_shapes: Vec<((usize, usize, usize), u64)>,
     /// Decode throughput (completed steps per second since start).
     pub tokens_per_s: f64,
     /// Mean executed batch size.
@@ -257,6 +292,23 @@ mod tests {
         assert_eq!(h.max_observed(), 8);
         assert_eq!(h.count_at(4), 2);
         assert_eq!(h.nonzero(), vec![(1, 1), (4, 2), (8, 1)]);
+    }
+
+    #[test]
+    fn fused_shapes_accumulate_gemm_counts_per_batch() {
+        // Two layers: 8 QKV+WO GEMMs of h x h, 2 of each FFN shape.
+        let s = ServerStats::new(8);
+        s.record_fused_batch(&[((32, 4, 32), 8), ((64, 4, 32), 2), ((32, 4, 64), 2)]);
+        s.record_fused_batch(&[((32, 4, 32), 8), ((64, 4, 32), 2), ((32, 4, 64), 2)]);
+        s.record_fused_batch(&[((32, 8, 32), 8), ((64, 8, 32), 2), ((32, 8, 64), 2)]);
+        assert_eq!(s.fused_batches.load(Ordering::Relaxed), 3);
+        let shapes = s.fused_gemm_shapes();
+        assert_eq!(shapes.len(), 6);
+        assert!(shapes.contains(&((32, 4, 32), 16)), "counts GEMMs executed, not batches");
+        assert!(shapes.contains(&((64, 8, 32), 2)));
+        let snap = s.snapshot();
+        assert_eq!(snap.fused_batches, 3);
+        assert_eq!(snap.fused_gemm_shapes, shapes);
     }
 
     #[test]

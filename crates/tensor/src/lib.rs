@@ -34,7 +34,7 @@ pub use blocked::{BlockedMatrix, GridOrder, InnerLayout};
 pub use buffer::AlignedVec;
 pub use conv::{ActTensor, ConvShape, ConvWeights};
 pub use dtype::{Bf16, DType, Element};
-pub use fill::{fill_normal, fill_uniform, Xorshift};
+pub use fill::{fill_normal, fill_uniform, max_rel_err, Xorshift};
 pub use vnni::VnniMatrix;
 
 /// Errors produced by layout constructors and converters.

@@ -5,17 +5,26 @@
 //! then a closed decode loop (the last token's transformed state feeds
 //! back as the next input — a deterministic stand-in for sampling). The
 //! batcher coalesces their pending steps into single parallel regions;
-//! afterwards every session's entire output stream is checked
-//! **bit-identically** against a sequential, unbatched `Decoder` baseline
-//! over the same weights, and the `ServerStats` surface is printed.
+//! afterwards every session's entire output stream is checked against a
+//! sequential, unbatched `Decoder` baseline over the same weights, and
+//! the `ServerStats` surface is printed.
 //!
-//! Run: `cargo run --release --example serve_llm`
+//! Two batch-execution modes:
+//!
+//! * default (serial): each batched step runs whole inside the region —
+//!   the check against the baseline is **bit-identical**.
+//! * `--fused` (or `PL_SERVE_FUSED=1`): per layer, the B sessions'
+//!   projections run as one `hidden x B` GEMM
+//!   (`DecoderModel::step_batch_fused`) — the check is tolerance-based
+//!   (<= 1e-5 relative error) and the fused GEMM shapes are printed.
+//!
+//! Run: `cargo run --release --example serve_llm [-- --fused]`
 
 use pl_dnn::{Decoder, DecoderConfig, DecoderModel};
 use pl_perfmodel::Platform;
 use pl_runtime::{default_threads, ThreadPool};
 use pl_serve::{Server, ServerConfig};
-use pl_tensor::{fill_uniform, Xorshift};
+use pl_tensor::{fill_uniform, max_rel_err, Xorshift};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,6 +33,7 @@ const TENANTS: usize = 2;
 const PROMPT: usize = 4;
 const STEPS: usize = 24;
 const KV: usize = 64;
+const FUSED_TOL: f32 = 1e-5;
 
 fn prompt_for(session: usize, hidden: usize) -> Vec<f32> {
     let mut x = vec![0.0f32; hidden * PROMPT];
@@ -36,13 +46,16 @@ fn last_token(y: &[f32], hidden: usize) -> Vec<f32> {
 }
 
 fn main() {
+    let fused = std::env::args().any(|a| a == "--fused")
+        || std::env::var("PL_SERVE_FUSED").is_ok_and(|v| v == "1");
     let cfg = DecoderConfig::scaled_for_tests();
     let hidden = cfg.hidden;
     let model = Arc::new(DecoderModel::new(cfg, 2024));
     let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
     println!(
-        "pl-serve demo: {SESSIONS} sessions / {TENANTS} tenants, {} threads, \
+        "pl-serve demo [{} mode]: {SESSIONS} sessions / {TENANTS} tenants, {} threads, \
          {PROMPT}-token prompts + {STEPS} decode steps each",
+        if fused { "fused" } else { "serial" },
         pool.nthreads()
     );
 
@@ -54,11 +67,12 @@ fn main() {
             max_batch: SESSIONS,
             kv_capacity: KV,
             coalesce_wait: Duration::from_millis(2),
+            fused,
             ..Default::default()
         },
     );
     let warmed = server.warm_tuning(&Platform::zen4(), pool.nthreads());
-    println!("tuning DB warmed for {warmed} decode GEMM shapes");
+    println!("tuning DB warmed + installed for {warmed} decode/prefill GEMM shapes");
     server.start();
 
     // --- Serve: concurrent clients through the batcher. -----------------
@@ -93,17 +107,30 @@ fn main() {
     // --- Baseline: the same streams, sequential and unbatched. ----------
     let t1 = Instant::now();
     let mut mismatches = 0usize;
+    let mut worst_rel = 0.0f32;
     for (s, served_session) in served.iter().enumerate() {
         let mut d = Decoder::from_model(Arc::clone(&model), KV);
         let y = d.prefill(&prompt_for(s, hidden), PROMPT, &pool);
         let mut x = last_token(&y, hidden);
         for (t, served_y) in served_session.iter().enumerate() {
             let y = d.step(&x, &pool);
-            if &y != served_y {
-                eprintln!("MISMATCH: session {s} step {t}");
-                mismatches += 1;
+            if fused {
+                let err = max_rel_err(&y, served_y);
+                worst_rel = worst_rel.max(err);
+                if err > FUSED_TOL {
+                    eprintln!("TOLERANCE EXCEEDED: session {s} step {t}: rel err {err}");
+                    mismatches += 1;
+                }
+                // Continue from the served stream so one within-tolerance
+                // divergence cannot compound across the remaining steps.
+                x = served_y.clone();
+            } else {
+                if &y != served_y {
+                    eprintln!("MISMATCH: session {s} step {t}");
+                    mismatches += 1;
+                }
+                x = y;
             }
-            x = y;
         }
     }
     let base_s = t1.elapsed().as_secs_f64();
@@ -113,6 +140,7 @@ fn main() {
     println!("steps completed      {:>10}", snap.completed);
     println!("prefills             {:>10}", snap.prefills);
     println!("batches              {:>10}", snap.batches);
+    println!("fused batches        {:>10}", snap.fused_batches);
     println!("mean batch size      {:>10.2}", snap.mean_batch);
     println!("max batch observed   {:>10}", snap.max_batch_observed);
     println!("batch distribution   {:?}", snap.batch_distribution);
@@ -123,19 +151,41 @@ fn main() {
         "rejected (backpressure/sessions) {}/{}",
         snap.rejected_backpressure, snap.rejected_sessions
     );
+    if fused {
+        println!("fused GEMM shapes (m x B x k -> GEMMs executed):");
+        for ((m, n, k), count) in &snap.fused_gemm_shapes {
+            println!("  {m:>4} x {n:<2} x {k:>4}   {count:>6}");
+        }
+    }
     println!("\nserve wall time      {serve_s:>10.3} s");
     println!("baseline wall time   {base_s:>10.3} s (sequential unbatched)");
 
-    assert_eq!(mismatches, 0, "batched outputs must be bit-identical to the baseline");
+    assert_eq!(
+        mismatches,
+        0,
+        "batched outputs must match the baseline ({})",
+        if fused { "<= 1e-5 relative" } else { "bit-identical" }
+    );
     assert!(
         snap.max_batch_observed > 1,
         "batcher never coalesced: max batch {}",
         snap.max_batch_observed
     );
     assert_eq!(snap.completed, (SESSIONS * STEPS) as u64);
-    println!(
-        "\nOK: {SESSIONS} concurrent sessions, max batch {}, all outputs \
-         bit-identical to the sequential baseline",
-        snap.max_batch_observed
-    );
+    if fused {
+        assert_eq!(snap.fused_batches, snap.batches, "every batch must run fused");
+        assert!(!snap.fused_gemm_shapes.is_empty());
+        println!(
+            "\nOK: {SESSIONS} concurrent sessions, max batch {}, fused outputs within \
+             {FUSED_TOL} of the sequential baseline (worst rel err {worst_rel:.2e})",
+            snap.max_batch_observed
+        );
+    } else {
+        assert_eq!(snap.fused_batches, 0);
+        println!(
+            "\nOK: {SESSIONS} concurrent sessions, max batch {}, all outputs \
+             bit-identical to the sequential baseline",
+            snap.max_batch_observed
+        );
+    }
 }

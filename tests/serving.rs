@@ -89,6 +89,90 @@ fn concurrent_batched_sessions_match_unbatched_decoder() {
     }
 }
 
+use pl_tensor::max_rel_err;
+
+#[test]
+fn fused_batched_sessions_match_serial_within_tolerance() {
+    // The same multi-tenant multi-step workload as the bit-identity test,
+    // but through the fused cross-session path (`ServerConfig::fused`):
+    // every session's whole output stream must agree with the sequential
+    // unbatched baseline within 1e-5 relative error, and the fused GEMM
+    // shapes must be observable in the stats.
+    let cfg = DecoderConfig::scaled_for_tests();
+    let hidden = cfg.hidden;
+    let model = Arc::new(DecoderModel::new(cfg, 90210));
+    let pool = Arc::new(ThreadPool::new(4));
+    let mut server = Server::new(
+        Arc::clone(&model),
+        Arc::clone(&pool),
+        ServerConfig {
+            tenants: 3,
+            max_batch: SESSIONS,
+            kv_capacity: KV,
+            coalesce_wait: Duration::from_millis(2),
+            fused: true,
+            ..Default::default()
+        },
+    );
+    server.start();
+
+    let mut served: Vec<Vec<Vec<f32>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for s in 0..SESSIONS {
+            let server = &server;
+            handles.push(scope.spawn(move || {
+                let id = server.create_session(s % 3).expect("admitted");
+                let y = server.prefill(id, &prompt_for(s, hidden), PROMPT).unwrap();
+                let mut x = last_token(&y, hidden);
+                let mut outs = Vec::with_capacity(STEPS);
+                for _ in 0..STEPS {
+                    let y = server.step(id, &x).unwrap();
+                    x = y.clone();
+                    outs.push(y);
+                }
+                assert_eq!(server.close_session(id).unwrap(), STEPS as u64);
+                outs
+            }));
+        }
+        for h in handles {
+            served.push(h.join().unwrap());
+        }
+    });
+
+    let snap = server.stats().snapshot();
+    server.shutdown();
+    assert_eq!(snap.completed, (SESSIONS * STEPS) as u64);
+    assert_eq!(snap.fused_batches, snap.batches, "every batch ran fused");
+    assert!(!snap.fused_gemm_shapes.is_empty(), "fused GEMM shapes recorded");
+    let cfg = *model.config();
+    for &((m, n, k), _) in &snap.fused_gemm_shapes {
+        assert!((1..=SESSIONS).contains(&n), "n is a batch size, got {n}");
+        assert!(
+            (m, k) == (cfg.hidden, cfg.hidden)
+                || (m, k) == (cfg.ffn, cfg.hidden)
+                || (m, k) == (cfg.hidden, cfg.ffn),
+            "unexpected fused shape {m}x{n}x{k}"
+        );
+    }
+
+    // Sequential unbatched baseline; tolerance, not bit-identity — the
+    // fused path reassociates the projections over the batch dimension.
+    for (s, served_session) in served.iter().enumerate() {
+        let mut d = Decoder::from_model(Arc::clone(&model), KV);
+        let y = d.prefill(&prompt_for(s, hidden), PROMPT, &pool);
+        let mut x = last_token(&y, hidden);
+        for (t, served_y) in served_session.iter().enumerate() {
+            let y = d.step(&x, &pool);
+            let err = max_rel_err(&y, served_y);
+            assert!(err <= 1e-5, "session {s} step {t}: rel err {err}");
+            // Continue the baseline from the *served* stream so a single
+            // within-tolerance divergence cannot compound across steps.
+            x = served_y.clone();
+        }
+    }
+}
+
 #[test]
 fn per_tenant_fairness_under_flood() {
     // One tenant floods its ring; another submits a single step. The
