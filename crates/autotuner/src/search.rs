@@ -93,9 +93,40 @@ pub fn tune_gemm_modeled(
     platform: &Platform,
     threads: usize,
 ) -> TuneResult {
+    tune_modeled_filtered(problem, constraints, platform, threads, |_| true)
+}
+
+/// Model-based tuning of a Block-SpMM problem: the same constraint-driven
+/// candidate space as the GEMM search, restricted to specs feasible for
+/// `SpmmTuning` (exactly one K-loop occurrence — the Block-SpMM kernel's K
+/// loop supports no extra blocking), scored with the dense-equivalent GEMM
+/// model. A measured SpMM search would refine the scores; the *structural*
+/// winner (loop order + parallelization) is what the `spmm/...` registry
+/// keys need so `lookup_spmm` stops falling through.
+pub fn tune_spmm_modeled(
+    problem: &GemmProblem,
+    constraints: &Constraints,
+    platform: &Platform,
+    threads: usize,
+) -> TuneResult {
+    tune_modeled_filtered(problem, constraints, platform, threads, |spec| {
+        spec.chars().filter(|c| c.eq_ignore_ascii_case(&'a')).count() == 1
+    })
+}
+
+fn tune_modeled_filtered(
+    problem: &GemmProblem,
+    constraints: &Constraints,
+    platform: &Platform,
+    threads: usize,
+    feasible: impl Fn(&str) -> bool,
+) -> TuneResult {
     let t0 = Instant::now();
     let mut evaluated = Vec::new();
     for spec in generate(3, constraints) {
+        if !feasible(&spec) {
+            continue;
+        }
         let Some(blocks) = blocks_for_spec(problem, &spec) else {
             continue;
         };
@@ -172,6 +203,32 @@ pub fn warm_gemm_db(
     added
 }
 
+/// SpMM companion of [`warm_gemm_db`] — warms the `spmm/...` keys for a
+/// set of problems via [`tune_spmm_modeled`], so a serving runtime's
+/// startup warm-up leaves the Block-SpMM bridge's registry lookups hitting
+/// instead of always falling through to `default_parallel`. Problems whose
+/// key is already present are skipped; returns the number of entries
+/// added.
+pub fn warm_spmm_db(
+    db: &mut crate::db::TuningDb,
+    problems: &[GemmProblem],
+    constraints: &Constraints,
+    platform: &Platform,
+    threads: usize,
+) -> usize {
+    let mut added = 0;
+    for p in problems {
+        let key = crate::db::TuningDb::spmm_key(platform.name, p.m, p.n, p.k, &p.dtype.to_string());
+        if db.get(&key).is_some() {
+            continue;
+        }
+        let result = tune_spmm_modeled(p, constraints, platform, threads);
+        db.put(&key, crate::db::DbEntry { spec: result.best.spec, score: result.best.score });
+        added += 1;
+    }
+    added
+}
+
 fn finish(mut evaluated: Vec<Candidate>, t0: Instant) -> TuneResult {
     evaluated.sort_by(|a, b| b.score.total_cmp(&a.score));
     let best = evaluated.first().cloned().unwrap_or(Candidate {
@@ -242,6 +299,33 @@ mod tests {
         assert!(entry.score > 0.0);
         // Re-warming is a no-op.
         assert_eq!(warm_gemm_db(&mut db, &[p], &c, &platform, 8), 0);
+    }
+
+    #[test]
+    fn spmm_search_is_single_k_feasible_and_warms_db() {
+        // Even with K blocking allowed in the candidate space, every spmm
+        // candidate must keep exactly one K-loop occurrence (the kernel's
+        // K loop supports no extra blocking).
+        let c = Constraints::gemm(2, 1, 1, 300);
+        let platform = Platform::zen4();
+        let r = tune_spmm_modeled(&problem(), &c, &platform, 8);
+        assert!(!r.evaluated.is_empty());
+        for cand in &r.evaluated {
+            assert_eq!(
+                cand.spec.chars().filter(|ch| ch.eq_ignore_ascii_case(&'a')).count(),
+                1,
+                "spec {} infeasible for SpmmTuning",
+                cand.spec
+            );
+        }
+        let mut db = crate::db::TuningDb::new();
+        let p = problem();
+        assert_eq!(warm_spmm_db(&mut db, &[p, p], &c, &platform, 8), 1, "duplicate tuned once");
+        let key = crate::db::TuningDb::spmm_key(platform.name, p.m, p.n, p.k, &p.dtype.to_string());
+        assert!(db.get(&key).expect("spmm key warmed").score > 0.0);
+        // Re-warming is a no-op, and the gemm keys are untouched.
+        assert_eq!(warm_spmm_db(&mut db, &[p], &c, &platform, 8), 0);
+        assert_eq!(db.len(), 1);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! to O(B) — the throughput lever the paper's BRGEMM design exists for,
 //! which is where the fused-over-serial headroom at B >= 4 comes from.
 
-use pl_bench::{f1, f2, header, row};
-use pl_dnn::{DecoderConfig, DecoderModel};
+use pl_bench::{f1, f2, header, row, time_it};
+use pl_dnn::matmul::{matmul, Trans};
+use pl_dnn::{DecoderConfig, DecoderModel, MatmulPlan};
 use pl_runtime::{default_threads, ThreadPool};
 use pl_serve::{Server, ServerConfig};
 use pl_tensor::{fill_uniform, Xorshift};
@@ -69,9 +70,48 @@ fn drive(max_batch: usize, fused: bool, model: &Arc<DecoderModel>, pool: &Arc<Th
     snap.tokens_per_s
 }
 
+/// Pack-per-call vs prepared-plan execution of one layer-scale weight
+/// GEMM (`m x B = (m x k) x (k x B)`): the free `matmul` re-packs the
+/// weight and re-constructs the kernel every call (the pre-PR-3 execution
+/// path); [`MatmulPlan`] packed the weight once at build and reuses the
+/// cached kernel, paying only the activation pack per call.
+fn pack_amortization(pool: &Arc<ThreadPool>) {
+    const M: usize = 256; // layer-scale weight at host size
+    const K: usize = 256;
+    const REPS: usize = 200;
+    header(
+        &format!(
+            "pack amortization: one {M} x B weight GEMM, pack-per-call vs prepared [measured]"
+        ),
+        &["B", "per-call exec/s", "plan exec/s", "plan speedup"],
+    );
+    let mut rng = Xorshift::new(90);
+    let mut w = vec![0.0f32; M * K];
+    fill_uniform(&mut w, &mut rng, -0.5, 0.5);
+    let plan = MatmulPlan::new(&w, Trans::No, M, K);
+    for b in [1usize, 8] {
+        let mut x = vec![0.0f32; K * b];
+        fill_uniform(&mut x, &mut rng, -0.5, 0.5);
+        let per_call = time_it(REPS, || {
+            std::hint::black_box(matmul(&w, Trans::No, &x, Trans::No, M, b, K, pool));
+        });
+        let prepared = time_it(REPS, || {
+            std::hint::black_box(plan.execute(&x, b, pool));
+        });
+        row(&[
+            b.to_string(),
+            f1(1.0 / per_call),
+            f1(1.0 / prepared),
+            format!("{:.2}x", per_call / prepared),
+        ]);
+    }
+    println!();
+}
+
 fn main() {
     let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 11));
     let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
+    pack_amortization(&pool);
     header(
         &format!(
             "pl-serve decode throughput ({SESSIONS} sessions x {STEPS} steps, {} threads) [measured]",

@@ -11,8 +11,17 @@
 //! *fine-tuning* throughput). Embedding lookup is a negligible gather next
 //! to the encoder and is replaced by synthetic hidden states in the
 //! harnesses (recorded in DESIGN.md).
+//!
+//! Forward weight contractions run through prepared plans
+//! ([`crate::prepared::MatmulPlan`]): each weight is packed into its
+//! blocked kernel layout when the layer is built (and re-packed once per
+//! [`BertLayer::sgd_step`]); inference-only forwards pack zero weight
+//! bytes per call. The backward pass keeps the flat
+//! [`crate::matmul::matmul`] bridge — its contractions combine
+//! per-iteration gradient/activation operands that no plan could own.
 
 use crate::matmul::{matmul, transpose_cm, Trans};
+use crate::prepared::{ActivationBuf, MatmulPlan};
 use pl_runtime::ThreadPool;
 use pl_tensor::Xorshift;
 use pl_tpp::{norm, softmax, unary};
@@ -73,6 +82,13 @@ impl BertConfig {
 }
 
 /// Weights of one encoder layer.
+///
+/// The flat column-major weights remain the source of truth (the backward
+/// pass, SGD updates and the pruning view consume them); the **forward**
+/// contractions run through prepared plans (`plans`, one [`MatmulPlan`]
+/// per weight in `wq, wk, wv, wo, w1, w2` order) rebuilt once per
+/// [`BertLayer::sgd_step`] — pack-once per *update*, amortized over every
+/// forward in between, instead of pack-per-projection-call.
 #[derive(Debug, Clone)]
 pub struct BertLayer {
     cfg: BertConfig,
@@ -82,6 +98,7 @@ pub struct BertLayer {
     wo: Vec<f32>,
     w1: Vec<f32>,
     w2: Vec<f32>,
+    plans: [MatmulPlan; 6],
     bq: Vec<f32>,
     bk: Vec<f32>,
     bv: Vec<f32>,
@@ -134,14 +151,16 @@ impl BertLayer {
             pl_tensor::fill_normal(&mut v, rng, 0.0, std);
             v
         };
+        let (wq, wk, wv, wo, w1, w2) = (mk(h, h), mk(h, h), mk(h, h), mk(h, h), mk(i, h), mk(h, i));
         BertLayer {
+            plans: Self::build_plans(cfg, [&wq, &wk, &wv, &wo, &w1, &w2]),
             cfg,
-            wq: mk(h, h),
-            wk: mk(h, h),
-            wv: mk(h, h),
-            wo: mk(h, h),
-            w1: mk(i, h),
-            w2: mk(h, i),
+            wq,
+            wk,
+            wv,
+            wo,
+            w1,
+            w2,
             bq: vec![0.0; h],
             bk: vec![0.0; h],
             bv: vec![0.0; h],
@@ -160,18 +179,32 @@ impl BertLayer {
         &self.cfg
     }
 
-    #[allow(clippy::too_many_arguments)] // mirrors the fused-module TPP signature
+    /// Builds the six forward plans from flat weights (`wq..w2` order).
+    fn build_plans(cfg: BertConfig, ws: [&[f32]; 6]) -> [MatmulPlan; 6] {
+        let (h, i) = (cfg.hidden, cfg.intermediate);
+        let dims = [(h, h), (h, h), (h, h), (h, h), (i, h), (h, i)];
+        std::array::from_fn(|j| MatmulPlan::new(ws[j], Trans::No, dims[j].0, dims[j].1))
+    }
+
+    /// Re-packs the forward plans from the (updated) flat weights — the
+    /// once-per-update layout cost.
+    fn rebuild_plans(&mut self) {
+        self.plans = Self::build_plans(
+            self.cfg,
+            [&self.wq, &self.wk, &self.wv, &self.wo, &self.w1, &self.w2],
+        );
+    }
+
     fn linear(
         &self,
-        w: &[f32],
+        plan: &MatmulPlan,
         b: &[f32],
         x: &[f32],
         out_f: usize,
-        in_f: usize,
         tokens: usize,
         pool: &ThreadPool,
     ) -> Vec<f32> {
-        let mut y = matmul(w, Trans::No, x, Trans::No, out_f, tokens, in_f, pool);
+        let mut y = plan.execute(x, tokens, pool);
         pl_tpp::binary::bias_add(out_f, tokens, b, &mut y, out_f);
         y
     }
@@ -190,10 +223,20 @@ impl BertLayer {
         let i = self.cfg.intermediate;
         debug_assert_eq!(x.len(), h * tokens);
 
-        // Self-attention projections (fused bias adds).
-        let q = self.linear(&self.wq, &self.bq, x, h, h, tokens, pool);
-        let k = self.linear(&self.wk, &self.bk, x, h, h, tokens, pool);
-        let v = self.linear(&self.wv, &self.bv, x, h, h, tokens, pool);
+        // Self-attention projections (fused bias adds): the three plans
+        // consume a single packed copy of `x` (pack-once per layer
+        // boundary), with one reused blocked-output scratch.
+        let (q, k, v) = {
+            let mut xbuf = ActivationBuf::new();
+            let mut cbuf = ActivationBuf::new();
+            let xp = self.plans[0].pack_activations(x, tokens, &mut xbuf);
+            let mut proj = |j: usize, bias: &[f32]| {
+                let mut y = self.plans[j].execute_packed(xp, &mut cbuf, pool);
+                pl_tpp::binary::bias_add(h, tokens, bias, &mut y, h);
+                y
+            };
+            (proj(0, &self.bq), proj(1, &self.bk), proj(2, &self.bv))
+        };
 
         // Per-head attention: scores = (K_h^T Q_h) / sqrt(dh), softmax over
         // keys (rows of scores in our col-major view), ctx = V_h probs.
@@ -217,7 +260,7 @@ impl BertLayer {
         }
 
         // Bert-SelfOutput (Listing 6): Wo ctx + bias, residual, layernorm.
-        let mut attn_res = self.linear(&self.wo, &self.bo, &ctx, h, h, tokens, pool);
+        let mut attn_res = self.linear(&self.plans[3], &self.bo, &ctx, h, tokens, pool);
         pl_tpp::binary::add(h, tokens, &attn_res.clone(), h, x, h, &mut attn_res, h);
         let mut h1 = vec![0.0f32; h * tokens];
         let mut ln1_mean = vec![0.0f32; tokens];
@@ -237,12 +280,12 @@ impl BertLayer {
         );
 
         // Bert-Intermediate: W1 h1 + b1, GELU.
-        let inter_pre = self.linear(&self.w1, &self.b1, &h1, i, h, tokens, pool);
+        let inter_pre = self.linear(&self.plans[4], &self.b1, &h1, i, tokens, pool);
         let mut inter = vec![0.0f32; i * tokens];
         unary::gelu(i, tokens, &inter_pre, i, &mut inter, i);
 
         // Bert-Output: W2 inter + b2, residual (h1), layernorm.
-        let mut ffn_res = self.linear(&self.w2, &self.b2, &inter, h, i, tokens, pool);
+        let mut ffn_res = self.linear(&self.plans[5], &self.b2, &inter, h, tokens, pool);
         pl_tpp::binary::add(h, tokens, &ffn_res.clone(), h, &h1, h, &mut ffn_res, h);
         let mut out = vec![0.0f32; h * tokens];
         let mut ln2_mean = vec![0.0f32; tokens];
@@ -427,7 +470,9 @@ impl BertLayer {
         (dx, grads)
     }
 
-    /// SGD update from gradients.
+    /// SGD update from gradients. Re-packs the forward plans afterwards —
+    /// the prepared-op layout cost is paid once per parameter update, not
+    /// once per forward contraction.
     pub fn sgd_step(&mut self, grads: &BertLayerGrads, lr: f32) {
         let weights: [&mut Vec<f32>; 6] =
             [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo, &mut self.w1, &mut self.w2];
@@ -443,6 +488,7 @@ impl BertLayer {
                 *a -= lr * d;
             }
         }
+        self.rebuild_plans();
     }
 }
 
@@ -657,6 +703,26 @@ mod tests {
             last = enc.train_step(&x, &target, tokens, 0.05, &pool);
         }
         assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn sgd_step_refreshes_forward_plans() {
+        // The forward path runs through prepared plans; an SGD update must
+        // re-pack them, or inference after fine-tuning would use stale
+        // weights.
+        let pool = ThreadPool::new(2);
+        let cfg = BertConfig { hidden: 16, heads: 2, intermediate: 32, layers: 1, seq: 8 };
+        let mut layer = BertLayer::new(cfg, &mut Xorshift::new(77));
+        let tokens = 4;
+        let mut x = vec![0.0f32; cfg.hidden * tokens];
+        fill_uniform(&mut x, &mut Xorshift::new(78), -0.5, 0.5);
+        let (y0, tape) = layer.forward(&x, tokens, &pool);
+        let mut dy = vec![0.0f32; cfg.hidden * tokens];
+        fill_uniform(&mut dy, &mut Xorshift::new(79), -0.5, 0.5);
+        let (_, grads) = layer.backward(&dy, &tape, &pool);
+        layer.sgd_step(&grads, 0.5);
+        let (y1, _) = layer.forward(&x, tokens, &pool);
+        assert_ne!(y0, y1, "forward must see the updated weights");
     }
 
     #[test]

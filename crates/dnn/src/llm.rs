@@ -33,8 +33,22 @@
 //! session's own KV cache (ragged context lengths are fine), batched over
 //! sessions inside one parallel region. Fused outputs agree with serial
 //! ones to floating-point reassociation tolerance, not bitwise.
+//!
+//! ## Prepared execution
+//!
+//! Every weight is a [`MatmulPlan`]: packed into its blocked kernel layout
+//! once at [`DecoderModel::new`], with per-width kernels cached on first
+//! use (or pre-built by [`DecoderModel::warm_plans`], fed by the shapes
+//! [`DecoderModel::plan_problems`] reports). Decode steps therefore pack
+//! **zero weight bytes** — only activations are gathered and blocked, with
+//! scratch reused across a forward's layers and a layer's QKV projections
+//! consuming a single packed copy of their shared input. The plan path
+//! runs the exact kernels the old pack-per-call bridge constructed, so
+//! serial decode stays bit-identical to the previous behavior.
 
-use crate::matmul::{matmul, Trans};
+use crate::matmul::Trans;
+use crate::prepared::{ActivationBuf, MatmulPlan};
+use pl_autotuner::GemmProblem;
 use pl_runtime::ThreadPool;
 use pl_tensor::Xorshift;
 use pl_tpp::{norm, softmax, unary};
@@ -113,18 +127,42 @@ impl DecoderConfig {
     }
 }
 
-/// One decoder block's weights.
+/// One decoder block's weights, held as **prepared plans**: each weight is
+/// packed into its blocked kernel layout exactly once at construction
+/// ([`MatmulPlan::new`]); decode steps only pack activations.
 struct Block {
-    wq: Vec<f32>,
-    wk: Vec<f32>,
-    wv: Vec<f32>,
-    wo: Vec<f32>,
-    w1: Vec<f32>,
-    w2: Vec<f32>,
+    wq: MatmulPlan,
+    wk: MatmulPlan,
+    wv: MatmulPlan,
+    wo: MatmulPlan,
+    w1: MatmulPlan,
+    w2: MatmulPlan,
     ln1_g: Vec<f32>,
     ln1_b: Vec<f32>,
     ln2_g: Vec<f32>,
     ln2_b: Vec<f32>,
+}
+
+impl Block {
+    fn plans(&self) -> [&MatmulPlan; 6] {
+        [&self.wq, &self.wk, &self.wv, &self.wo, &self.w1, &self.w2]
+    }
+}
+
+/// Blocked-operand scratch reused across a forward's layers: one slot per
+/// distinct activation layout (`k = hidden` and `k = ffn` inputs) and one
+/// per output layout, so every projection after the first reuses an
+/// existing allocation and the shared-input projections (QKV) pack once.
+#[derive(Default)]
+struct ForwardScratch {
+    /// `B` operand with `k = hidden` rows (QKV / output / FFN-up inputs).
+    b_hidden: ActivationBuf,
+    /// `B` operand with `k = ffn` rows (FFN-down input).
+    b_ffn: ActivationBuf,
+    /// `C` output with `m = hidden` rows.
+    c_hidden: ActivationBuf,
+    /// `C` output with `m = ffn` rows.
+    c_ffn: ActivationBuf,
 }
 
 /// Per-layer KV cache: `hidden x capacity` column-major, `len` valid.
@@ -170,7 +208,9 @@ impl DecoderState {
 }
 
 impl DecoderModel {
-    /// Random-initialized weights for `cfg`.
+    /// Random-initialized weights for `cfg`. This is where every weight is
+    /// packed into its blocked kernel layout — the only weight-pack events
+    /// the model ever generates (see [`crate::prepared::pack_events`]).
     pub fn new(cfg: DecoderConfig, seed: u64) -> Self {
         let mut rng = Xorshift::new(seed);
         let h = cfg.hidden;
@@ -179,7 +219,7 @@ impl DecoderModel {
             let std = (1.0 / rows as f32).sqrt();
             let mut v = vec![0.0f32; rows * cols];
             pl_tensor::fill_normal(&mut v, &mut rng, 0.0, std);
-            v
+            MatmulPlan::new(&v, Trans::No, rows, cols)
         };
         let blocks = (0..cfg.layers)
             .map(|_| Block {
@@ -201,6 +241,38 @@ impl DecoderModel {
     /// Config accessor.
     pub fn config(&self) -> &DecoderConfig {
         &self.cfg
+    }
+
+    /// Appends (deduped by `(m, n, k)`) the exact GEMM problems this
+    /// model's prepared plans execute at activation width `n` — what a
+    /// tuning warmer must cover so steady-state traffic runs search
+    /// winners. The shapes come *from the plans themselves*, so they are
+    /// blocked identically to the kernels that will run.
+    pub fn plan_problems(&self, n: usize, out: &mut Vec<GemmProblem>) {
+        for blk in &self.blocks {
+            for plan in blk.plans() {
+                let p = plan.problem(n);
+                if !out.iter().any(|q| (q.m, q.n, q.k) == (p.m, p.n, p.k)) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+
+    /// Pre-constructs every plan's kernel at each width in `widths`
+    /// (zero-width entries are skipped), so the first real step at any of
+    /// those widths builds nothing. Call after installing a tuning
+    /// snapshot: the kernels then resolve against it immediately.
+    pub fn warm_plans(&self, widths: &[usize]) {
+        for blk in &self.blocks {
+            for plan in blk.plans() {
+                for &n in widths {
+                    if n > 0 {
+                        plan.warm(n);
+                    }
+                }
+            }
+        }
     }
 
     /// Fresh empty KV state with capacity `max_tokens`.
@@ -229,8 +301,9 @@ impl DecoderModel {
         pool: &ThreadPool,
     ) -> Vec<f32> {
         let mut cur = x.to_vec();
+        let mut scratch = ForwardScratch::default();
         for l in 0..self.blocks.len() {
-            cur = self.block_forward(l, state, &cur, tokens, pool);
+            cur = self.block_forward(l, state, &cur, tokens, &mut scratch, pool);
         }
         cur
     }
@@ -301,8 +374,9 @@ impl DecoderModel {
             x[s * h..(s + 1) * h].copy_from_slice(xs);
             states.push(Mutex::new(state));
         }
+        let mut scratch = ForwardScratch::default();
         for l in 0..self.blocks.len() {
-            x = self.block_forward_fused(l, &states, &x, pool);
+            x = self.block_forward_fused(l, &states, &x, &mut scratch, pool);
         }
         // Scatter the final activation columns back out per session.
         (0..b).map(|s| x[s * h..(s + 1) * h].to_vec()).collect()
@@ -310,12 +384,17 @@ impl DecoderModel {
 
     /// One transformer block of the fused batched step: shared-weight
     /// projections over all B columns at once, per-session KV append +
-    /// attention inside a single parallel region.
+    /// attention inside a single parallel region. The layer's QKV
+    /// projections share **one** pre-blocked copy of their input (packed
+    /// once into `scratch`, consumed by three plans), and every other
+    /// projection reuses the same scratch allocations — no weight bytes
+    /// are packed anywhere on this path.
     fn block_forward_fused(
         &self,
         l: usize,
         states: &[Mutex<&mut DecoderState>],
         x: &[f32],
+        scratch: &mut ForwardScratch,
         pool: &ThreadPool,
     ) -> Vec<f32> {
         let b = states.len();
@@ -331,10 +410,16 @@ impl DecoderModel {
         norm::layernorm(h, b, x, h, &blk.ln1_g, &blk.ln1_b, 1e-5, &mut xn, h, &mut mean, &mut rstd);
 
         // The fused projections: one `hidden x B` GEMM each where the
-        // serial path runs B `hidden x 1` GEMVs.
-        let q = matmul(&blk.wq, Trans::No, &xn, Trans::No, h, b, h, pool);
-        let knew = matmul(&blk.wk, Trans::No, &xn, Trans::No, h, b, h, pool);
-        let vnew = matmul(&blk.wv, Trans::No, &xn, Trans::No, h, b, h, pool);
+        // serial path runs B `hidden x 1` GEMVs. The blocked input is
+        // packed once and feeds all three plans.
+        let (q, knew, vnew) = {
+            let xb = blk.wq.pack_activations(&xn, b, &mut scratch.b_hidden);
+            (
+                blk.wq.execute_packed(xb, &mut scratch.c_hidden, pool),
+                blk.wk.execute_packed(xb, &mut scratch.c_hidden, pool),
+                blk.wv.execute_packed(xb, &mut scratch.c_hidden, pool),
+            )
+        };
 
         // Per-session attention against each session's own cache, all
         // sessions load-balanced inside one region. The per-session
@@ -381,18 +466,28 @@ impl DecoderModel {
             ctx[s * h..(s + 1) * h].copy_from_slice(&col.lock().unwrap());
         }
 
-        let attn = matmul(&blk.wo, Trans::No, &ctx, Trans::No, h, b, h, pool);
+        let attn = {
+            let cb = blk.wo.pack_activations(&ctx, b, &mut scratch.b_hidden);
+            blk.wo.execute_packed(cb, &mut scratch.c_hidden, pool)
+        };
         let mut resid: Vec<f32> = x.iter().zip(&attn).map(|(a, b)| a + b).collect();
 
-        // FFN with pre-LN, again over all B columns at once.
+        // FFN with pre-LN, again over all B columns at once; the blocked
+        // scratch (same `k = hidden` layout as QKV) is reused.
         let mut rn = vec![0.0f32; h * b];
         norm::layernorm(
             h, b, &resid, h, &blk.ln2_g, &blk.ln2_b, 1e-5, &mut rn, h, &mut mean, &mut rstd,
         );
-        let pre = matmul(&blk.w1, Trans::No, &rn, Trans::No, self.cfg.ffn, b, h, pool);
+        let pre = {
+            let rb = blk.w1.pack_activations(&rn, b, &mut scratch.b_hidden);
+            blk.w1.execute_packed(rb, &mut scratch.c_ffn, pool)
+        };
         let mut act = vec![0.0f32; self.cfg.ffn * b];
         unary::gelu(self.cfg.ffn, b, &pre, self.cfg.ffn, &mut act, self.cfg.ffn);
-        let ffn = matmul(&blk.w2, Trans::No, &act, Trans::No, h, b, self.cfg.ffn, pool);
+        let ffn = {
+            let ab = blk.w2.pack_activations(&act, b, &mut scratch.b_ffn);
+            blk.w2.execute_packed(ab, &mut scratch.c_hidden, pool)
+        };
         for (r, f) in resid.iter_mut().zip(&ffn) {
             *r += *f;
         }
@@ -405,6 +500,7 @@ impl DecoderModel {
         state: &mut DecoderState,
         x: &[f32],
         tokens: usize,
+        scratch: &mut ForwardScratch,
         pool: &ThreadPool,
     ) -> Vec<f32> {
         let h = self.cfg.hidden;
@@ -421,9 +517,15 @@ impl DecoderModel {
             h, tokens, x, h, &blk.ln1_g, &blk.ln1_b, 1e-5, &mut xn, h, &mut mean, &mut rstd,
         );
 
-        let q = matmul(&blk.wq, Trans::No, &xn, Trans::No, h, tokens, h, pool);
-        let knew = matmul(&blk.wk, Trans::No, &xn, Trans::No, h, tokens, h, pool);
-        let vnew = matmul(&blk.wv, Trans::No, &xn, Trans::No, h, tokens, h, pool);
+        // QKV through the prepared plans, sharing one packed input.
+        let (q, knew, vnew) = {
+            let xb = blk.wq.pack_activations(&xn, tokens, &mut scratch.b_hidden);
+            (
+                blk.wq.execute_packed(xb, &mut scratch.c_hidden, pool),
+                blk.wk.execute_packed(xb, &mut scratch.c_hidden, pool),
+                blk.wv.execute_packed(xb, &mut scratch.c_hidden, pool),
+            )
+        };
         // Append to cache.
         {
             let cache = &mut state.caches[l];
@@ -464,7 +566,10 @@ impl DecoderModel {
                 }
             }
         }
-        let attn = matmul(&blk.wo, Trans::No, &ctx, Trans::No, h, tokens, h, pool);
+        let attn = {
+            let cb = blk.wo.pack_activations(&ctx, tokens, &mut scratch.b_hidden);
+            blk.wo.execute_packed(cb, &mut scratch.c_hidden, pool)
+        };
         let mut resid: Vec<f32> = x.iter().zip(&attn).map(|(a, b)| a + b).collect();
 
         // FFN with pre-LN.
@@ -472,10 +577,16 @@ impl DecoderModel {
         norm::layernorm(
             h, tokens, &resid, h, &blk.ln2_g, &blk.ln2_b, 1e-5, &mut rn, h, &mut mean, &mut rstd,
         );
-        let pre = matmul(&blk.w1, Trans::No, &rn, Trans::No, self.cfg.ffn, tokens, h, pool);
+        let pre = {
+            let rb = blk.w1.pack_activations(&rn, tokens, &mut scratch.b_hidden);
+            blk.w1.execute_packed(rb, &mut scratch.c_ffn, pool)
+        };
         let mut act = vec![0.0f32; self.cfg.ffn * tokens];
         unary::gelu(self.cfg.ffn, tokens, &pre, self.cfg.ffn, &mut act, self.cfg.ffn);
-        let ffn = matmul(&blk.w2, Trans::No, &act, Trans::No, h, tokens, self.cfg.ffn, pool);
+        let ffn = {
+            let ab = blk.w2.pack_activations(&act, tokens, &mut scratch.b_ffn);
+            blk.w2.execute_packed(ab, &mut scratch.c_hidden, pool)
+        };
         for (r, f) in resid.iter_mut().zip(&ffn) {
             *r += *f;
         }
@@ -737,6 +848,23 @@ mod tests {
         let err = max_rel_err(&got[0], &want);
         assert!(err <= 1e-5, "rel err {err}");
         assert_eq!(st_fused.cached_tokens(), 1);
+    }
+
+    #[test]
+    fn plan_problems_and_warm_cover_layer_shapes() {
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = DecoderModel::new(cfg, 5);
+        let mut out = Vec::new();
+        model.plan_problems(4, &mut out);
+        let shapes: Vec<(usize, usize, usize)> = out.iter().map(|p| (p.m, p.n, p.k)).collect();
+        // Deduped across layers: QKV/WO share one shape, plus the two FFN
+        // shapes.
+        assert_eq!(
+            shapes,
+            vec![(cfg.hidden, 4, cfg.hidden), (cfg.ffn, 4, cfg.hidden), (cfg.hidden, 4, cfg.ffn)]
+        );
+        // Warming is side-effect-only (zero widths skipped).
+        model.warm_plans(&[1, 4, 0]);
     }
 
     #[test]

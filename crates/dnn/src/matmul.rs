@@ -1,22 +1,27 @@
-//! Flat-matrix matmul helper used by the DL layers.
+//! Flat-matrix matmul bridge — the **pack-per-call compatibility wrapper**
+//! over the prepared-op API.
 //!
 //! The layers keep activations as flat column-major `features x tokens`
-//! f32 matrices; this helper packs operands into PARLOOPER blocked layouts,
-//! runs the tuned GEMM kernel, and unpacks. Packing is `O(n^2)` against the
-//! GEMM's `O(n^3)` — the same layout-transformation cost the paper's
-//! blocked tensors pay once per layer boundary.
+//! f32 matrices. Historically every weight contraction went through
+//! [`matmul`], which re-packs both operands into PARLOOPER blocked layouts
+//! and re-constructs the tuned GEMM kernel per call. That per-call layout
+//! cost is exactly what the paper amortizes at layer boundaries, and what
+//! [`crate::prepared::MatmulPlan`] now front-loads: **new code should hold
+//! plans, not call this function** — `matmul` remains only for one-shot
+//! contractions whose operands change every call (gradients, attention
+//! score/context products) and as the reference the plan equivalence tests
+//! compare against. Consider it deprecated for weight operands.
 //!
-//! Kernel selection goes through [`crate::tuning`]: when a warmed
-//! [`pl_autotuner::TuningDb`] snapshot is installed (e.g. by a serving
-//! runtime at startup), every call resolves its `loop_spec_string` from
-//! the database entry for this exact `(m, n, k)`; otherwise the built-in
-//! `GemmTuning::default_parallel` spec is used. Either way the numeric
-//! result is identical — specs only reorder *which thread* produces each
-//! output block, never the per-element reduction order.
+//! [`matmul`] is implemented as a throwaway [`crate::prepared::MatmulPlan`]
+//! built per call, so both paths execute the identical kernel: same
+//! blockings ([`pl_kernels::GemmShape::default_block`]), same tuning
+//! resolution through [`crate::tuning`], same per-element reduction order —
+//! plan outputs are **bit-identical** to `matmul` outputs. No-transpose
+//! operands are borrowed, never copied; `Trans::Yes` operands pay one
+//! transpose.
 
-use pl_kernels::{Gemm, GemmShape, GemmTuning};
+use crate::prepared::MatmulPlan;
 use pl_runtime::ThreadPool;
-use pl_tensor::BlockedMatrix;
 
 /// Operand orientation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +34,9 @@ pub enum Trans {
 
 /// `C (m x n) = op_a(A) x op_b(B)` over flat column-major f32 buffers.
 ///
-/// `a` is `(m x k)` after `ta`, `b` is `(k x n)` after `tb`.
+/// `a` is `(m x k)` after `ta`, `b` is `(k x n)` after `tb`. Packs both
+/// operands on every call — hold a [`crate::prepared::MatmulPlan`] instead
+/// when `a` is a weight that outlives the call.
 #[allow(clippy::too_many_arguments)] // flat GEMM bridge: op_a/op_b + 3 dims + pool
 pub fn matmul(
     a: &[f32],
@@ -43,28 +50,11 @@ pub fn matmul(
 ) -> Vec<f32> {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    let a_cm: Vec<f32> = match ta {
-        Trans::No => a.to_vec(),
-        Trans::Yes => transpose_cm(a, k, m),
-    };
-    let b_cm: Vec<f32> = match tb {
-        Trans::No => b.to_vec(),
-        Trans::Yes => transpose_cm(b, n, k),
-    };
-    let shape = GemmShape::with_default_blocks(m, n, k);
-    // A registry entry whose spec the loop layer rejects (e.g. a corrupted
-    // persisted DB) must degrade to the built-in spec, not panic the
-    // caller — the lookup-or-fallback contract of `crate::tuning`.
-    let kernel = Gemm::<f32, f32, f32>::new(shape, crate::tuning::gemm_tuning_for(&shape))
-        .or_else(|_| Gemm::<f32, f32, f32>::new(shape, GemmTuning::default_parallel(shape.kb())))
-        .expect("matmul shape");
-    let mut am = BlockedMatrix::<f32>::a_layout(m, k, shape.bm, shape.bk).unwrap();
-    am.pack_from_colmajor(&a_cm);
-    let mut bm = BlockedMatrix::<f32>::b_layout(k, n, shape.bk, shape.bn).unwrap();
-    bm.pack_from_colmajor(&b_cm);
-    let mut cm = BlockedMatrix::<f32>::c_layout(m, n, shape.bm, shape.bn).unwrap();
-    kernel.execute(&am, &bm, &mut cm, pool).expect("matmul execute");
-    cm.unpack_to_colmajor()
+    let plan = MatmulPlan::new(a, ta, m, k);
+    match tb {
+        Trans::No => plan.execute(b, n, pool),
+        Trans::Yes => plan.execute(&transpose_cm(b, n, k), n, pool),
+    }
 }
 
 /// Transpose of a flat column-major `rows x cols` matrix.
@@ -96,7 +86,8 @@ mod tests {
         let c2 = matmul(&at, Trans::Yes, &b, Trans::No, m, n, k, &pool);
         let bt = transpose_cm(&b, k, n);
         let c3 = matmul(&a, Trans::No, &bt, Trans::Yes, m, n, k, &pool);
-        for (ci, c) in [c1, c2, c3].iter().enumerate() {
+        let c4 = matmul(&at, Trans::Yes, &bt, Trans::Yes, m, n, k, &pool);
+        for (ci, c) in [c1, c2, c3, c4].iter().enumerate() {
             for i in 0..m * n {
                 assert!((c[i] - want[i]).abs() < 1e-3, "case {ci} idx {i}");
             }

@@ -1,11 +1,18 @@
 //! ResNet-50 components (paper §IV-C, Fig. 7, Table II): the exact
-//! convolution shape table of Fig. 7, batch normalization (fwd/bwd), and
-//! pooling — the layers that, together with `pl_kernels::conv` and the FC
-//! kernel, make up the training pipeline.
+//! convolution shape table of Fig. 7, batch normalization (fwd/bwd),
+//! pooling, and the dense classifier head ([`FcHead`]) — the layers that,
+//! together with `pl_kernels::conv`, make up the training pipeline. The
+//! classifier is the network's one dense weight contraction and runs as a
+//! prepared plan ([`crate::prepared::MatmulPlan`]): the `classes x
+//! features` weight is packed into its blocked kernel layout once at
+//! construction, so per-minibatch forwards only pack the pooled
+//! activations.
 
+use crate::matmul::Trans;
+use crate::prepared::MatmulPlan;
 use parlooper::{LoopSpecs, ThreadedLoop};
 use pl_runtime::ThreadPool;
-use pl_tensor::{ActTensor, ConvShape, Element};
+use pl_tensor::{ActTensor, ConvShape, Element, Xorshift};
 
 /// One row of the Fig. 7 shape table.
 #[derive(Debug, Clone, Copy)]
@@ -255,6 +262,60 @@ pub fn global_avgpool<T: Element>(x: &ActTensor<T>) -> Vec<f32> {
     out
 }
 
+/// The dense classifier head: [`global_avgpool`] features (`features x n`
+/// column-major) → class logits (`classes x n`), through a pack-once
+/// prepared plan.
+pub struct FcHead {
+    features: usize,
+    classes: usize,
+    plan: MatmulPlan,
+    bias: Vec<f32>,
+}
+
+impl FcHead {
+    /// Random-initialized head (ResNet-50: `features = 2048`,
+    /// `classes = 1000`).
+    pub fn new(features: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = Xorshift::new(seed);
+        let std = (1.0 / features as f32).sqrt();
+        let mut w = vec![0.0f32; classes * features];
+        pl_tensor::fill_normal(&mut w, &mut rng, 0.0, std);
+        let bias = vec![0.0f32; classes];
+        Self::from_weights(&w, &bias, features, classes)
+    }
+
+    /// Builds from explicit weights (`classes x features`, column-major)
+    /// and bias — the weight is packed here, exactly once.
+    pub fn from_weights(w: &[f32], bias: &[f32], features: usize, classes: usize) -> Self {
+        assert_eq!(bias.len(), classes, "bias size mismatch");
+        FcHead {
+            features,
+            classes,
+            plan: MatmulPlan::new(w, Trans::No, classes, features),
+            bias: bias.to_vec(),
+        }
+    }
+
+    /// Class count.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Input feature count.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Logits (`classes x n`, column-major) for a `features x n` pooled
+    /// activation matrix (the [`global_avgpool`] output layout).
+    pub fn forward(&self, feats: &[f32], n: usize, pool: &ThreadPool) -> Vec<f32> {
+        assert_eq!(feats.len(), self.features * n, "pooled feature size mismatch");
+        let mut y = self.plan.execute(feats, n, pool);
+        pl_tpp::binary::bias_add(self.classes, n, &self.bias, &mut y, self.classes);
+        y
+    }
+}
+
 /// Total forward flops of ResNet-50's convolutions at minibatch `n`.
 pub fn resnet50_conv_flops(n: usize) -> f64 {
     resnet50_conv_shapes(n, 64, 64).iter().map(|l| l.shape.flops() as f64 * l.count as f64).sum()
@@ -362,6 +423,32 @@ mod tests {
             let fd = (loss(&xp) - loss(&xm)) / (2.0 * h);
             let got = dx.get(0, ch, yy, xx);
             assert!((got - fd).abs() < 2e-2, "({ch},{yy},{xx}): {got} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn fc_head_matches_reference_and_packs_once() {
+        let pool = ThreadPool::new(2);
+        let (features, classes, n) = (32, 10, 4);
+        let mut rng = pl_tensor::Xorshift::new(12);
+        let mut w = vec![0.0f32; classes * features];
+        let mut bias = vec![0.0f32; classes];
+        let mut feats = vec![0.0f32; features * n];
+        pl_tensor::fill_uniform(&mut w, &mut rng, -0.5, 0.5);
+        pl_tensor::fill_uniform(&mut bias, &mut rng, -0.5, 0.5);
+        pl_tensor::fill_uniform(&mut feats, &mut rng, -0.5, 0.5);
+        let head = FcHead::from_weights(&w, &bias, features, classes);
+        assert_eq!((head.features(), head.classes()), (features, classes));
+        let got = head.forward(&feats, n, &pool);
+        assert_eq!(got, head.forward(&feats, n, &pool), "cached-kernel forward is stable");
+        let mut want = pl_kernels::gemm::reference_gemm(&w, &feats, classes, n, features);
+        for col in 0..n {
+            for r in 0..classes {
+                want[col * classes + r] += bias[r];
+            }
+        }
+        for i in 0..want.len() {
+            assert!((got[i] - want[i]).abs() < 1e-3, "idx {i}");
         }
     }
 

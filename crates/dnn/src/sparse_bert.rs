@@ -8,7 +8,8 @@
 //! dense BRGEMM.
 
 use crate::bert::{BertConfig, BertLayer, DenseWeights};
-use pl_kernels::BlockSpmm;
+use crate::prepared::{build_spmm_kernel, SpmmPlan};
+use pl_autotuner::GemmProblem;
 use pl_runtime::ThreadPool;
 use pl_tensor::{BcscMatrix, VnniMatrix, Xorshift};
 use pl_tpp::{softmax, unary};
@@ -52,24 +53,19 @@ pub fn prune_to_block_sparse(
     BcscMatrix::from_dense_colmajor(&dense, rows, cols, block, block).expect("bcsc")
 }
 
-/// One sparse contraction: `y (m x t) = A_sparse (m x k) * x (k x t)`.
+/// One sparse contraction: `y (m x t) = A_sparse (m x k) * x (k x t)` —
+/// the **pack-per-call** compatibility bridge: it re-resolves tuning and
+/// re-constructs the kernel every call. Layers that own their sparse
+/// weight should hold a [`SpmmPlan`] instead (what [`SparseBertLayer`]
+/// does); this wrapper remains for one-shot contractions.
 ///
 /// The `loop_spec_string` resolves through [`crate::tuning`]: an installed
 /// tuning-DB snapshot with an `spmm/…/{m}x{t}x{k}` entry wins, otherwise
-/// [`SpmmTuning::default_parallel`] applies.
+/// `SpmmTuning::default_parallel` applies (degrade-don't-panic on
+/// rejected registry specs).
 pub fn spmm_matmul(a: &BcscMatrix<f32>, x: &[f32], tokens: usize, pool: &ThreadPool) -> Vec<f32> {
     let (m, k) = (a.rows(), a.cols());
-    let bn = pick_bn(tokens);
-    let blocks = pl_kernels::GemmShape { m, n: tokens, k, bm: a.bm(), bn, bk: a.bk() };
-    let tuning = crate::tuning::spmm_tuning_for(&blocks);
-    // Same degrade-don't-panic contract as `crate::matmul`: a rejected
-    // registry spec falls back to the built-in parallel spec.
-    let kernel = BlockSpmm::new(m, tokens, k, a.bm(), a.bk(), bn, tuning)
-        .or_else(|_| {
-            let fallback = pl_kernels::SpmmTuning::default_parallel(k / a.bk());
-            BlockSpmm::new(m, tokens, k, a.bm(), a.bk(), bn, fallback)
-        })
-        .expect("spmm kernel");
+    let (bn, kernel) = build_spmm_kernel(m, k, a.bm(), a.bk(), tokens);
     let mut b = VnniMatrix::<f32>::new(k, tokens, bn, 1).expect("b vnni");
     b.pack_from_colmajor(x);
     let mut c = VnniMatrix::<f32>::new(m, tokens, bn, 1).expect("c vnni");
@@ -77,19 +73,13 @@ pub fn spmm_matmul(a: &BcscMatrix<f32>, x: &[f32], tokens: usize, pool: &ThreadP
     c.unpack_to_colmajor()
 }
 
-fn pick_bn(tokens: usize) -> usize {
-    for cand in [16, 8, 4, 2, 1] {
-        if tokens.is_multiple_of(cand) {
-            return cand;
-        }
-    }
-    1
-}
-
-/// Block-sparse weights of one encoder layer.
+/// Block-sparse weights of one encoder layer, held as prepared
+/// [`SpmmPlan`]s: the BCSC compression happens once at pruning time and
+/// the constructed kernels are cached per token width, so forwards pay
+/// neither weight re-compression nor kernel re-construction.
 pub struct SparseBertLayer {
     cfg: BertConfig,
-    sw: Vec<BcscMatrix<f32>>, // wq, wk, wv, wo, w1, w2
+    sw: Vec<SpmmPlan>, // wq, wk, wv, wo, w1, w2
     biases: Vec<Vec<f32>>,
     ln1_g: Vec<f32>,
     ln1_b: Vec<f32>,
@@ -107,7 +97,7 @@ impl SparseBertLayer {
             .weights
             .iter()
             .zip(dims)
-            .map(|(w, (r, c))| prune_to_block_sparse(w, r, c, block, sparsity))
+            .map(|(w, (r, c))| SpmmPlan::new(prune_to_block_sparse(w, r, c, block, sparsity)))
             .collect();
         SparseBertLayer {
             cfg,
@@ -122,12 +112,32 @@ impl SparseBertLayer {
 
     /// Effective sparsity actually achieved across the six weights.
     pub fn sparsity(&self) -> f64 {
-        self.sw.iter().map(|m| m.sparsity()).sum::<f64>() / self.sw.len() as f64
+        self.sw.iter().map(|m| m.weight().sparsity()).sum::<f64>() / self.sw.len() as f64
     }
 
     /// Compressed weight footprint in bytes.
     pub fn compressed_bytes(&self) -> usize {
-        self.sw.iter().map(|m| m.compressed_bytes()).sum()
+        self.sw.iter().map(|m| m.weight().compressed_bytes()).sum()
+    }
+
+    /// Appends (deduped by `(m, n, k)`) the exact SpMM problems this
+    /// layer's plans execute at `tokens` columns — the `spmm/...` shapes a
+    /// tuning warmer must cover for [`crate::tuning::lookup_spmm`] to hit.
+    pub fn plan_problems(&self, tokens: usize, out: &mut Vec<GemmProblem>) {
+        for plan in &self.sw {
+            let p = plan.problem(tokens);
+            if !out.iter().any(|q| (q.m, q.n, q.k) == (p.m, p.n, p.k)) {
+                out.push(p);
+            }
+        }
+    }
+
+    /// Pre-constructs every plan's kernel at `tokens` columns (e.g. right
+    /// after a tuning snapshot install).
+    pub fn warm_plans(&self, tokens: usize) {
+        for plan in &self.sw {
+            plan.warm(tokens);
+        }
     }
 
     /// Forward (inference only; mirrors `BertLayer::forward` with sparse
@@ -137,8 +147,8 @@ impl SparseBertLayer {
         let nh = self.cfg.heads;
         let dh = h / nh;
         let i = self.cfg.intermediate;
-        let lin = |w: &BcscMatrix<f32>, b: &[f32], x: &[f32], out_f: usize| -> Vec<f32> {
-            let mut y = spmm_matmul(w, x, tokens, pool);
+        let lin = |w: &SpmmPlan, b: &[f32], x: &[f32], out_f: usize| -> Vec<f32> {
+            let mut y = w.execute(x, tokens, pool);
             pl_tpp::binary::bias_add(out_f, tokens, b, &mut y, out_f);
             y
         };

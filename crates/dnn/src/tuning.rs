@@ -23,6 +23,7 @@
 use pl_autotuner::{blocks_for_spec, GemmProblem, TuningDb};
 use pl_kernels::{GemmShape, GemmTuning, SpmmTuning};
 use pl_tensor::DType;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 struct Registry {
@@ -32,16 +33,31 @@ struct Registry {
 
 static REGISTRY: RwLock<Option<Registry>> = RwLock::new(None);
 
+/// Monotonic registry generation, bumped by every [`install`]/[`clear`].
+/// Prepared plans ([`crate::prepared`]) tag cached kernels with the epoch
+/// they resolved their spec under and re-resolve when it moves — so a plan
+/// built *before* a snapshot install executes the tuned specs right after
+/// it (numeric results are unchanged either way; see the module docs).
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Current registry generation (see [`EPOCH`]'s invariants above).
+pub fn epoch() -> u64 {
+    EPOCH.load(Ordering::Acquire)
+}
+
 /// Installs `db` (a snapshot) as the process-wide tuning source for
-/// `platform`. Replaces any previously installed registry.
+/// `platform`. Replaces any previously installed registry and advances the
+/// registry [`epoch`] so prepared plans re-resolve their cached kernels.
 pub fn install(platform: &str, db: TuningDb) {
     *REGISTRY.write().unwrap() = Some(Registry { platform: platform.to_string(), db });
+    EPOCH.fetch_add(1, Ordering::AcqRel);
 }
 
 /// Removes the installed registry; kernel selection reverts to the
-/// built-in `default_parallel` specs.
+/// built-in `default_parallel` specs (and the [`epoch`] advances).
 pub fn clear() {
     *REGISTRY.write().unwrap() = None;
+    EPOCH.fetch_add(1, Ordering::AcqRel);
 }
 
 /// Whether a registry is installed.
@@ -126,6 +142,7 @@ mod tests {
     #[test]
     fn registry_lifecycle_and_lookups() {
         clear();
+        let epoch0 = epoch();
         let shape = GemmShape::with_default_blocks(64, 8, 64);
         assert!(lookup_gemm(&shape).is_none(), "no registry -> no hit");
         assert_eq!(gemm_tuning_for(&shape), GemmTuning::default_parallel(shape.kb()));
@@ -152,6 +169,7 @@ mod tests {
         );
         install("TestPlat", db);
         assert!(is_installed());
+        assert!(epoch() > epoch0, "install advances the registry epoch");
 
         let t = lookup_gemm(&shape).expect("warmed shape resolves");
         assert_eq!(t.spec, "aBC");

@@ -77,17 +77,28 @@ pub struct GemmShape {
 impl GemmShape {
     /// Shape with square-ish default blocks of 32 (clamped to the dims).
     pub fn with_default_blocks(m: usize, n: usize, k: usize) -> Self {
-        let pick = |d: usize| {
-            // Largest divisor of d that is <= 64 and a multiple of 8 if
-            // possible; falls back to d itself for small dims.
-            for cand in [64, 48, 32, 16, 8, 4, 2, 1] {
-                if d.is_multiple_of(cand) {
-                    return cand;
-                }
+        GemmShape {
+            m,
+            n,
+            k,
+            bm: Self::default_block(m),
+            bn: Self::default_block(n),
+            bk: Self::default_block(k),
+        }
+    }
+
+    /// The block extent [`Self::with_default_blocks`] picks for one
+    /// dimension: the largest of 64/48/32/16/8/4/2/1 dividing `d`. Public
+    /// so pack-once planners can block a weight's M/K dims independently
+    /// of the batch-dependent N dim and still land on the exact blocking
+    /// the per-call bridge would have used.
+    pub fn default_block(d: usize) -> usize {
+        for cand in [64, 48, 32, 16, 8, 4, 2, 1] {
+            if d.is_multiple_of(cand) {
+                return cand;
             }
-            1
-        };
-        GemmShape { m, n, k, bm: pick(m), bn: pick(n), bk: pick(k) }
+        }
+        1
     }
 
     /// Number of M blocks.

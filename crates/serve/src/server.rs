@@ -6,12 +6,10 @@ use crate::session::{Session, SessionId, TenantId};
 use crate::stats::ServerStats;
 use crate::{ServeError, StepResult};
 use parking_lot::Mutex;
-use pl_autotuner::{batch_ladder, warm_gemm_db, Constraints, GemmProblem, TuningDb};
+use pl_autotuner::{batch_ladder, warm_gemm_db, warm_spmm_db, Constraints, GemmProblem, TuningDb};
 use pl_dnn::{DecoderModel, DecoderState};
-use pl_kernels::GemmShape;
 use pl_perfmodel::Platform;
 use pl_runtime::ThreadPool;
-use pl_tensor::DType;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -119,24 +117,26 @@ impl Server {
         self.inner.session_count.load(Ordering::Relaxed) as usize
     }
 
-    /// The three per-layer weight GEMMs at token/batch width `n`, blocked
-    /// exactly as the kernel layer blocks them
-    /// ([`GemmShape::with_default_blocks`] — the same call
-    /// `pl_dnn::matmul` makes, so the warmed keys name the shapes that
-    /// actually execute).
+    /// The per-layer weight GEMMs at token/batch width `n`, reported **by
+    /// the model's prepared plans themselves**
+    /// ([`DecoderModel::plan_problems`]): each plan names the exact
+    /// `(m, n, k)` + blocking its kernel will execute, so the warmed keys
+    /// are the shapes that actually run — no hand-maintained shape list to
+    /// drift out of sync with the execution layer.
     fn layer_gemm_problems(&self, n: usize, out: &mut Vec<GemmProblem>) {
-        let cfg = self.inner.model.config();
-        let (h, f) = (cfg.hidden, cfg.ffn);
-        let mut push = |m: usize, n: usize, k: usize| {
-            let sh = GemmShape::with_default_blocks(m, n, k);
-            let p = GemmProblem { m, n, k, bm: sh.bm, bn: sh.bn, bk: sh.bk, dtype: DType::F32 };
-            if !out.iter().any(|q: &GemmProblem| (q.m, q.n, q.k) == (p.m, p.n, p.k)) {
-                out.push(p);
+        self.inner.model.plan_problems(n, out);
+    }
+
+    /// Every activation width the batcher can produce: decode widths
+    /// `1..=max_batch` plus the prefill prompt-width ladder.
+    fn plan_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = (1..=self.inner.cfg.max_batch.max(1)).collect();
+        for t in batch_ladder(self.inner.cfg.kv_capacity) {
+            if !widths.contains(&t) {
+                widths.push(t);
             }
-        };
-        push(h, n, h); // qkv + output projections
-        push(f, n, h); // FFN up
-        push(h, n, f); // FFN down
+        }
+        widths
     }
 
     /// GEMM problems the batcher's decode steps can run: for every
@@ -175,17 +175,30 @@ impl Server {
     /// ([`Server::decode_gemm_problems`]) *and* prefill at the prompt-width
     /// ladder ([`Server::prefill_gemm_problems`]) — on `platform`: the
     /// paper's offline search (Fig. 1 boxes B2/B3) runs at server startup
-    /// so results are ready before traffic arrives. The warmed snapshot is
-    /// then **installed** into [`pl_dnn::tuning`], the kernel-selection
-    /// registry `pl_dnn::matmul` consults, so steady-state traffic runs
-    /// the search winners. Returns the number of shapes tuned.
+    /// so results are ready before traffic arrives. The same geometry is
+    /// also warmed under the `spmm/...` keys ([`warm_spmm_db`], the
+    /// minimal model-based SpMM warm-up), so a block-sparse variant served
+    /// over this model resolves warmed specs instead of always falling
+    /// through to `default_parallel`.
+    ///
+    /// The warmed snapshot is then **installed** into [`pl_dnn::tuning`]
+    /// and the model's prepared plans are warmed *through* it
+    /// ([`DecoderModel::warm_plans`] at every width the batcher can
+    /// produce): every kernel a steady-state step can hit is constructed
+    /// here, against the freshly tuned specs, before traffic arrives.
+    /// Returns the number of database entries added (GEMM + SpMM keys).
     pub fn warm_tuning(&self, platform: &Platform, threads: usize) -> usize {
         let mut problems = self.decode_gemm_problems();
         problems.extend(self.prefill_gemm_problems());
         let constraints = Constraints::gemm(0, 1, 1, 200);
-        let mut db = self.inner.tuning.lock();
-        let added = warm_gemm_db(&mut db, &problems, &constraints, platform, threads);
-        pl_dnn::tuning::install(platform.name, db.clone());
+        let added = {
+            let mut db = self.inner.tuning.lock();
+            let gemm_added = warm_gemm_db(&mut db, &problems, &constraints, platform, threads);
+            let spmm_added = warm_spmm_db(&mut db, &problems, &constraints, platform, threads);
+            pl_dnn::tuning::install(platform.name, db.clone());
+            gemm_added + spmm_added
+        };
+        self.inner.model.warm_plans(&self.plan_widths());
         added
     }
 
@@ -643,14 +656,23 @@ mod tests {
         assert!(!prefill.is_empty());
         assert!(prefill.iter().all(|p| p.n > 1), "tokens = 1 rides the decode set");
         assert!(prefill.iter().any(|p| p.n == 16), "kv-capacity prompt width present");
-        // Warm count = distinct (m, n, k) across both sets.
+        // Warm count = distinct (m, n, k) across both sets, once under the
+        // gemm keys and once under the spmm keys (the SpMM warm-up rides
+        // the same geometry).
         let distinct: std::collections::BTreeSet<(usize, usize, usize)> =
             decode.iter().chain(&prefill).map(|p| (p.m, p.n, p.k)).collect();
         let tuned = server.warm_tuning(&Platform::zen4(), 4);
-        assert_eq!(tuned, distinct.len());
-        assert_eq!(server.tuning_db().len(), distinct.len());
-        // The warmed snapshot is live in the kernel-selection registry.
+        assert_eq!(tuned, 2 * distinct.len());
+        assert_eq!(server.tuning_db().len(), 2 * distinct.len());
+        // The warmed snapshot is live in the kernel-selection registry —
+        // and the spmm keys now *hit* instead of falling through.
         assert!(pl_dnn::tuning::is_installed());
+        let p = &decode[0];
+        let shape = pl_kernels::GemmShape::with_default_blocks(p.m, p.n, p.k);
+        assert!(
+            pl_dnn::tuning::lookup_spmm(&shape).is_some(),
+            "spmm lookup must hit after warm_tuning"
+        );
         // Idempotent.
         assert_eq!(server.warm_tuning(&Platform::zen4(), 4), 0);
     }

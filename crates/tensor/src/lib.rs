@@ -30,7 +30,7 @@ pub mod fill;
 pub mod vnni;
 
 pub use bcsc::BcscMatrix;
-pub use blocked::{BlockedMatrix, GridOrder, InnerLayout};
+pub use blocked::{reuse_blocked, BlockedMatrix, GridOrder, InnerLayout};
 pub use buffer::AlignedVec;
 pub use conv::{ActTensor, ConvShape, ConvWeights};
 pub use dtype::{Bf16, DType, Element};

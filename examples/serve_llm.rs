@@ -72,8 +72,13 @@ fn main() {
         },
     );
     let warmed = server.warm_tuning(&Platform::zen4(), pool.nthreads());
-    println!("tuning DB warmed + installed for {warmed} decode/prefill GEMM shapes");
+    println!("tuning DB warmed + installed for {warmed} decode/prefill GEMM+SpMM shapes");
     server.start();
+
+    // Every weight was packed into its blocked kernel layout at model
+    // construction; from here on, serving (and the baseline replay below)
+    // must pack activations only.
+    let packs_before_traffic = pl_dnn::prepared::pack_events();
 
     // --- Serve: concurrent clients through the batcher. -----------------
     let t0 = Instant::now();
@@ -160,6 +165,11 @@ fn main() {
     println!("\nserve wall time      {serve_s:>10.3} s");
     println!("baseline wall time   {base_s:>10.3} s (sequential unbatched)");
 
+    assert_eq!(
+        pl_dnn::prepared::pack_events(),
+        packs_before_traffic,
+        "steady-state serving packed weight bytes (prepared-op discipline violated)"
+    );
     assert_eq!(
         mismatches,
         0,

@@ -1,0 +1,144 @@
+//! Integration tests of the prepared-op API (`pl_dnn::prepared`):
+//! plan-vs-free-function bitwise equivalence across all operand
+//! orientations, and tuning-snapshot install semantics (a plan built
+//! before `pl_dnn::tuning::install` re-resolves its kernels and keeps
+//! producing identical values).
+
+use pl_autotuner::{DbEntry, TuningDb};
+use pl_dnn::matmul::{matmul, transpose_cm, Trans};
+use pl_dnn::{tuning, MatmulPlan, SpmmPlan};
+use pl_kernels::gemm::reference_gemm;
+use pl_kernels::GemmShape;
+use pl_runtime::ThreadPool;
+use pl_tensor::{fill_uniform, BcscMatrix, Xorshift};
+
+fn random(len: usize, seed: u64) -> Vec<f32> {
+    let mut v = vec![0.0f32; len];
+    fill_uniform(&mut v, &mut Xorshift::new(seed), -0.5, 0.5);
+    v
+}
+
+#[test]
+fn plan_is_bitwise_equal_to_free_matmul_for_all_orientations() {
+    // The prepared plan packs the weight once and reuses a cached kernel;
+    // the free function re-packs per call. Both must produce *bitwise*
+    // identical outputs for every Trans combination — the plan migration
+    // cannot move a single ulp.
+    let pool = ThreadPool::new(4);
+    let (m, n, k) = (48, 12, 36);
+    let a = random(m * k, 1);
+    let b = random(k * n, 2);
+    let at = transpose_cm(&a, m, k); // (k x m) storing A^T
+    let bt = transpose_cm(&b, k, n); // (n x k) storing B^T
+    let want = reference_gemm(&a, &b, m, n, k);
+
+    for (ta, a_buf) in [(Trans::No, &a), (Trans::Yes, &at)] {
+        for (tb, b_buf) in [(Trans::No, &b), (Trans::Yes, &bt)] {
+            let free = matmul(a_buf, ta, b_buf, tb, m, n, k, &pool);
+            let plan = MatmulPlan::new(a_buf, ta, m, k);
+            let act: Vec<f32> = match tb {
+                Trans::No => b_buf.clone(),
+                Trans::Yes => transpose_cm(b_buf, n, k),
+            };
+            let first = plan.execute(&act, n, &pool);
+            let second = plan.execute(&act, n, &pool); // cached kernel
+            assert_eq!(free, first, "plan != free function ({ta:?}, {tb:?})");
+            assert_eq!(first, second, "cached-kernel re-execution drifted ({ta:?}, {tb:?})");
+            for i in 0..m * n {
+                assert!((first[i] - want[i]).abs() < 1e-3, "({ta:?}, {tb:?}) idx {i}");
+            }
+        }
+    }
+}
+
+// One test exercises the whole install -> execute -> clear lifecycle (for
+// both the GEMM and SpMM plans) so registry mutation never races a
+// concurrently running sibling test.
+#[test]
+fn plan_built_before_snapshot_install_still_executes_correctly() {
+    // Registry re-resolution semantics: a plan caches kernels tagged with
+    // the tuning epoch; installing a snapshot afterwards makes the next
+    // execution re-resolve against it. Values must be bitwise unchanged —
+    // specs only move work between threads, never reassociate the
+    // reduction.
+    let pool = ThreadPool::new(4);
+    let (m, n, k) = (64, 8, 64);
+    let w = random(m * k, 3);
+    let x = random(k * n, 4);
+    let want = reference_gemm(&w, &x, m, n, k);
+
+    tuning::clear();
+    let plan = MatmulPlan::new(&w, Trans::No, m, k);
+    plan.warm(n); // kernel resolved under the *pre-install* epoch
+    let before = plan.execute(&x, n, &pool);
+
+    // Install a snapshot that covers this exact shape with a different
+    // (but legal) spec, plus a corrupt entry for a sibling shape the plan
+    // must degrade on rather than panic.
+    let mut db = TuningDb::new();
+    let platform = "PreparedTest";
+    db.put(
+        &TuningDb::gemm_key(platform, m, n, k, "f32"),
+        DbEntry { spec: "aBC".into(), score: 9.0 },
+    );
+    db.put(
+        &TuningDb::gemm_key(platform, m, 2 * n, k, "f32"),
+        DbEntry { spec: "azbc".into(), score: 1.0 },
+    );
+    let epoch_before = tuning::epoch();
+    tuning::install(platform, db);
+    assert!(tuning::epoch() > epoch_before);
+
+    // The pre-built plan picks the snapshot up on its next execution.
+    let shape = GemmShape::with_default_blocks(m, n, k);
+    assert_eq!(tuning::lookup_gemm(&shape).expect("warmed shape resolves").spec, "aBC");
+    let after = plan.execute(&x, n, &pool);
+    assert_eq!(before, after, "snapshot install changed values");
+    for i in 0..m * n {
+        assert!((after[i] - want[i]).abs() < 1e-3, "idx {i}");
+    }
+
+    // The corrupt entry degrades to the built-in spec, not a panic.
+    let x2 = random(k * 2 * n, 5);
+    let corrupt = plan.execute(&x2, 2 * n, &pool);
+    let want2 = reference_gemm(&w, &x2, m, 2 * n, k);
+    for i in 0..m * 2 * n {
+        assert!((corrupt[i] - want2[i]).abs() < 1e-3, "idx {i}");
+    }
+
+    // Clearing the registry re-resolves again; still bitwise stable.
+    tuning::clear();
+    assert_eq!(plan.execute(&x, n, &pool), before);
+
+    // --- The SpMM plan side of the same lifecycle. ----------------------
+    let (m, k, tokens) = (32, 32, 8);
+    let mut rng = Xorshift::new(6);
+    let a = BcscMatrix::<f32>::random(m, k, 8, 8, 0.6, &mut rng).unwrap();
+    let x = random(k * tokens, 7);
+
+    let free = pl_dnn::sparse_bert::spmm_matmul(&a, &x, tokens, &pool);
+    let plan = SpmmPlan::new(a);
+    let got = plan.execute(&x, tokens, &pool);
+    assert_eq!(free, got, "SpmmPlan != pack-per-call bridge");
+
+    // The plan-reported problem warms a key that lookup_spmm then hits.
+    let problem = plan.problem(tokens);
+    let mut db = TuningDb::new();
+    let platform = pl_perfmodel::Platform::zen4();
+    let constraints = pl_autotuner::Constraints::gemm(0, 1, 1, 100);
+    let added = pl_autotuner::warm_spmm_db(&mut db, &[problem], &constraints, &platform, 4);
+    assert_eq!(added, 1);
+    tuning::install(platform.name, db);
+    let shape = GemmShape {
+        m: problem.m,
+        n: problem.n,
+        k: problem.k,
+        bm: problem.bm,
+        bn: problem.bn,
+        bk: problem.bk,
+    };
+    assert!(tuning::lookup_spmm(&shape).is_some(), "warmed spmm key must hit");
+    // Executing through the tuned spec is value-identical.
+    assert_eq!(plan.execute(&x, tokens, &pool), got);
+    tuning::clear();
+}
