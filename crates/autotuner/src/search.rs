@@ -338,6 +338,43 @@ mod tests {
     }
 
     #[test]
+    fn batch_ladder_boundary_widths() {
+        // Width 1: the degenerate ladder is exactly the decode width.
+        assert_eq!(batch_ladder(1), vec![1]);
+        assert_eq!(batch_ladder(2), vec![1, 2]);
+        // Exact power-of-two max: no ragged tail rung is appended.
+        for exp in 0..=10u32 {
+            let max = 1usize << exp;
+            let ladder = batch_ladder(max);
+            assert_eq!(*ladder.last().unwrap(), max);
+            assert_eq!(ladder.len(), exp as usize + 1, "pure power ladder for {max}");
+            assert!(ladder.iter().all(|w| w.is_power_of_two()));
+        }
+        // kv_capacity-shaped maxima (the serving warm-up's upper bound):
+        // the capacity itself is always a rung, whether ragged or not.
+        for kv in [16usize, 64, 100, 128, 129, 1000] {
+            let ladder = batch_ladder(kv);
+            assert_eq!(*ladder.last().unwrap(), kv, "kv_capacity {kv} must be warmed");
+            assert!(ladder.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+            assert!(ladder.iter().all(|&w| w <= kv), "no rung beyond capacity");
+        }
+        // Round-up contract for missed widths: for every width w <= max,
+        // the consumer rounds up to the next rung — which must exist and
+        // be `next_power_of_two(w)` (or `max` itself when that power
+        // overshoots the ragged tail).
+        for max in [6usize, 8, 13, 100] {
+            let ladder = batch_ladder(max);
+            for w in 1..=max {
+                let rung = *ladder.iter().find(|&&r| r >= w).unwrap_or_else(|| {
+                    panic!("width {w} has no rung to round up to in ladder({max})")
+                });
+                let expect = if w.next_power_of_two() <= max { w.next_power_of_two() } else { max };
+                assert_eq!(rung, expect, "width {w} in ladder({max})");
+            }
+        }
+    }
+
+    #[test]
     fn search_reports_wall_time() {
         let c = Constraints::gemm(0, 0, 0, 10);
         let r = tune_gemm_modeled(&problem(), &c, &Platform::zen4(), 4);

@@ -13,7 +13,10 @@
 //! to O(B) — the throughput lever the paper's BRGEMM design exists for,
 //! which is where the fused-over-serial headroom at B >= 4 comes from.
 
-use pl_bench::{f1, f2, header, row, time_it};
+use pl_bench::{
+    f1, f2, header, measure_router_steps_per_s, router_mode_name, row, time_it, BenchArtifact,
+    BenchRow, RouterLoad, ROUTING_OVERHEAD, SERVE_ARTIFACT,
+};
 use pl_dnn::matmul::{matmul, Trans};
 use pl_dnn::{DecoderConfig, DecoderModel, MatmulPlan};
 use pl_runtime::{default_threads, ThreadPool};
@@ -108,9 +111,60 @@ fn pack_amortization(pool: &Arc<ThreadPool>) {
     println!();
 }
 
+const ROUTER_SESSIONS: usize = 16;
+
+/// Router scale-out: the same closed-loop traffic through a router at
+/// 1/2/4 shards, the machine's threads split disjointly across the
+/// shards (so every row uses the *same* total compute), driven by the
+/// shared [`measure_router_steps_per_s`] harness. Measured steps/s is
+/// printed next to the `ScalingModel` projection — the paper's Table I
+/// methodology applied to serving shards instead of training nodes.
+fn router_scaling(model: &Arc<DecoderModel>, total_threads: usize, artifact: &mut BenchArtifact) {
+    for &fused in &[false, true] {
+        let mode = router_mode_name(fused);
+        let load = RouterLoad {
+            sessions: ROUTER_SESSIONS,
+            steps: STEPS,
+            tenants: 2,
+            kv_capacity: KV,
+            fused,
+            seed: 70,
+        };
+        header(
+            &format!(
+                "pl-router scale-out ({ROUTER_SESSIONS} sessions x {STEPS} steps, \
+                 {total_threads} threads split across shards, {mode}) [measured]"
+            ),
+            &["shards", "steps/s", "measured x", "projected x"],
+        );
+        let mut single = 0.0f64;
+        for shards in [1usize, 2, 4] {
+            let sps = measure_router_steps_per_s(model, shards, total_threads, &load);
+            if shards == 1 {
+                single = sps;
+            }
+            let projection =
+                pl_router::serving_scaling_model(ROUTING_OVERHEAD).projected_speedup(shards);
+            row(&[
+                shards.to_string(),
+                f1(sps),
+                format!("{:.2}x", sps / single.max(1e-9)),
+                format!("{projection:.2}x"),
+            ]);
+            artifact.upsert(BenchRow {
+                mode: mode.to_string(),
+                batch: ROUTER_SESSIONS,
+                shards,
+                steps_per_s: sps,
+            });
+        }
+    }
+}
+
 fn main() {
     let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 11));
     let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
+    let mut artifact = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
     pack_amortization(&pool);
     header(
         &format!(
@@ -123,10 +177,27 @@ fn main() {
     let mut fused_at_max = 0.0;
     for max_batch in [1usize, 2, 4, 8] {
         serial_at_max = drive(max_batch, false, &model, &pool);
+        artifact.upsert(BenchRow {
+            mode: "serial".into(),
+            batch: max_batch,
+            shards: 1,
+            steps_per_s: serial_at_max,
+        });
         fused_at_max = drive(max_batch, true, &model, &pool);
+        artifact.upsert(BenchRow {
+            mode: "fused".into(),
+            batch: max_batch,
+            shards: 1,
+            steps_per_s: fused_at_max,
+        });
     }
     println!(
         "\nfused/serial speedup at max_batch=8: {:.2}x",
         fused_at_max / serial_at_max.max(1e-9)
     );
+    router_scaling(&model, pool.nthreads(), &mut artifact);
+    match artifact.save(&pl_bench::workspace_path(SERVE_ARTIFACT)) {
+        Ok(()) => println!("\nwrote {} rows to {SERVE_ARTIFACT}", artifact.rows().len()),
+        Err(e) => eprintln!("\nfailed to write {SERVE_ARTIFACT}: {e}"),
+    }
 }

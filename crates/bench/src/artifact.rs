@@ -1,0 +1,305 @@
+//! The machine-readable perf artifact: `BENCH_serve.json`.
+//!
+//! Bench harnesses and demos append their measured rows here so the perf
+//! trajectory is tracked in-repo from PR to PR, keyed by
+//! `{mode, batch, shards}`. Hand-rolled JSON both ways (this environment
+//! has no serialization crates): the writer emits one canonical shape and
+//! the reader parses exactly that shape, tolerating a missing or foreign
+//! file by starting fresh.
+
+use std::path::{Path, PathBuf};
+
+/// Resolves `file` against the workspace root — the nearest ancestor of
+/// the current directory whose `Cargo.toml` declares `[workspace]`
+/// (falling back to the nearest plain `Cargo.toml`, then to the current
+/// directory). Cargo runs bench binaries from the package directory and
+/// examples from the workspace root; anchoring here makes every harness
+/// read and write the *same* artifact, and stopping at the first
+/// workspace manifest keeps a stray `Cargo.toml` higher up (a scratch
+/// project in `$HOME`, say) from silently redirecting the artifact
+/// outside the repository.
+pub fn workspace_path(file: &str) -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut fallback: Option<PathBuf> = None;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if fallback.is_none() {
+                fallback = Some(dir.to_path_buf());
+            }
+            let is_workspace =
+                std::fs::read_to_string(&manifest).is_ok_and(|text| text.contains("[workspace]"));
+            if is_workspace {
+                return dir.join(file);
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => break,
+        }
+    }
+    fallback.unwrap_or(start).join(file)
+}
+
+/// One measured throughput row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Execution mode (`serial`, `fused`, `router-serial`, …).
+    pub mode: String,
+    /// The `max_batch` setting of the run.
+    pub batch: usize,
+    /// Serving shards (1 = a single `Server`).
+    pub shards: usize,
+    /// Measured decode throughput.
+    pub steps_per_s: f64,
+}
+
+impl BenchRow {
+    fn key(&self) -> (String, usize, usize) {
+        (self.mode.clone(), self.batch, self.shards)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"batch\":{},\"shards\":{},\"steps_per_s\":{:.3}}}",
+            escape(&self.mode),
+            self.batch,
+            self.shards,
+            self.steps_per_s
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The artifact: a keyed set of [`BenchRow`]s with JSON persistence.
+#[derive(Debug, Default)]
+pub struct BenchArtifact {
+    rows: Vec<BenchRow>,
+}
+
+impl BenchArtifact {
+    /// Empty artifact.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[BenchRow] {
+        &self.rows
+    }
+
+    /// Rows matching a shard count.
+    pub fn rows_at_shards(&self, shards: usize) -> Vec<&BenchRow> {
+        self.rows.iter().filter(|r| r.shards == shards).collect()
+    }
+
+    /// Inserts `row`, replacing any existing row with the same
+    /// `{mode, batch, shards}` key — re-running a bench updates its rows
+    /// in place instead of appending duplicates.
+    pub fn upsert(&mut self, row: BenchRow) {
+        match self.rows.iter_mut().find(|r| r.key() == row.key()) {
+            Some(existing) => *existing = row,
+            None => self.rows.push(row),
+        }
+    }
+
+    /// Renders the canonical JSON document.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(BenchRow::to_json).collect();
+        format!("{{\n  \"bench\": \"serve_throughput\",\n  \"rows\": [\n    {}\n  ]\n}}\n", {
+            rows.join(",\n    ")
+        })
+    }
+
+    /// Parses a document produced by [`BenchArtifact::to_json`]. Returns
+    /// `None` when the text lacks the document shape; a **row** that
+    /// fails to parse is skipped rather than poisoning the document — a
+    /// truncated tail (e.g. a previous writer died mid-save) must not
+    /// wipe the rows that survived.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let rows_start = text.find("\"rows\"")?;
+        let open = text[rows_start..].find('[')? + rows_start;
+        // A truncated document may have lost the closing bracket; parse
+        // to the end in that case (the incomplete trailing object is
+        // dropped by `split_objects`).
+        let close = text[open..].rfind(']').map_or(text.len(), |i| i + open);
+        let body = &text[open + 1..close];
+        let mut rows = Vec::new();
+        for obj in split_objects(body) {
+            let parsed = (|| {
+                Some(BenchRow {
+                    mode: field_str(obj, "mode")?,
+                    batch: field_num(obj, "batch")? as usize,
+                    shards: field_num(obj, "shards")? as usize,
+                    steps_per_s: field_num(obj, "steps_per_s")?,
+                })
+            })();
+            if let Some(row) = parsed {
+                rows.push(row);
+            }
+        }
+        Some(BenchArtifact { rows })
+    }
+
+    /// Loads from `path`; a missing or unparseable file yields an empty
+    /// artifact (the bench will simply rewrite it).
+    pub fn load(path: &Path) -> Self {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| Self::from_json(&text))
+            .unwrap_or_default()
+    }
+
+    /// Writes the canonical JSON document to `path` atomically (temp
+    /// file + rename in the same directory), so a writer killed mid-save
+    /// can never leave a truncated artifact behind.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Splits `body` into the interiors of its top-level `{...}` objects,
+/// string-aware: braces inside quoted values (e.g. a mode named
+/// `"router{2}"`) do not terminate an object.
+fn split_objects(body: &str) -> Vec<&str> {
+    let mut objects = Vec::new();
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' if start.is_none() => start = Some(i + 1),
+            '}' => {
+                if let Some(s) = start.take() {
+                    objects.push(&body[s..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    objects
+}
+
+fn field_str(obj: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\"");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    // Scan to the first *unescaped* quote, unescaping as we go.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+}
+
+fn field_num(obj: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\"");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(mode: &str, batch: usize, shards: usize, sps: f64) -> BenchRow {
+        BenchRow { mode: mode.into(), batch, shards, steps_per_s: sps }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_rows() {
+        let mut a = BenchArtifact::new();
+        a.upsert(row("serial", 8, 1, 9442.125));
+        a.upsert(row("fused", 8, 1, 12486.5));
+        a.upsert(row("router-serial", 8, 2, 17000.0));
+        let parsed = BenchArtifact::from_json(&a.to_json()).expect("own output parses");
+        assert_eq!(parsed.rows().len(), 3);
+        assert_eq!(parsed.rows()[0].mode, "serial");
+        assert_eq!(parsed.rows()[2].shards, 2);
+        assert!((parsed.rows()[0].steps_per_s - 9442.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upsert_replaces_by_key() {
+        let mut a = BenchArtifact::new();
+        a.upsert(row("serial", 8, 1, 100.0));
+        a.upsert(row("serial", 8, 2, 180.0));
+        a.upsert(row("serial", 8, 1, 120.0)); // rerun updates in place
+        assert_eq!(a.rows().len(), 2);
+        assert!((a.rows()[0].steps_per_s - 120.0).abs() < 1e-9);
+        assert_eq!(a.rows_at_shards(2).len(), 1);
+    }
+
+    #[test]
+    fn truncated_tail_loses_only_the_broken_row() {
+        let mut a = BenchArtifact::new();
+        a.upsert(row("serial", 1, 1, 10.0));
+        a.upsert(row("serial", 2, 1, 20.0));
+        let full = a.to_json();
+        // Simulate a writer killed mid-save: cut the document inside the
+        // last row. The intact rows must survive the reload.
+        let cut = full.rfind("\"batch\":2").unwrap();
+        let truncated = &full[..cut + 3];
+        let recovered = BenchArtifact::from_json(truncated).expect("document shape intact");
+        assert_eq!(recovered.rows().len(), 1, "only the broken row is dropped");
+        assert_eq!(recovered.rows()[0].batch, 1);
+    }
+
+    #[test]
+    fn load_tolerates_missing_and_garbage() {
+        let dir = std::env::temp_dir().join("pl_bench_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.json");
+        assert!(BenchArtifact::load(&missing).rows().is_empty());
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        assert!(BenchArtifact::load(&garbage).rows().is_empty());
+        // Save → load roundtrip through a real file.
+        let mut a = BenchArtifact::new();
+        a.upsert(row("serial", 4, 1, 55.5));
+        let path = dir.join("ok.json");
+        a.save(&path).unwrap();
+        let back = BenchArtifact::load(&path);
+        assert_eq!(back.rows().len(), 1);
+        assert_eq!(back.rows()[0].batch, 4);
+    }
+
+    #[test]
+    fn mode_strings_are_escaped() {
+        let mut a = BenchArtifact::new();
+        a.upsert(row("we\"ird\\mode", 1, 1, 1.0));
+        // Braces inside a quoted mode must not break object splitting —
+        // a single bad row must never wipe the accumulated trajectory.
+        a.upsert(row("router{2}", 2, 2, 2.0));
+        let parsed = BenchArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed.rows().len(), 2);
+        assert_eq!(parsed.rows()[0].mode, "we\"ird\\mode");
+        assert_eq!(parsed.rows()[1].mode, "router{2}");
+        assert_eq!(parsed.rows()[1].shards, 2);
+    }
+}

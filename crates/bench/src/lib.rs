@@ -16,7 +16,14 @@
 //! IPEX) are emulated per the substitution table in `DESIGN.md`; the
 //! emulation parameters live in [`baseline`].
 
+pub mod artifact;
 pub mod baseline;
+pub mod driver;
+
+pub use artifact::{workspace_path, BenchArtifact, BenchRow};
+pub use driver::{
+    measure_router_steps_per_s, router_mode_name, RouterLoad, ROUTING_OVERHEAD, SERVE_ARTIFACT,
+};
 
 use std::time::Instant;
 

@@ -1,0 +1,87 @@
+//! Least-loaded placement of new sessions over shards.
+//!
+//! The same pull-based philosophy as the paper's PAR-MODE dynamic
+//! schedule, one level further up: work (a session) goes wherever
+//! capacity is, decided at admission time. After placement the session is
+//! *affine* — it never migrates, because its KV cache lives in the
+//! shard's memory and moving it would cost more than any rebalancing
+//! could win at decode timescales.
+
+/// One shard's load sample at placement time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Live sessions on the shard.
+    pub live_sessions: usize,
+    /// Decode steps queued but not yet executed.
+    pub queue_depth: usize,
+    /// Draining shards are never placement candidates.
+    pub draining: bool,
+}
+
+impl ShardLoad {
+    /// The scalar placement key: sessions + queued steps. Both terms
+    /// matter — sessions predict future load (each will keep stepping),
+    /// queue depth measures present congestion.
+    pub fn score(&self) -> usize {
+        self.live_sessions + self.queue_depth
+    }
+}
+
+/// Placement-ordered candidate list: non-draining shards sorted by
+/// ascending [`ShardLoad::score`], ties broken by lowest shard index (so
+/// placement is deterministic and the first shards fill first at equal
+/// load). The router tries candidates in order until one admits the
+/// session.
+pub fn placement_order(loads: &[ShardLoad]) -> Vec<usize> {
+    let mut candidates: Vec<&ShardLoad> = loads.iter().filter(|l| !l.draining).collect();
+    candidates.sort_by_key(|l| (l.score(), l.shard));
+    candidates.into_iter().map(|l| l.shard).collect()
+}
+
+/// The least-loaded non-draining shard, if any.
+pub fn least_loaded(loads: &[ShardLoad]) -> Option<usize> {
+    placement_order(loads).first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(shard: usize, live: usize, queued: usize, draining: bool) -> ShardLoad {
+        ShardLoad { shard, live_sessions: live, queue_depth: queued, draining }
+    }
+
+    #[test]
+    fn picks_smallest_combined_load() {
+        let loads = [load(0, 3, 0, false), load(1, 1, 1, false), load(2, 1, 4, false)];
+        assert_eq!(least_loaded(&loads), Some(1));
+        // Queue depth counts: shard 0 has fewer sessions but a deep queue.
+        let loads = [load(0, 1, 9, false), load(1, 3, 0, false)];
+        assert_eq!(least_loaded(&loads), Some(1));
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        let loads = [load(2, 1, 0, false), load(0, 1, 0, false), load(1, 1, 0, false)];
+        assert_eq!(least_loaded(&loads), Some(0));
+        assert_eq!(placement_order(&loads), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn draining_shards_are_excluded() {
+        let loads = [load(0, 0, 0, true), load(1, 5, 2, false)];
+        assert_eq!(least_loaded(&loads), Some(1), "idle but draining shard skipped");
+        assert_eq!(placement_order(&loads), vec![1]);
+        let all_draining = [load(0, 0, 0, true), load(1, 0, 0, true)];
+        assert_eq!(least_loaded(&all_draining), None);
+        assert_eq!(least_loaded(&[]), None);
+    }
+
+    #[test]
+    fn order_is_ascending_by_score() {
+        let loads = [load(0, 4, 4, false), load(1, 0, 1, false), load(2, 2, 0, false)];
+        assert_eq!(placement_order(&loads), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! The measured-vs-projected scaling story.
+//!
+//! The paper validates its cluster numbers against a strong-scaling model
+//! (Table I); this module recalibrates that same model —
+//! [`pl_perfmodel::ScalingModel`], compute term plus a log2-hop
+//! communication term — from training nodes to serving shards, so the
+//! router can print the projected multi-shard steps/s next to the
+//! measured value and the demo/bench can *assert* the measurement lands
+//! in the model's ballpark instead of eyeballing it.
+
+use pl_perfmodel::ScalingModel;
+
+/// A [`ScalingModel`] calibrated for a sharded serving tier.
+///
+/// Units are normalized: the "work" is one shard-interval of decode
+/// (`work = 1`, `sockets_per_node = 1` — a shard is the scaling unit),
+/// and `routing_overhead` is the fraction of that interval spent on
+/// per-hop routing/aggregation (placement bookkeeping, stats merges,
+/// cross-shard imbalance). The projected throughput speedup at `n`
+/// shards is then [`ScalingModel::projected_speedup`]`(n) =
+/// 1 / (1/n + routing_overhead * log2(n))` — near-linear for small
+/// overheads, saturating exactly the way a real router does.
+pub fn serving_scaling_model(routing_overhead: f64) -> ScalingModel {
+    ScalingModel {
+        work_socket_minutes: 1.0,
+        sockets_per_node: 1,
+        comm_minutes_per_hop: routing_overhead.max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_model_projects_near_linear_small_overhead() {
+        let m = serving_scaling_model(0.02);
+        let s2 = m.projected_speedup(2);
+        let s4 = m.projected_speedup(4);
+        assert!((1.8..2.0).contains(&s2), "2-shard projection {s2}");
+        assert!((3.3..4.0).contains(&s4), "4-shard projection {s4}");
+        assert!(s4 > s2);
+        // Closed form: 1 / (1/n + c*log2 n).
+        let expect = 1.0 / (0.25 + 0.02 * 2.0);
+        assert!((s4 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_overhead_saturates() {
+        let m = serving_scaling_model(0.5);
+        assert!(m.projected_speedup(8) < 2.0, "routing-bound tier cannot scale");
+        // Negative overhead clamps to the ideal-linear model.
+        let ideal = serving_scaling_model(-1.0);
+        assert!((ideal.projected_speedup(8) - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,494 @@
+//! The front door: session-affine routing over N core-partitioned shards.
+
+use crate::placement::{placement_order, ShardLoad};
+use crate::projection::serving_scaling_model;
+use crate::shard::{partition_threads, Shard};
+use crate::{stats_agg, RouterError};
+use parking_lot::Mutex;
+use pl_autotuner::TuningDb;
+use pl_dnn::DecoderModel;
+use pl_perfmodel::Platform;
+use pl_serve::{ServeError, ServerConfig, SessionId, StatsSnapshot, StepResult, TenantId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Router-assigned session identifier — a distinct namespace from the
+/// per-shard [`SessionId`]s (two shards can both hold a local session 1;
+/// the router id disambiguates, so there is no cross-shard aliasing).
+pub type RouterSessionId = u64;
+
+/// Where a router session lives. Written once at placement, never
+/// changed: session affinity is what keeps the KV cache from moving.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Placement {
+    pub(crate) shard: usize,
+    pub(crate) local: SessionId,
+}
+
+/// Scale-out knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Number of `Server` shards to build.
+    pub shards: usize,
+    /// Total pool threads split disjointly over the shards
+    /// ([`partition_threads`]; e.g. 8 threads over 2 shards → 2×4), so
+    /// co-resident shards never oversubscribe the machine.
+    pub total_threads: usize,
+    /// Routing/aggregation overhead per log2 hop, as a fraction of one
+    /// shard-interval of work — the communication term of the scaling
+    /// projection ([`serving_scaling_model`]).
+    pub routing_overhead: f64,
+    /// Per-shard server configuration (every shard gets a copy).
+    pub server: ServerConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: 2,
+            total_threads: pl_runtime::default_threads(),
+            routing_overhead: 0.02,
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// The sharded serving tier: N [`Shard`]s behind session-affine routing.
+///
+/// Lifecycle: [`Router::new`] → [`Router::warm_tuning`] (one shard
+/// searches, the rest adopt) → either [`Router::start`] (every shard's
+/// background batcher; clients call the blocking [`Router::step`]) or a
+/// manual [`Router::pump_all`] drive loop → [`Router::shutdown`]. Drains
+/// ([`Router::begin_drain`]) can retire shards from placement at any
+/// point in between.
+pub struct Router {
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) cfg: RouterConfig,
+    pub(crate) sessions: Mutex<HashMap<RouterSessionId, Placement>>,
+    next_session: AtomicU64,
+    pub(crate) started: AtomicBool,
+}
+
+impl Router {
+    /// Builds the shard fleet over one shared `model`. Thread partitions
+    /// come from [`partition_threads`]; every shard gets at least one
+    /// thread.
+    pub fn new(model: Arc<DecoderModel>, cfg: RouterConfig) -> Result<Self, RouterError> {
+        if cfg.shards == 0 {
+            return Err(RouterError::BadConfig("shards must be >= 1".into()));
+        }
+        let parts = partition_threads(cfg.total_threads, cfg.shards);
+        let shards = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Shard::new(i, t, Arc::clone(&model), cfg.server.clone()))
+            .collect();
+        Ok(Router {
+            shards,
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            started: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard.
+    pub fn shard(&self, index: usize) -> &Shard {
+        &self.shards[index]
+    }
+
+    /// All shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Live sessions across the fleet.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.server().session_count()).sum()
+    }
+
+    /// Warms the tuning database **once** and shares it fleet-wide: shard
+    /// 0 runs the full offline search ([`pl_serve::Server::warm_tuning`] —
+    /// decode widths, prefill ladder, GEMM + SpMM keys, registry install,
+    /// plan warm-up), then every other shard copies the snapshot into its
+    /// local slot ([`pl_serve::Server::set_tuning_db`]). The registry
+    /// install and the plan warm-up are process-wide / shared-model
+    /// effects shard 0 already performed, so the peers must not repeat
+    /// them (each repeat would bump the registry epoch and rebuild the
+    /// identical kernel set). N shards, one search, one warm. Returns the
+    /// entries the search added.
+    pub fn warm_tuning(&self, platform: &Platform) -> usize {
+        let first = &self.shards[0];
+        let added = first.server().warm_tuning(platform, first.threads());
+        let snapshot: TuningDb = first.server().tuning_db().clone();
+        for shard in &self.shards[1..] {
+            shard.server().set_tuning_db(&snapshot);
+        }
+        added
+    }
+
+    /// Current placement loads (the inputs to [`placement_order`]).
+    pub fn loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|s| ShardLoad {
+                shard: s.index(),
+                live_sessions: s.server().session_count(),
+                queue_depth: s.server().pending(),
+                draining: s.is_draining(),
+            })
+            .collect()
+    }
+
+    /// Admits a new session: least-loaded non-draining shard first, then
+    /// the next candidates if it is full ([`placement_order`]). The
+    /// session is *affine* to the chosen shard for its whole life.
+    pub fn create_session(&self, tenant: TenantId) -> Result<RouterSessionId, RouterError> {
+        if tenant >= self.cfg.server.tenants {
+            return Err(RouterError::Serve(ServeError::UnknownTenant(tenant)));
+        }
+        let order = placement_order(&self.loads());
+        if order.is_empty() {
+            return Err(RouterError::NoShardAvailable);
+        }
+        for shard_idx in order {
+            match self.shards[shard_idx].server().create_session(tenant) {
+                Ok(local) => {
+                    let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+                    self.sessions.lock().insert(id, Placement { shard: shard_idx, local });
+                    return Ok(id);
+                }
+                // A full shard is not fatal — spill to the next candidate.
+                Err(ServeError::TooManySessions { .. }) => continue,
+                Err(e) => return Err(RouterError::Serve(e)),
+            }
+        }
+        Err(RouterError::NoShardAvailable)
+    }
+
+    /// The shard a session lives on (None when unknown/closed).
+    pub fn placement_of(&self, id: RouterSessionId) -> Option<usize> {
+        self.sessions.lock().get(&id).map(|p| p.shard)
+    }
+
+    pub(crate) fn lookup(&self, id: RouterSessionId) -> Result<Placement, RouterError> {
+        self.sessions.lock().get(&id).copied().ok_or(RouterError::UnknownSession(id))
+    }
+
+    /// Routes a prefill to the session's shard.
+    pub fn prefill(
+        &self,
+        id: RouterSessionId,
+        x: &[f32],
+        tokens: usize,
+    ) -> Result<Vec<f32>, RouterError> {
+        let p = self.lookup(id)?;
+        Ok(self.shards[p.shard].server().prefill(p.local, x, tokens)?)
+    }
+
+    /// Routes a non-blocking decode step to the session's shard.
+    pub fn submit_step(
+        &self,
+        id: RouterSessionId,
+        x: &[f32],
+    ) -> Result<mpsc::Receiver<StepResult>, RouterError> {
+        let p = self.lookup(id)?;
+        Ok(self.shards[p.shard].server().submit_step(p.local, x)?)
+    }
+
+    /// Blocking decode step. Requires [`Router::start`] (or a concurrent
+    /// [`Router::pump_all`] driver on another thread).
+    pub fn step(&self, id: RouterSessionId, x: &[f32]) -> Result<Vec<f32>, RouterError> {
+        let rx = self.submit_step(id, x)?;
+        match rx.recv() {
+            Ok(res) => Ok(res?),
+            Err(_) => Err(RouterError::Serve(ServeError::ShuttingDown)),
+        }
+    }
+
+    /// Gracefully ends a session: the owning shard is first pumped/waited
+    /// dry (so a step still sitting in its rings completes instead of
+    /// erroring `UnknownSession` — see [`Router::quiesce_shard`], one
+    /// bounded pass), then the session is closed and its KV cache freed.
+    /// If the quiesce was cut short by sustained traffic from *other*
+    /// sessions and this session is momentarily checked out by an
+    /// executing batch (`UnknownSession` from the shard while the router
+    /// mapping is live), the close retries over short waits — batches
+    /// re-insert their sessions before delivering replies, so that window
+    /// is microseconds wide and the retry loop does **not** re-pay the
+    /// full quiesce bound. Returns tokens decoded.
+    pub fn close_session(&self, id: RouterSessionId) -> Result<u64, RouterError> {
+        let p = self.lookup(id)?;
+        self.quiesce_shard(p.shard);
+        let server = self.shards[p.shard].server();
+        let started = self.started.load(Ordering::Acquire);
+        let mut attempts = 0usize;
+        let generated = loop {
+            match server.close_session(p.local) {
+                Ok(n) => break n,
+                Err(ServeError::UnknownSession(_)) if attempts < 256 => {
+                    attempts += 1;
+                    if started {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    } else {
+                        server.pump();
+                    }
+                }
+                Err(e) => return Err(RouterError::Serve(e)),
+            }
+        };
+        self.sessions.lock().remove(&id);
+        Ok(generated)
+    }
+
+    /// Pumps every shard once on the calling thread; returns the total
+    /// steps executed. The manual drive loop for tests and
+    /// single-threaded embedders — the same code path each shard's
+    /// background batcher runs.
+    pub fn pump_all(&self) -> usize {
+        self.shards.iter().map(|s| s.server().pump()).sum()
+    }
+
+    /// Starts every shard's background batcher thread. Idempotent.
+    pub fn start(&mut self) {
+        for shard in &mut self.shards {
+            shard.server_mut().start();
+        }
+        self.started.store(true, Ordering::Release);
+    }
+
+    /// Stops admissions, drains every shard's queues, joins the batchers.
+    pub fn shutdown(&mut self) {
+        for shard in &mut self.shards {
+            shard.server_mut().shutdown();
+        }
+        self.started.store(false, Ordering::Release);
+    }
+
+    /// Per-shard stats snapshots, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<StatsSnapshot> {
+        self.shards.iter().map(|s| s.server().stats().snapshot()).collect()
+    }
+
+    /// The fleet-wide aggregated snapshot ([`stats_agg::aggregate`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        let snaps = self.shard_stats();
+        stats_agg::aggregate(snaps.iter())
+    }
+
+    /// The [`ScalingModel`](pl_perfmodel::ScalingModel) projection of the
+    /// throughput speedup at `shards` shards over one, under this
+    /// router's configured `routing_overhead` — printed (and asserted)
+    /// next to measured steps/s by the demo and bench.
+    pub fn projected_speedup(&self, shards: usize) -> f64 {
+        serving_scaling_model(self.cfg.routing_overhead).projected_speedup(shards)
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if self.started.load(Ordering::Acquire) {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_dnn::DecoderConfig;
+    use pl_runtime::ThreadPool;
+    use pl_tensor::{fill_uniform, Xorshift};
+
+    fn tiny_router(shards: usize, server: ServerConfig) -> Router {
+        let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 4242));
+        Router::new(
+            model,
+            RouterConfig { shards, total_threads: 4, routing_overhead: 0.02, server },
+        )
+        .unwrap()
+    }
+
+    fn no_wait() -> ServerConfig {
+        ServerConfig { coalesce_wait: std::time::Duration::ZERO, ..Default::default() }
+    }
+
+    fn token(seed: u64, hidden: usize) -> Vec<f32> {
+        let mut x = vec![0.0f32; hidden];
+        fill_uniform(&mut x, &mut Xorshift::new(seed), -0.5, 0.5);
+        x
+    }
+
+    #[test]
+    fn config_validation_and_partitioning() {
+        assert!(matches!(
+            Router::new(
+                Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 1)),
+                RouterConfig { shards: 0, ..Default::default() }
+            ),
+            Err(RouterError::BadConfig(_))
+        ));
+        let r = tiny_router(2, no_wait());
+        assert_eq!(r.shard_count(), 2);
+        assert_eq!(r.shard(0).threads(), 2);
+        assert_eq!(r.shard(1).threads(), 2);
+        assert_eq!(r.shard(0).threads() + r.shard(1).threads(), 4, "disjoint partition");
+    }
+
+    #[test]
+    fn least_loaded_placement_balances_and_is_affine() {
+        let r = tiny_router(2, no_wait());
+        let ids: Vec<_> = (0..4).map(|_| r.create_session(0).unwrap()).collect();
+        let placements: Vec<_> = ids.iter().map(|&id| r.placement_of(id).unwrap()).collect();
+        // 4 sessions over 2 empty shards: 2 per shard, alternating.
+        assert_eq!(placements, vec![0, 1, 0, 1]);
+        assert_eq!(r.session_count(), 4);
+        // Affinity: placements never change as traffic flows.
+        let hidden = r.shard(0).server().model().config().hidden;
+        for (i, &id) in ids.iter().enumerate() {
+            let rx = r.submit_step(id, &token(10 + i as u64, hidden)).unwrap();
+            while r.pump_all() == 0 {}
+            rx.recv().unwrap().unwrap();
+            assert_eq!(r.placement_of(id).unwrap(), placements[i], "session {i} migrated");
+        }
+        // Each shard executed exactly its own sessions' steps.
+        let per_shard = r.shard_stats();
+        assert_eq!(per_shard[0].completed, 2);
+        assert_eq!(per_shard[1].completed, 2);
+        assert_eq!(r.stats().completed, 4);
+    }
+
+    #[test]
+    fn full_shard_spills_then_fleet_exhausts() {
+        let r = tiny_router(2, ServerConfig { max_sessions: 1, ..no_wait() });
+        let a = r.create_session(0).unwrap();
+        let b = r.create_session(0).unwrap();
+        assert_ne!(r.placement_of(a), r.placement_of(b), "second session spills");
+        assert!(matches!(r.create_session(0), Err(RouterError::NoShardAvailable)));
+        r.close_session(a).unwrap();
+        let c = r.create_session(0).unwrap();
+        assert!(r.placement_of(c).is_some(), "freed capacity is reusable");
+        assert!(matches!(
+            r.create_session(99),
+            Err(RouterError::Serve(ServeError::UnknownTenant(99)))
+        ));
+    }
+
+    #[test]
+    fn routed_streams_match_single_server_bit_identical() {
+        // The affinity + no-KV-leakage correctness story in miniature:
+        // every session's routed stream must equal an unbatched forward
+        // over the same shared weights, regardless of which shard ran it.
+        let r = tiny_router(2, no_wait());
+        let model = Arc::clone(r.shard(0).server().model());
+        let hidden = model.config().hidden;
+        let n = 4;
+        let ids: Vec<_> = (0..n).map(|_| r.create_session(0).unwrap()).collect();
+        let steps = 3usize;
+        let mut streams: Vec<Vec<Vec<f32>>> = vec![Vec::new(); n];
+        for t in 0..steps {
+            let rxs: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| {
+                    let x = if t == 0 {
+                        token(800 + s as u64, hidden)
+                    } else {
+                        streams[s].last().unwrap().clone()
+                    };
+                    r.submit_step(id, &x).unwrap()
+                })
+                .collect();
+            while r.pump_all() > 0 {}
+            for (s, rx) in rxs.into_iter().enumerate() {
+                streams[s].push(rx.recv().unwrap().unwrap());
+            }
+        }
+        let pool = ThreadPool::new(2);
+        for (s, stream) in streams.iter().enumerate() {
+            let mut st = model.new_state(16);
+            let mut x = token(800 + s as u64, hidden);
+            for (t, got) in stream.iter().enumerate() {
+                let want = model.forward(&mut st, &x, 1, &pool);
+                assert_eq!(got, &want, "session {s} step {t} diverged");
+                x = want;
+            }
+        }
+    }
+
+    #[test]
+    fn close_session_drains_queued_steps_first() {
+        let r = tiny_router(2, no_wait());
+        let hidden = r.shard(0).server().model().config().hidden;
+        let id = r.create_session(0).unwrap();
+        let rx = r.submit_step(id, &token(5, hidden)).unwrap();
+        // Close with the step still queued: the graceful drain must let it
+        // complete (not bounce it as UnknownSession).
+        let generated = r.close_session(id).unwrap();
+        assert_eq!(generated, 1);
+        assert!(rx.recv().unwrap().is_ok(), "queued step completed before close");
+        assert!(r.placement_of(id).is_none());
+        assert!(matches!(r.close_session(id), Err(RouterError::UnknownSession(_))));
+    }
+
+    #[test]
+    fn warm_once_adopt_everywhere() {
+        let r = tiny_router(2, ServerConfig { kv_capacity: 8, ..no_wait() });
+        let added = r.warm_tuning(&Platform::zen4());
+        assert!(added > 0, "first warm runs the search");
+        let len0 = r.shard(0).server().tuning_db().len();
+        let len1 = r.shard(1).server().tuning_db().len();
+        assert_eq!(len0, len1, "peers adopt the full snapshot");
+        assert_eq!(len0, added);
+        assert!(pl_dnn::tuning::is_installed());
+        // Re-warming is a no-op search (everything already in the DB).
+        assert_eq!(r.warm_tuning(&Platform::zen4()), 0);
+    }
+
+    #[test]
+    fn blocking_steps_through_started_shards() {
+        let mut r = tiny_router(2, ServerConfig::default());
+        r.start();
+        let hidden = r.shard(0).server().model().config().hidden;
+        let ids: Vec<_> = (0..4).map(|_| r.create_session(0).unwrap()).collect();
+        std::thread::scope(|scope| {
+            for (s, &id) in ids.iter().enumerate() {
+                let r = &r;
+                scope.spawn(move || {
+                    let mut x = token(300 + s as u64, hidden);
+                    for _ in 0..3 {
+                        x = r.step(id, &x).unwrap();
+                    }
+                    r.close_session(id).unwrap();
+                });
+            }
+        });
+        let agg = r.stats();
+        r.shutdown();
+        assert_eq!(agg.completed, 12);
+        assert_eq!(r.session_count(), 0);
+        assert!(matches!(
+            r.create_session(0),
+            Err(RouterError::Serve(ServeError::ShuttingDown)) | Err(RouterError::NoShardAvailable)
+        ));
+    }
+
+    #[test]
+    fn projection_is_exposed_and_sane() {
+        let r = tiny_router(2, no_wait());
+        assert!((r.projected_speedup(1) - 1.0).abs() < 1e-12);
+        let s2 = r.projected_speedup(2);
+        assert!(s2 > 1.5 && s2 < 2.0, "2-shard projection {s2}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Cross-shard stats aggregation.
+//!
+//! Each shard's `ServerStats` stays lock-free and shard-local; the router
+//! aggregates at *read* time by folding per-shard [`StatsSnapshot`]s with
+//! [`StatsSnapshot::merge`]. Counters add, `elapsed_s` takes the max
+//! (shards run concurrently), and latency quantiles are recomputed from
+//! the summed histogram buckets — a merged p99 reflects the worst shard's
+//! tail, which averaging per-shard p99s would hide.
+
+use pl_serve::StatsSnapshot;
+
+/// Folds per-shard snapshots into one fleet-wide snapshot.
+pub fn aggregate<'a>(snapshots: impl IntoIterator<Item = &'a StatsSnapshot>) -> StatsSnapshot {
+    let mut total = StatsSnapshot::empty();
+    for snap in snapshots {
+        total.merge(snap);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_of_nothing_is_empty() {
+        let agg = aggregate([]);
+        assert_eq!(agg.completed, 0);
+        assert_eq!(agg.p99_us, 0);
+        assert_eq!(agg.tokens_per_s, 0.0);
+    }
+
+    #[test]
+    fn aggregate_sums_shards_and_keeps_tails() {
+        let mut fast = StatsSnapshot::empty();
+        fast.elapsed_s = 1.0;
+        fast.completed = 90;
+        fast.batches = 45;
+        fast.latency_buckets[4] = 90; // ≤ 16 µs
+        let mut slow = StatsSnapshot::empty();
+        slow.elapsed_s = 1.0;
+        slow.completed = 10;
+        slow.batches = 10;
+        slow.latency_buckets[10] = 10; // ≤ 1024 µs
+        let agg = aggregate([&fast, &slow]);
+        assert_eq!(agg.completed, 100);
+        assert_eq!(agg.batches, 55);
+        // Concurrent shards: fleet throughput is the sum.
+        assert!((agg.tokens_per_s - 100.0).abs() < 1e-9);
+        // The slow shard's tail survives aggregation.
+        assert_eq!(agg.p99_us, 1024);
+        assert_eq!(agg.p50_us, 16);
+    }
+}

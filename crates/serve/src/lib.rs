@@ -47,7 +47,9 @@ pub use batcher::{DynamicBatcher, StepRequest};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig};
 pub use session::{Session, SessionId, TenantId};
-pub use stats::{CountHistogram, LatencyHistogram, ServerStats, StatsSnapshot};
+pub use stats::{
+    quantile_from_buckets, CountHistogram, LatencyHistogram, ServerStats, StatsSnapshot,
+};
 
 /// What a decode step resolves to.
 pub type StepResult = Result<Vec<f32>, ServeError>;

@@ -69,6 +69,20 @@ struct ServerInner {
     stats: ServerStats,
     shutdown: AtomicBool,
     tuning: Mutex<TuningDb>,
+    /// Accepted steps not yet replied to — incremented on successful
+    /// submit, decremented at reply delivery ([`ServerInner::deliver`]),
+    /// so an accepted step is counted even while its batch holds the
+    /// session checked out of the table.
+    in_flight: AtomicU64,
+}
+
+impl ServerInner {
+    /// Delivers a step reply and retires its in-flight count. Every
+    /// accepted request's reply must go through here exactly once.
+    fn deliver(&self, reply: &mpsc::Sender<StepResult>, result: StepResult) {
+        let _ = reply.send(result);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// The multi-tenant batched serving runtime over one shared
@@ -98,6 +112,7 @@ impl Server {
             next_session: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             tuning: Mutex::new(TuningDb::new()),
+            in_flight: AtomicU64::new(0),
         });
         Server { inner, batcher_thread: None }
     }
@@ -115,6 +130,30 @@ impl Server {
     /// Live session count.
     pub fn session_count(&self) -> usize {
         self.inner.session_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
+    }
+
+    /// Decode steps queued but not yet executed, across all tenant rings
+    /// (approximate — rings are concurrent). This is the queue-depth
+    /// signal a fronting router uses for least-loaded placement and for
+    /// graceful drains.
+    pub fn pending(&self) -> usize {
+        self.inner.batcher.pending()
+    }
+
+    /// Accepted decode steps whose reply has **not yet been delivered** —
+    /// queued in a ring *or* executing inside a batch (where the session
+    /// is checked out of the table and [`Server::pending`] no longer sees
+    /// it). The counter moves at submit and at reply delivery, so there
+    /// is no window where an accepted step is invisible: this is the
+    /// quiescence signal for graceful drains (`pending() == 0` alone
+    /// races the batch-execution window).
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::Acquire) as usize
     }
 
     /// The per-layer weight GEMMs at token/batch width `n`, reported **by
@@ -207,6 +246,36 @@ impl Server {
         self.inner.tuning.lock()
     }
 
+    /// Adopts an already-warmed tuning snapshot instead of re-running the
+    /// search — the multi-shard path: a router warms **one** shard with
+    /// [`Server::warm_tuning`] and hands the resulting snapshot to its
+    /// peers, so N shards pay one offline search, not N. The snapshot
+    /// replaces this server's local DB and is **unconditionally**
+    /// installed into the process-wide [`pl_dnn::tuning`] registry
+    /// (kernels resolve from the registry, so skipping the install when
+    /// some other snapshot is live would silently leave stale tuning in
+    /// effect); the install bumps the registry epoch, and the model's
+    /// plans are warmed through the new snapshot before returning.
+    /// Returns the number of entries adopted.
+    pub fn adopt_tuning(&self, platform_name: &str, db: &TuningDb) -> usize {
+        pl_dnn::tuning::install(platform_name, db.clone());
+        self.inner.model.warm_plans(&self.plan_widths());
+        self.set_tuning_db(db)
+    }
+
+    /// Copies `db` into this server's local tuning slot **only** — no
+    /// registry install, no plan warm-up. This is the peer-shard fast
+    /// path: when another server over the *same shared model* already
+    /// installed this snapshot and warmed the plans (both process-wide
+    /// effects), repeating them per shard would only bump the registry
+    /// epoch and rebuild identical kernels N times. Use
+    /// [`Server::adopt_tuning`] when the snapshot is *not* already live
+    /// (e.g. loaded from disk). Returns the number of entries copied.
+    pub fn set_tuning_db(&self, db: &TuningDb) -> usize {
+        *self.inner.tuning.lock() = db.clone();
+        db.len()
+    }
+
     /// Admits a new session for `tenant`. Rejects when the session cap is
     /// reached or the tenant id is out of range.
     pub fn create_session(&self, tenant: TenantId) -> Result<SessionId, ServeError> {
@@ -282,6 +351,11 @@ impl Server {
         let (tx, rx) = mpsc::channel();
         let req =
             StepRequest { session: id, tenant, x: x.to_vec(), enqueued: Instant::now(), reply: tx };
+        // Counted *before* the request is published: once it is in the
+        // ring a concurrent batcher may execute and deliver it (retiring
+        // the count) at any moment — incrementing afterwards could
+        // transiently wrap the counter below zero.
+        self.inner.in_flight.fetch_add(1, Ordering::AcqRel);
         match self.inner.batcher.submit(req) {
             Ok(()) => {
                 // Close the check-then-push race with shutdown(): if the
@@ -295,6 +369,7 @@ impl Server {
                 Ok(rx)
             }
             Err(_) => {
+                self.inner.in_flight.fetch_sub(1, Ordering::AcqRel);
                 self.inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Backpressure { tenant })
             }
@@ -310,7 +385,7 @@ impl Server {
                 break;
             }
             for req in left {
-                let _ = req.reply.send(Err(ServeError::ShuttingDown));
+                self.inner.deliver(&req.reply, Err(ServeError::ShuttingDown));
             }
         }
     }
@@ -374,10 +449,10 @@ impl Server {
                             capacity: inner.cfg.kv_capacity,
                         };
                         sessions.insert(req.session, sess);
-                        let _ = req.reply.send(Err(err));
+                        inner.deliver(&req.reply, Err(err));
                     }
                     None => {
-                        let _ = req.reply.send(Err(ServeError::UnknownSession(req.session)));
+                        inner.deliver(&req.reply, Err(ServeError::UnknownSession(req.session)));
                     }
                 }
             }
@@ -387,7 +462,7 @@ impl Server {
                 // The ring refilled meanwhile; surface it as backpressure.
                 inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
                 let tenant = req.tenant;
-                let _ = req.reply.send(Err(ServeError::Backpressure { tenant }));
+                inner.deliver(&req.reply, Err(ServeError::Backpressure { tenant }));
             }
         }
         if ready.is_empty() {
@@ -420,7 +495,7 @@ impl Server {
             let us = req.enqueued.elapsed().as_micros() as u64;
             inner.stats.step_latency.record_us(us);
             inner.stats.completed.fetch_add(1, Ordering::Relaxed);
-            let _ = req.reply.send(Ok(y));
+            inner.deliver(&req.reply, Ok(y));
         }
         size
     }
@@ -569,6 +644,40 @@ mod tests {
         let w2 = server.model().forward(&mut st, &token(22, hidden), 1, &pool);
         assert_eq!(y1, w1);
         assert_eq!(y2, w2);
+    }
+
+    #[test]
+    fn in_flight_tracks_accepted_steps_until_reply() {
+        let server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        assert_eq!(server.in_flight(), 0);
+        let id = server.create_session(0).unwrap();
+        let rx1 = server.submit_step(id, &token(41, hidden)).unwrap();
+        let rx2 = server.submit_step(id, &token(42, hidden)).unwrap();
+        assert_eq!(server.in_flight(), 2);
+        assert_eq!(server.pending(), 2);
+        // One pump executes one step (same-session pipelining defers the
+        // second): exactly one reply retired.
+        assert_eq!(server.pump(), 1);
+        assert_eq!(server.in_flight(), 1);
+        assert_eq!(server.pump(), 1);
+        assert_eq!(server.in_flight(), 0);
+        assert_eq!(server.pending(), 0);
+        rx1.recv().unwrap().unwrap();
+        rx2.recv().unwrap().unwrap();
+        // Error replies retire the count too (KV-exhausted session).
+        let tiny = tiny_server(ServerConfig {
+            kv_capacity: 0,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let id = tiny.create_session(0).unwrap();
+        let rx = tiny.submit_step(id, &token(43, tiny.model().config().hidden)).unwrap();
+        assert_eq!(tiny.in_flight(), 1);
+        tiny.pump();
+        assert_eq!(tiny.in_flight(), 0);
+        assert!(matches!(rx.recv().unwrap(), Err(ServeError::KvExhausted { .. })));
     }
 
     #[test]

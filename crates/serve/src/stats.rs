@@ -31,6 +31,27 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Quantile estimate from raw log2 bucket counts: the upper edge of the
+/// bucket containing rank `ceil(q * n)`. This is the pure fold behind
+/// [`LatencyHistogram::quantile_us`], shared with [`StatsSnapshot::merge`]
+/// so cross-shard aggregation recomputes quantiles from summed buckets
+/// instead of (incorrectly) averaging per-shard quantiles.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> u64 {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return 1u64 << i; // upper edge of bucket i
+        }
+    }
+    1u64 << buckets.len().saturating_sub(1)
+}
+
 impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
@@ -43,6 +64,11 @@ impl LatencyHistogram {
 
     fn bucket_of(us: u64) -> usize {
         ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Point-in-time copy of the raw bucket counts (index i = bucket i).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
     /// Records one observation in microseconds.
@@ -68,19 +94,7 @@ impl LatencyHistogram {
 
     /// Upper-edge estimate of quantile `q` (`0.0..=1.0`) in microseconds.
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << i; // upper edge of bucket i
-            }
-        }
-        1u64 << (LATENCY_BUCKETS - 1)
+        quantile_from_buckets(&self.bucket_counts(), q)
     }
 }
 
@@ -212,6 +226,7 @@ impl ServerStats {
             mean_batch: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
             max_batch_observed: self.batch_sizes.max_observed(),
             batch_distribution: self.batch_sizes.nonzero(),
+            latency_buckets: self.step_latency.bucket_counts(),
             p50_us: self.step_latency.quantile_us(0.50),
             p99_us: self.step_latency.quantile_us(0.99),
             mean_us: self.step_latency.mean_us(),
@@ -248,12 +263,140 @@ pub struct StatsSnapshot {
     pub max_batch_observed: usize,
     /// `(batch size, count)` pairs.
     pub batch_distribution: Vec<(usize, u64)>,
+    /// Raw log2 latency bucket counts (bucket i covers `[2^(i-1), 2^i)`
+    /// µs) — carried so snapshots from several servers can be **merged**
+    /// with correct quantiles (averaging per-shard p99s would be wrong).
+    pub latency_buckets: Vec<u64>,
     /// Median queue-to-reply step latency (µs, bucket upper edge).
     pub p50_us: u64,
     /// 99th percentile step latency (µs, bucket upper edge).
     pub p99_us: u64,
     /// Mean step latency (µs).
     pub mean_us: f64,
+}
+
+impl StatsSnapshot {
+    /// The all-zero snapshot — the identity element of [`StatsSnapshot::merge`].
+    pub fn empty() -> Self {
+        StatsSnapshot {
+            elapsed_s: 0.0,
+            submitted: 0,
+            completed: 0,
+            rejected_backpressure: 0,
+            rejected_sessions: 0,
+            batches: 0,
+            prefills: 0,
+            fused_batches: 0,
+            fused_gemm_shapes: Vec::new(),
+            tokens_per_s: 0.0,
+            mean_batch: 0.0,
+            max_batch_observed: 0,
+            batch_distribution: Vec::new(),
+            latency_buckets: vec![0; LATENCY_BUCKETS],
+            p50_us: 0,
+            p99_us: 0,
+            mean_us: 0.0,
+        }
+    }
+
+    /// Latency observations carried by this snapshot (sum of the raw
+    /// buckets).
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Folds `other` into `self` — the cross-shard aggregation a serving
+    /// router needs. Counters add; `elapsed_s` takes the max (shards run
+    /// concurrently, not back-to-back); throughput and means are
+    /// recomputed from the merged counters; quantiles are recomputed from
+    /// the **summed latency buckets** (never from the per-shard p50/p99
+    /// values, which do not compose); batch/shape histograms merge by key.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        let (c_self, c_other) = (self.latency_count() as f64, other.latency_count() as f64);
+        self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.rejected_backpressure += other.rejected_backpressure;
+        self.rejected_sessions += other.rejected_sessions;
+        self.batches += other.batches;
+        self.prefills += other.prefills;
+        self.fused_batches += other.fused_batches;
+        self.max_batch_observed = self.max_batch_observed.max(other.max_batch_observed);
+
+        let mut shapes: BTreeMap<(usize, usize, usize), u64> =
+            self.fused_gemm_shapes.iter().copied().collect();
+        for &(s, c) in &other.fused_gemm_shapes {
+            *shapes.entry(s).or_insert(0) += c;
+        }
+        self.fused_gemm_shapes = shapes.into_iter().collect();
+
+        let mut dist: BTreeMap<usize, u64> = self.batch_distribution.iter().copied().collect();
+        for &(b, c) in &other.batch_distribution {
+            *dist.entry(b).or_insert(0) += c;
+        }
+        self.batch_distribution = dist.into_iter().collect();
+
+        if self.latency_buckets.len() < other.latency_buckets.len() {
+            self.latency_buckets.resize(other.latency_buckets.len(), 0);
+        }
+        for (i, &c) in other.latency_buckets.iter().enumerate() {
+            self.latency_buckets[i] += c;
+        }
+
+        self.tokens_per_s = self.completed as f64 / self.elapsed_s.max(1e-9);
+        self.mean_batch =
+            if self.batches == 0 { 0.0 } else { self.completed as f64 / self.batches as f64 };
+        self.mean_us = if c_self + c_other > 0.0 {
+            (self.mean_us * c_self + other.mean_us * c_other) / (c_self + c_other)
+        } else {
+            0.0
+        };
+        self.p50_us = quantile_from_buckets(&self.latency_buckets, 0.50);
+        self.p99_us = quantile_from_buckets(&self.latency_buckets, 0.99);
+    }
+
+    /// Hand-rolled JSON rendering (no serialization crates in this
+    /// environment) — every field, machine-readable, for scrapers and the
+    /// bench artifact. Array-valued histograms serialize as arrays of
+    /// `[key, count]` pairs; the fused shapes as `[[m, n, k], count]`.
+    pub fn to_json(&self) -> String {
+        let dist: Vec<String> =
+            self.batch_distribution.iter().map(|(b, c)| format!("[{b},{c}]")).collect();
+        let buckets: Vec<String> = self.latency_buckets.iter().map(u64::to_string).collect();
+        let shapes: Vec<String> = self
+            .fused_gemm_shapes
+            .iter()
+            .map(|((m, n, k), c)| format!("[[{m},{n},{k}],{c}]"))
+            .collect();
+        format!(
+            concat!(
+                "{{\"elapsed_s\":{:.6},\"submitted\":{},\"completed\":{},",
+                "\"rejected_backpressure\":{},\"rejected_sessions\":{},",
+                "\"batches\":{},\"prefills\":{},\"fused_batches\":{},",
+                "\"tokens_per_s\":{:.3},\"mean_batch\":{:.4},",
+                "\"max_batch_observed\":{},\"batch_distribution\":[{}],",
+                "\"latency_buckets\":[{}],\"fused_gemm_shapes\":[{}],",
+                "\"p50_us\":{},\"p99_us\":{},\"mean_us\":{:.3}}}"
+            ),
+            self.elapsed_s,
+            self.submitted,
+            self.completed,
+            self.rejected_backpressure,
+            self.rejected_sessions,
+            self.batches,
+            self.prefills,
+            self.fused_batches,
+            self.tokens_per_s,
+            self.mean_batch,
+            self.max_batch_observed,
+            dist.join(","),
+            buckets.join(","),
+            shapes.join(","),
+            self.p50_us,
+            self.p99_us,
+            self.mean_us,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +452,110 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.fused_batches, 3);
         assert_eq!(snap.fused_gemm_shapes, shapes);
+    }
+
+    #[test]
+    fn merge_sums_latency_and_batch_histograms() {
+        // Two shards with disjoint latency populations: shard A all-fast
+        // (16 µs), shard B all-slow (1024 µs). The merged p99 must come
+        // from the *summed buckets* (slow tail visible), not from any
+        // average of the per-shard quantiles.
+        let a = ServerStats::new(8);
+        let b = ServerStats::new(8);
+        for _ in 0..99 {
+            a.step_latency.record_us(16);
+            a.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        b.step_latency.record_us(1024);
+        b.completed.fetch_add(1, Ordering::Relaxed);
+        a.batches.fetch_add(50, Ordering::Relaxed);
+        b.batches.fetch_add(1, Ordering::Relaxed);
+        a.batch_sizes.record(2);
+        a.batch_sizes.record(2);
+        b.batch_sizes.record(2);
+        b.batch_sizes.record(8);
+        b.prefills.fetch_add(3, Ordering::Relaxed);
+        a.record_fused_batch(&[((32, 4, 32), 8)]);
+        b.record_fused_batch(&[((32, 4, 32), 8), ((64, 4, 32), 2)]);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.completed, 100);
+        assert_eq!(merged.batches, 51);
+        assert_eq!(merged.prefills, 3);
+        assert_eq!(merged.latency_count(), 100);
+        // p50 over {99x16, 1x1024} is the 16 µs observation's bucket
+        // (upper edge 32); p99 lands on the rank-99 observation (still
+        // the fast bucket), p100 on the slow one (bucket edge 2048).
+        assert_eq!(merged.p50_us, 32);
+        assert_eq!(merged.p99_us, 32);
+        assert_eq!(quantile_from_buckets(&merged.latency_buckets, 1.0), 2048);
+        // Batch histogram merged by size: three batches of 2, one of 8.
+        assert_eq!(merged.batch_distribution, vec![(2, 3), (8, 1)]);
+        assert_eq!(merged.max_batch_observed, 8);
+        // Fused shape map merged by (m, n, k).
+        assert_eq!(merged.fused_gemm_shapes, vec![((32, 4, 32), 16), ((64, 4, 32), 2)]);
+        assert_eq!(merged.fused_batches, 2);
+        // Mean is count-weighted: (99*16 + 1024) / 100.
+        assert!((merged.mean_us - 26.08).abs() < 1e-9, "mean {}", merged.mean_us);
+        // Rates recomputed from merged counters.
+        assert!((merged.mean_batch - 100.0 / 51.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_identity_and_elapsed_is_max_not_sum() {
+        let s = ServerStats::new(4);
+        s.completed.fetch_add(7, Ordering::Relaxed);
+        s.step_latency.record_us(100);
+        let base = s.snapshot();
+        // empty ⊕ snap == snap ⊕ empty (on every content field; elapsed of
+        // the live snapshot dominates the empty one's 0).
+        let mut left = StatsSnapshot::empty();
+        left.merge(&base);
+        let mut right = base.clone();
+        right.merge(&StatsSnapshot::empty());
+        assert_eq!(left.completed, right.completed);
+        assert_eq!(left.latency_buckets, right.latency_buckets);
+        assert_eq!(left.p99_us, right.p99_us);
+        assert_eq!(left.elapsed_s, right.elapsed_s);
+        // Concurrent shards: elapsed is max, so merged throughput is the
+        // *sum* of shard throughputs, not their mean.
+        let mut x = StatsSnapshot::empty();
+        x.elapsed_s = 2.0;
+        x.completed = 10;
+        let mut y = StatsSnapshot::empty();
+        y.elapsed_s = 2.0;
+        y.completed = 30;
+        x.merge(&y);
+        assert_eq!(x.elapsed_s, 2.0);
+        assert!((x.tokens_per_s - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let s = ServerStats::new(4);
+        s.submitted.fetch_add(5, Ordering::Relaxed);
+        s.completed.fetch_add(5, Ordering::Relaxed);
+        s.batches.fetch_add(2, Ordering::Relaxed);
+        s.batch_sizes.record(2);
+        s.batch_sizes.record(3);
+        s.step_latency.record_us(10);
+        s.record_fused_batch(&[((32, 2, 32), 8)]);
+        let json = s.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for needle in [
+            "\"completed\":5",
+            "\"batches\":2",
+            "\"batch_distribution\":[[2,1],[3,1]]",
+            "\"fused_gemm_shapes\":[[[32,2,32],8]]",
+            "\"latency_buckets\":[",
+            "\"p99_us\":16",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Braces/brackets balance — the hand-rolled writer stays well-formed.
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! End-to-end pl-router demo: sharded scale-out serving over
+//! core-partitioned `Server` instances.
+//!
+//! Phase 1 (correctness): N concurrent client sessions run prefill + a
+//! closed decode loop through a 2-shard [`pl_router::Router`] (sessions
+//! placed least-loaded, affine to their shard). In the default serial
+//! mode the *same* per-session traffic is then replayed through a single
+//! `pl_serve::Server`, and every session's whole output stream must be
+//! **bit-identical** — routing must be invisible to the numerics. In
+//! `--fused` mode each routed stream is checked against a sequential
+//! unbatched replay to ≤ 1e-5 relative error (the fused path's
+//! reassociation tolerance).
+//!
+//! Phase 2 (scaling): the same closed-loop load is driven at 1 shard and
+//! at N shards over the *same* total thread budget (split disjointly),
+//! and the measured steps/s speedup is printed next to the
+//! `pl_perfmodel::ScalingModel` projection (the paper's Table I
+//! methodology, recalibrated to serving shards). Both rows land in the
+//! machine-readable `BENCH_serve.json` trajectory artifact.
+//!
+//! Run: `cargo run --release --example router_llm [-- --fused] [--shards N]`
+
+use pl_bench::{
+    measure_router_steps_per_s, router_mode_name, BenchArtifact, BenchRow, RouterLoad,
+    ROUTING_OVERHEAD, SERVE_ARTIFACT,
+};
+use pl_dnn::{Decoder, DecoderConfig, DecoderModel};
+use pl_perfmodel::Platform;
+use pl_router::{Router, RouterConfig};
+use pl_runtime::{default_threads, ThreadPool};
+use pl_serve::{Server, ServerConfig};
+use pl_tensor::{fill_uniform, max_rel_err, Xorshift};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SESSIONS: usize = 6;
+const TENANTS: usize = 2;
+const PROMPT: usize = 4;
+const STEPS: usize = 24;
+const KV: usize = 64;
+const FUSED_TOL: f32 = 1e-5;
+
+fn prompt_for(session: usize, hidden: usize) -> Vec<f32> {
+    let mut x = vec![0.0f32; hidden * PROMPT];
+    fill_uniform(&mut x, &mut Xorshift::new(9000 + session as u64), -0.5, 0.5);
+    x
+}
+
+fn last_token(y: &[f32], hidden: usize) -> Vec<f32> {
+    y[y.len() - hidden..].to_vec()
+}
+
+fn server_cfg(fused: bool) -> ServerConfig {
+    ServerConfig {
+        tenants: TENANTS,
+        max_batch: SESSIONS,
+        kv_capacity: KV,
+        coalesce_wait: Duration::from_millis(2),
+        fused,
+        ..Default::default()
+    }
+}
+
+/// Drives the standard closed-loop traffic through any `step`-shaped
+/// endpoint; returns every session's full output stream.
+fn drive_clients(
+    hidden: usize,
+    create: impl Fn(usize) -> u64 + Sync,
+    prefill: impl Fn(u64, &[f32], usize) -> Vec<f32> + Sync,
+    step: impl Fn(u64, &[f32]) -> Vec<f32> + Sync,
+    close: impl Fn(u64) + Sync,
+) -> Vec<Vec<Vec<f32>>> {
+    let mut streams: Vec<Vec<Vec<f32>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for s in 0..SESSIONS {
+            let (create, prefill, step, close) = (&create, &prefill, &step, &close);
+            handles.push(scope.spawn(move || {
+                let id = create(s);
+                let y = prefill(id, &prompt_for(s, hidden), PROMPT);
+                let mut x = last_token(&y, hidden);
+                let mut outs = Vec::with_capacity(STEPS);
+                for _ in 0..STEPS {
+                    let y = step(id, &x);
+                    x = y.clone();
+                    outs.push(y);
+                }
+                close(id);
+                outs
+            }));
+        }
+        for h in handles {
+            streams.push(h.join().unwrap());
+        }
+    });
+    streams
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fused = args.iter().any(|a| a == "--fused")
+        || std::env::var("PL_SERVE_FUSED").is_ok_and(|v| v == "1");
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2usize)
+        .max(1);
+    let cfg = DecoderConfig::scaled_for_tests();
+    let hidden = cfg.hidden;
+    let model = Arc::new(DecoderModel::new(cfg, 7777));
+    let total_threads = default_threads().min(8).max(shards);
+    println!(
+        "pl-router demo [{} mode]: {shards} shards x {:?} threads, {SESSIONS} sessions / \
+         {TENANTS} tenants, {PROMPT}-token prompts + {STEPS} decode steps each",
+        if fused { "fused" } else { "serial" },
+        pl_router::partition_threads(total_threads, shards),
+    );
+
+    // --- Phase 1: correctness through the sharded tier. -----------------
+    let mut router = Router::new(
+        Arc::clone(&model),
+        RouterConfig {
+            shards,
+            total_threads,
+            routing_overhead: ROUTING_OVERHEAD,
+            server: server_cfg(fused),
+        },
+    )
+    .expect("router config");
+    let warmed = router.warm_tuning(&Platform::zen4());
+    println!("tuning DB warmed once on shard 0 ({warmed} entries), adopted by {shards} shards");
+    router.start();
+    let routed = drive_clients(
+        hidden,
+        |s| router.create_session(s % TENANTS).expect("admitted"),
+        |id, x, t| router.prefill(id, x, t).unwrap(),
+        |id, x| router.step(id, x).unwrap(),
+        |id| {
+            router.close_session(id).unwrap();
+        },
+    );
+    let per_shard = router.shard_stats();
+    let agg = router.stats();
+    router.shutdown();
+
+    println!("\n=== per-shard / aggregated stats ===");
+    for (i, s) in per_shard.iter().enumerate() {
+        println!(
+            "shard {i}: completed {:>5}  batches {:>4}  mean batch {:>5.2}  p99 {:>6} us",
+            s.completed, s.batches, s.mean_batch, s.p99_us
+        );
+    }
+    println!(
+        "fleet:   completed {:>5}  batches {:>4}  mean batch {:>5.2}  p99 {:>6} us",
+        agg.completed, agg.batches, agg.mean_batch, agg.p99_us
+    );
+    println!("aggregated snapshot (JSON): {}", agg.to_json());
+
+    let mut mismatches = 0usize;
+    let mut worst_rel = 0.0f32;
+    if fused {
+        // Fused reassociates across whatever batch composition each shard
+        // saw; check every routed stream against a sequential unbatched
+        // replay of that stream.
+        let pool = ThreadPool::new(2);
+        for (s, stream) in routed.iter().enumerate() {
+            let mut d = Decoder::from_model(Arc::clone(&model), KV);
+            let y = d.prefill(&prompt_for(s, hidden), PROMPT, &pool);
+            let mut x = last_token(&y, hidden);
+            for (t, served_y) in stream.iter().enumerate() {
+                let y = d.step(&x, &pool);
+                let err = max_rel_err(&y, served_y);
+                worst_rel = worst_rel.max(err);
+                if err > FUSED_TOL {
+                    eprintln!("TOLERANCE EXCEEDED: session {s} step {t}: rel err {err}");
+                    mismatches += 1;
+                }
+                x = served_y.clone();
+            }
+        }
+    } else {
+        // Serial mode: the identical per-session traffic through a single
+        // Server must produce bit-identical streams — sharding is
+        // numerically invisible.
+        let single_pool = Arc::new(ThreadPool::new(total_threads));
+        let mut single = Server::new(Arc::clone(&model), single_pool, server_cfg(false));
+        single.start();
+        let baseline = drive_clients(
+            hidden,
+            |s| single.create_session(s % TENANTS).expect("admitted"),
+            |id, x, t| single.prefill(id, x, t).unwrap(),
+            |id, x| single.step(id, x).unwrap(),
+            |id| {
+                single.close_session(id).unwrap();
+            },
+        );
+        single.shutdown();
+        for (s, (routed_s, single_s)) in routed.iter().zip(&baseline).enumerate() {
+            for (t, (a, b)) in routed_s.iter().zip(single_s).enumerate() {
+                if a != b {
+                    eprintln!("MISMATCH vs single server: session {s} step {t}");
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+
+    // --- Phase 2: measured scale-out vs the ScalingModel projection. ----
+    println!("\n=== scale-out: measured vs ScalingModel projection ===");
+    println!("{:>7} {:>16} {:>12} {:>13}", "shards", "steps/s", "measured x", "projected x");
+    let mode = router_mode_name(fused);
+    let mut artifact = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
+    let projection = pl_router::serving_scaling_model(ROUTING_OVERHEAD);
+    let load = RouterLoad {
+        sessions: SESSIONS,
+        steps: 2 * STEPS,
+        tenants: TENANTS,
+        kv_capacity: KV,
+        fused,
+        seed: 40,
+    };
+    let mut single_sps = 0.0f64;
+    let mut multi_speedup = 0.0f64;
+    for n in [1usize, shards] {
+        let sps = measure_router_steps_per_s(&model, n, total_threads, &load);
+        if n == 1 {
+            single_sps = sps;
+        }
+        let measured_x = sps / single_sps.max(1e-9);
+        if n == shards {
+            multi_speedup = measured_x;
+        }
+        println!(
+            "{n:>7} {sps:>16.1} {measured_x:>11.2}x {:>12.2}x",
+            projection.projected_speedup(n)
+        );
+        artifact.upsert(BenchRow {
+            mode: mode.to_string(),
+            batch: SESSIONS,
+            shards: n,
+            steps_per_s: sps,
+        });
+        if n == shards && shards == 1 {
+            break;
+        }
+    }
+    artifact.save(&pl_bench::workspace_path(SERVE_ARTIFACT)).expect("write BENCH_serve.json");
+    println!("wrote {} rows to {SERVE_ARTIFACT}", artifact.rows().len());
+
+    // --- Assertions. -----------------------------------------------------
+    assert_eq!(agg.completed, (SESSIONS * STEPS) as u64);
+    assert_eq!(agg.prefills, SESSIONS as u64);
+    for (i, s) in per_shard.iter().enumerate() {
+        assert!(s.completed > 0, "shard {i} served no steps — placement is broken");
+    }
+    assert_eq!(
+        mismatches,
+        0,
+        "routed outputs must match ({})",
+        if fused {
+            "<= 1e-5 relative vs unbatched replay"
+        } else {
+            "bit-identical vs single server"
+        }
+    );
+    let reloaded = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
+    assert!(!reloaded.rows_at_shards(1).is_empty(), "artifact has 1-shard rows");
+    if shards > 1 {
+        assert!(!reloaded.rows_at_shards(shards).is_empty(), "artifact has {shards}-shard rows");
+        assert!(multi_speedup > 0.0);
+    }
+    println!(
+        "\nOK [{} mode]: {SESSIONS} sessions across {shards} shards, {}; measured \
+         {shards}-shard speedup {multi_speedup:.2}x vs projected {:.2}x",
+        if fused { "fused" } else { "serial" },
+        if fused {
+            format!("worst rel err {worst_rel:.2e} (tol {FUSED_TOL:.0e})")
+        } else {
+            "all streams bit-identical to the single-server run".to_string()
+        },
+        projection.projected_speedup(shards)
+    );
+}

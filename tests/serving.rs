@@ -174,6 +174,68 @@ fn fused_batched_sessions_match_serial_within_tolerance() {
 }
 
 #[test]
+fn ring_full_backpressure_is_an_error_and_the_session_recovers() {
+    // Satellite coverage for the bounded-ring contract: filling a
+    // tenant's ring must surface `Backpressure` to the submitter
+    // *immediately* (no hang, no silent drop), every previously accepted
+    // step must still execute, and after a `pump` drains the ring the
+    // same session submits and decodes normally again.
+    let cfg = DecoderConfig::scaled_for_tests();
+    let hidden = cfg.hidden;
+    let model = Arc::new(DecoderModel::new(cfg, 555));
+    let pool = Arc::new(ThreadPool::new(2));
+    let capacity = 3usize;
+    let server = Server::new(
+        Arc::clone(&model),
+        pool,
+        ServerConfig {
+            queue_capacity: capacity,
+            coalesce_wait: Duration::ZERO,
+            kv_capacity: KV,
+            ..Default::default()
+        },
+    );
+    let id = server.create_session(0).unwrap();
+    let xs: Vec<Vec<f32>> = (0..=capacity)
+        .map(|t| {
+            let mut x = vec![0.0f32; hidden];
+            fill_uniform(&mut x, &mut Xorshift::new(6001 + t as u64), -0.5, 0.5);
+            x
+        })
+        .collect();
+    // Fill the ring exactly to capacity, then overflow it.
+    let accepted: Vec<_> = (0..capacity).map(|t| server.submit_step(id, &xs[t]).unwrap()).collect();
+    for attempt in 0..2 {
+        match server.submit_step(id, &xs[capacity]) {
+            Err(ServeError::Backpressure { tenant: 0 }) => {}
+            other => panic!("overflow attempt {attempt} must bounce, got {other:?}"),
+        }
+    }
+    assert_eq!(server.stats().snapshot().rejected_backpressure, 2);
+    // Every accepted step still executes: pipelined steps of one session
+    // ride consecutive batches (1 per pump), in submission order.
+    for t in 0..capacity {
+        assert_eq!(server.pump(), 1, "pump {t} must make progress");
+    }
+    let outs: Vec<Vec<f32>> = accepted.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect();
+    // The session recovers: the post-backpressure submit is accepted and
+    // continues the same KV stream.
+    let rx = server.submit_step(id, &xs[capacity]).expect("ring drained, submit accepted");
+    assert_eq!(server.pump(), 1);
+    let recovered = rx.recv().unwrap().unwrap();
+    // Baseline: the same 4-step stream, unbatched.
+    let mut st = model.new_state(KV);
+    let bpool = ThreadPool::new(2);
+    for (t, out) in outs.iter().enumerate() {
+        assert_eq!(out, &model.forward(&mut st, &xs[t], 1, &bpool), "step {t}");
+    }
+    assert_eq!(recovered, model.forward(&mut st, &xs[capacity], 1, &bpool));
+    assert_eq!(server.close_session(id).unwrap(), capacity as u64 + 1);
+}
+
+use pl_serve::ServeError;
+
+#[test]
 fn per_tenant_fairness_under_flood() {
     // One tenant floods its ring; another submits a single step. The
     // trickle tenant's request must ride the *first* batch.
