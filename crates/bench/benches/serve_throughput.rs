@@ -29,7 +29,12 @@ const SESSIONS: usize = 8;
 const STEPS: usize = 32;
 const KV: usize = 64;
 
-fn drive(max_batch: usize, fused: bool, model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) -> f64 {
+fn drive(
+    max_batch: usize,
+    fused: bool,
+    model: &Arc<DecoderModel>,
+    pool: &Arc<ThreadPool>,
+) -> (f64, u64) {
     let cfg = model.config();
     let hidden = cfg.hidden;
     let mut server = Server::new(
@@ -70,7 +75,93 @@ fn drive(max_batch: usize, fused: bool, model: &Arc<DecoderModel>, pool: &Arc<Th
         snap.p50_us.to_string(),
         snap.p99_us.to_string(),
     ]);
-    snap.tokens_per_s
+    (snap.tokens_per_s, snap.p99_us)
+}
+
+const MIXED_PROMPT: usize = 64;
+const MIXED_STEPS: usize = 64;
+const MIXED_KV: usize = 128;
+
+/// The continuous-batching payoff, measured: B = 8 closed-loop decode
+/// sessions with one `MIXED_PROMPT`-token prefill arriving mid-run, once
+/// with the prompt admitted as a single chunk (`prefill_chunk` >= prompt:
+/// the old head-of-line-blocking behavior — the whole forward occupies one
+/// batch while every decode step waits) and once chunked (8-token chunks
+/// interleaving with the decode lanes). Reported decode p99 is the
+/// queue-to-reply latency of the decode steps only; both rows land in the
+/// trajectory artifact.
+fn mixed_workload(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>, artifact: &mut BenchArtifact) {
+    header(
+        &format!(
+            "mixed workload: {SESSIONS} closed-loop decode sessions + one \
+             {MIXED_PROMPT}-token prefill arriving mid-run [measured]"
+        ),
+        &["prefill admission", "decode steps/s", "decode p99 us", "chunks", "mixed batches"],
+    );
+    for &(label, mode, chunk) in &[
+        ("blocking (1 chunk)", "mixed-blocking", MIXED_PROMPT),
+        ("chunked (8 x 8)", "mixed-chunked", 8usize),
+    ] {
+        let hidden = model.config().hidden;
+        let mut server = Server::new(
+            Arc::clone(model),
+            Arc::clone(pool),
+            ServerConfig {
+                tenants: 2,
+                max_batch: SESSIONS,
+                kv_capacity: MIXED_KV,
+                prefill_chunk: chunk,
+                coalesce_wait: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        server.start();
+        std::thread::scope(|scope| {
+            for s in 0..SESSIONS {
+                let server = &server;
+                scope.spawn(move || {
+                    let id = server.create_session(s % 2).unwrap();
+                    let mut x = vec![0.0f32; hidden];
+                    fill_uniform(&mut x, &mut Xorshift::new(80 + s as u64), -0.5, 0.5);
+                    for _ in 0..MIXED_STEPS {
+                        x = server.step(id, &x).unwrap();
+                    }
+                    server.close_session(id).unwrap();
+                });
+            }
+            let server = &server;
+            scope.spawn(move || {
+                // Arrive mid-run: wait for the decode loop to be warm.
+                use std::sync::atomic::Ordering;
+                while server.stats().completed.load(Ordering::Relaxed) < (SESSIONS * 8) as u64 {
+                    std::thread::yield_now();
+                }
+                let id = server.create_session(1).unwrap();
+                let mut prompt = vec![0.0f32; hidden * MIXED_PROMPT];
+                fill_uniform(&mut prompt, &mut Xorshift::new(99), -0.5, 0.5);
+                let y = server.prefill(id, &prompt, MIXED_PROMPT).unwrap();
+                assert_eq!(y.len(), hidden * MIXED_PROMPT);
+                server.close_session(id).unwrap();
+            });
+        });
+        let snap = server.stats().snapshot();
+        server.shutdown();
+        row(&[
+            label.to_string(),
+            f1(snap.tokens_per_s),
+            snap.p99_us.to_string(),
+            snap.prefill_chunks.to_string(),
+            snap.mixed_batches.to_string(),
+        ]);
+        artifact.upsert(BenchRow {
+            mode: mode.into(),
+            batch: SESSIONS,
+            shards: 1,
+            steps_per_s: snap.tokens_per_s,
+            p99_us: snap.p99_us as f64,
+        });
+    }
+    println!();
 }
 
 /// Pack-per-call vs prepared-plan execution of one layer-scale weight
@@ -156,6 +247,7 @@ fn router_scaling(model: &Arc<DecoderModel>, total_threads: usize, artifact: &mu
                 batch: ROUTER_SESSIONS,
                 shards,
                 steps_per_s: sps,
+                p99_us: 0.0,
             });
         }
     }
@@ -176,25 +268,30 @@ fn main() {
     let mut serial_at_max = 0.0;
     let mut fused_at_max = 0.0;
     for max_batch in [1usize, 2, 4, 8] {
-        serial_at_max = drive(max_batch, false, &model, &pool);
+        let (sps, p99) = drive(max_batch, false, &model, &pool);
+        serial_at_max = sps;
         artifact.upsert(BenchRow {
             mode: "serial".into(),
             batch: max_batch,
             shards: 1,
-            steps_per_s: serial_at_max,
+            steps_per_s: sps,
+            p99_us: p99 as f64,
         });
-        fused_at_max = drive(max_batch, true, &model, &pool);
+        let (sps, p99) = drive(max_batch, true, &model, &pool);
+        fused_at_max = sps;
         artifact.upsert(BenchRow {
             mode: "fused".into(),
             batch: max_batch,
             shards: 1,
-            steps_per_s: fused_at_max,
+            steps_per_s: sps,
+            p99_us: p99 as f64,
         });
     }
     println!(
         "\nfused/serial speedup at max_batch=8: {:.2}x",
         fused_at_max / serial_at_max.max(1e-9)
     );
+    mixed_workload(&model, &pool, &mut artifact);
     router_scaling(&model, pool.nthreads(), &mut artifact);
     match artifact.save(&pl_bench::workspace_path(SERVE_ARTIFACT)) {
         Ok(()) => println!("\nwrote {} rows to {SERVE_ARTIFACT}", artifact.rows().len()),

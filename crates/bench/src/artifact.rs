@@ -53,6 +53,9 @@ pub struct BenchRow {
     pub shards: usize,
     /// Measured decode throughput.
     pub steps_per_s: f64,
+    /// Measured decode p99 queue-to-reply latency in µs (0 when the run
+    /// did not measure latency — throughput-only rows).
+    pub p99_us: f64,
 }
 
 impl BenchRow {
@@ -62,11 +65,12 @@ impl BenchRow {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"mode\":\"{}\",\"batch\":{},\"shards\":{},\"steps_per_s\":{:.3}}}",
+            "{{\"mode\":\"{}\",\"batch\":{},\"shards\":{},\"steps_per_s\":{:.3},\"p99_us\":{:.1}}}",
             escape(&self.mode),
             self.batch,
             self.shards,
-            self.steps_per_s
+            self.steps_per_s,
+            self.p99_us
         )
     }
 }
@@ -136,6 +140,8 @@ impl BenchArtifact {
                     batch: field_num(obj, "batch")? as usize,
                     shards: field_num(obj, "shards")? as usize,
                     steps_per_s: field_num(obj, "steps_per_s")?,
+                    // Older artifacts predate the latency column.
+                    p99_us: field_num(obj, "p99_us").unwrap_or(0.0),
                 })
             })();
             if let Some(row) = parsed {
@@ -228,7 +234,7 @@ mod tests {
     use super::*;
 
     fn row(mode: &str, batch: usize, shards: usize, sps: f64) -> BenchRow {
-        BenchRow { mode: mode.into(), batch, shards, steps_per_s: sps }
+        BenchRow { mode: mode.into(), batch, shards, steps_per_s: sps, p99_us: 0.0 }
     }
 
     #[test]
@@ -237,11 +243,29 @@ mod tests {
         a.upsert(row("serial", 8, 1, 9442.125));
         a.upsert(row("fused", 8, 1, 12486.5));
         a.upsert(row("router-serial", 8, 2, 17000.0));
+        a.upsert(BenchRow {
+            mode: "mixed-chunked".into(),
+            batch: 8,
+            shards: 1,
+            steps_per_s: 5000.0,
+            p99_us: 512.5,
+        });
         let parsed = BenchArtifact::from_json(&a.to_json()).expect("own output parses");
-        assert_eq!(parsed.rows().len(), 3);
+        assert_eq!(parsed.rows().len(), 4);
         assert_eq!(parsed.rows()[0].mode, "serial");
         assert_eq!(parsed.rows()[2].shards, 2);
         assert!((parsed.rows()[0].steps_per_s - 9442.125).abs() < 1e-9);
+        assert!((parsed.rows()[3].p99_us - 512.5).abs() < 1e-9, "latency column round-trips");
+    }
+
+    #[test]
+    fn rows_without_latency_column_parse_with_zero() {
+        // Pre-latency-column artifacts must still load.
+        let legacy = "{\n  \"bench\": \"serve_throughput\",\n  \"rows\": [\n    \
+                      {\"mode\":\"serial\",\"batch\":8,\"shards\":1,\"steps_per_s\":100.000}\n  ]\n}\n";
+        let parsed = BenchArtifact::from_json(legacy).expect("legacy shape parses");
+        assert_eq!(parsed.rows().len(), 1);
+        assert_eq!(parsed.rows()[0].p99_us, 0.0);
     }
 
     #[test]

@@ -179,9 +179,30 @@ pub struct DecoderModel {
     blocks: Vec<Block>,
 }
 
-/// A claimed-once hand-off cell for one batched session (see
-/// [`DecoderModel::step_batch`]).
-type BatchSlot<'s, 'x> = Mutex<Option<(&'s mut DecoderState, &'x [f32])>>;
+/// A claimed-once hand-off cell for one batched forward item (see
+/// [`DecoderModel::forward_batch`]): `(state, x, tokens)`.
+type BatchSlot<'s, 'x> = Mutex<Option<(&'s mut DecoderState, &'x [f32], usize)>>;
+
+/// Splits a `tokens`-token prefill into bounded chunk widths under the
+/// `chunk` cap, **power-of-two-ladder-aligned**: the cap is normalized to
+/// the next power of two, every non-final chunk is exactly that width (an
+/// exact hit on the warmed prefill ladder — see
+/// `pl_autotuner::batch_ladder`), and only the final chunk carries the
+/// remainder (whose tuning lookup rounds up to the nearest warmed rung).
+/// A prompt that fits in one chunk is returned whole — the single-chunk
+/// path must stay bit-identical to an unchunked forward, so it is never
+/// subdivided.
+pub fn prefill_chunk_widths(tokens: usize, chunk: usize) -> Vec<usize> {
+    let cap = chunk.max(1).next_power_of_two();
+    let mut widths = Vec::with_capacity(tokens.div_ceil(cap));
+    let mut remaining = tokens;
+    while remaining > 0 {
+        let w = cap.min(remaining);
+        widths.push(w);
+        remaining -= w;
+    }
+    widths
+}
 
 /// One decode stream's mutable state: the per-layer KV caches.
 pub struct DecoderState {
@@ -316,13 +337,38 @@ impl DecoderModel {
     /// bit-identical to running the sessions one at a time.
     ///
     /// Entries are `(state, x)` with `x` one token's `hidden` values;
-    /// returns the per-session outputs in input order.
+    /// returns the per-session outputs in input order. This is
+    /// [`DecoderModel::forward_batch`] with every item one token wide.
     pub fn step_batch(
         &self,
         batch: Vec<(&mut DecoderState, &[f32])>,
         pool: &ThreadPool,
     ) -> Vec<Vec<f32>> {
+        self.forward_batch(batch.into_iter().map(|(s, x)| (s, x, 1)).collect(), pool)
+    }
+
+    /// A batched forward over independent sessions with **per-item token
+    /// widths** — the mixed decode + prefill-chunk region a continuously
+    /// batching server executes: entries are `(state, x, tokens)` where
+    /// `x` holds `hidden x tokens` column-major hidden states appended to
+    /// that session's KV cache. One parallel region covers the whole
+    /// batch; each item's forward runs serially on its claiming thread
+    /// (nested pool calls serialize), so every output is **bit-identical**
+    /// to running that item's [`DecoderModel::forward`] alone — batch
+    /// composition never changes per-item arithmetic. A singleton batch
+    /// skips the region and runs the forward directly, keeping the full
+    /// team on its GEMMs (per-element operation order is independent of
+    /// team size, so this is bit-identical too).
+    pub fn forward_batch(
+        &self,
+        batch: Vec<(&mut DecoderState, &[f32], usize)>,
+        pool: &ThreadPool,
+    ) -> Vec<Vec<f32>> {
         let n = batch.len();
+        if n == 1 {
+            let (state, x, tokens) = batch.into_iter().next().expect("len checked");
+            return vec![self.forward(state, x, tokens, pool)];
+        }
         // Hand each slot to exactly one claiming thread. The per-item
         // mutexes are uncontended (the dynamic schedule assigns every index
         // once); they only launder the &mut across the team.
@@ -330,14 +376,42 @@ impl DecoderModel {
             batch.into_iter().map(|item| Mutex::new(Some(item))).collect();
         let outs: Vec<Mutex<Vec<f32>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
         pool.parallel_tasks(n, |i| {
-            let (state, x) = slots[i].lock().unwrap().take().expect("slot claimed once");
+            let (state, x, tokens) = slots[i].lock().unwrap().take().expect("slot claimed once");
             // Nested pool calls inside the region serialize, so the
             // per-session compute is deterministic and identical to the
             // unbatched path (see `Gemm` per-block determinism).
-            let y = self.forward(state, x, 1, pool);
+            let y = self.forward(state, x, tokens, pool);
             *outs[i].lock().unwrap() = y;
         });
         outs.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    }
+
+    /// Forward over `tokens` new positions in bounded chunks
+    /// ([`prefill_chunk_widths`] under the `chunk` cap): each chunk is one
+    /// [`DecoderModel::forward`] call appending to `state`'s KV cache —
+    /// the resumable form a serving runtime admits through its batcher one
+    /// chunk at a time. Returns the concatenated per-chunk outputs
+    /// (`hidden x tokens`, the same shape a whole-prompt forward
+    /// produces). A single-chunk prompt is bit-identical to the unchunked
+    /// forward; a multi-chunk one agrees to floating-point tolerance (the
+    /// projection GEMMs run at chunk width instead of prompt width, which
+    /// reassociates their reductions).
+    pub fn forward_chunked(
+        &self,
+        state: &mut DecoderState,
+        x: &[f32],
+        tokens: usize,
+        chunk: usize,
+        pool: &ThreadPool,
+    ) -> Vec<f32> {
+        let h = self.cfg.hidden;
+        let mut out = Vec::with_capacity(h * tokens);
+        let mut done = 0usize;
+        for w in prefill_chunk_widths(tokens, chunk) {
+            out.extend(self.forward(state, &x[done * h..(done + w) * h], w, pool));
+            done += w;
+        }
+        out
     }
 
     /// One decode step for each of `batch` independent sessions with the
@@ -777,6 +851,85 @@ mod tests {
             assert_eq!(w, g, "session {s} diverged");
         }
         assert!(states.iter().all(|s| s.cached_tokens() == 1));
+    }
+
+    #[test]
+    fn prefill_chunk_widths_are_ladder_aligned() {
+        assert_eq!(prefill_chunk_widths(0, 16), Vec::<usize>::new());
+        // A prompt that fits in one chunk is never subdivided.
+        assert_eq!(prefill_chunk_widths(3, 16), vec![3]);
+        assert_eq!(prefill_chunk_widths(16, 16), vec![16]);
+        // Non-final chunks are exactly the pow2-normalized cap.
+        assert_eq!(prefill_chunk_widths(41, 16), vec![16, 16, 9]);
+        assert_eq!(prefill_chunk_widths(32, 4), vec![4; 8]);
+        // A ragged cap rounds up to the next power of two (ladder rung).
+        assert_eq!(prefill_chunk_widths(20, 6), vec![8, 8, 4]);
+        // Degenerate cap: token-at-a-time decoding.
+        assert_eq!(prefill_chunk_widths(3, 0), vec![1, 1, 1]);
+        for (tokens, chunk) in [(1, 1), (7, 2), (100, 16), (33, 32)] {
+            let widths = prefill_chunk_widths(tokens, chunk);
+            assert_eq!(widths.iter().sum::<usize>(), tokens);
+            assert!(widths[..widths.len() - 1].iter().all(|w| w.is_power_of_two()));
+        }
+    }
+
+    #[test]
+    fn forward_chunked_matches_whole_prompt_within_tolerance() {
+        let pool = ThreadPool::new(2);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = DecoderModel::new(cfg, 77);
+        let tokens = 11;
+        let mut x = vec![0.0f32; cfg.hidden * tokens];
+        fill_uniform(&mut x, &mut Xorshift::new(21), -0.5, 0.5);
+        let mut whole_state = model.new_state(16);
+        let whole = model.forward(&mut whole_state, &x, tokens, &pool);
+        // Single chunk: the exact same call — bit-identical.
+        let mut one_state = model.new_state(16);
+        assert_eq!(model.forward_chunked(&mut one_state, &x, tokens, 16, &pool), whole);
+        // Multi-chunk: GEMM widths change, so tolerance, not bit-identity.
+        let mut chunked_state = model.new_state(16);
+        let chunked = model.forward_chunked(&mut chunked_state, &x, tokens, 4, &pool);
+        assert_eq!(chunked.len(), whole.len());
+        let err = max_rel_err(&chunked, &whole);
+        assert!(err <= 1e-5, "rel err {err}");
+        assert_eq!(chunked_state.cached_tokens(), tokens);
+    }
+
+    #[test]
+    fn forward_batch_mixed_widths_is_bitwise_per_item() {
+        // A mixed region — two decode steps next to a 5-token prefill
+        // chunk — must produce, per item, exactly what a standalone
+        // forward produces: batch composition never changes arithmetic.
+        let pool = ThreadPool::new(4);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = Arc::new(DecoderModel::new(cfg, 404));
+        let widths = [1usize, 5, 1];
+        let inputs: Vec<Vec<f32>> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let mut x = vec![0.0f32; cfg.hidden * w];
+                fill_uniform(&mut x, &mut Xorshift::new(600 + i as u64), -0.5, 0.5);
+                x
+            })
+            .collect();
+        let want: Vec<Vec<f32>> = inputs
+            .iter()
+            .zip(widths)
+            .map(|(x, w)| model.forward(&mut model.new_state(8), x, w, &pool))
+            .collect();
+        let mut states: Vec<DecoderState> = (0..3).map(|_| model.new_state(8)).collect();
+        let batch: Vec<(&mut DecoderState, &[f32], usize)> = states
+            .iter_mut()
+            .zip(inputs.iter().map(|x| x.as_slice()))
+            .zip(widths)
+            .map(|((s, x), w)| (s, x, w))
+            .collect();
+        let got = model.forward_batch(batch, &pool);
+        assert_eq!(got, want);
+        for (s, &w) in states.iter().zip(&widths) {
+            assert_eq!(s.cached_tokens(), w);
+        }
     }
 
     use pl_tensor::max_rel_err;

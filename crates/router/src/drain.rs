@@ -166,6 +166,49 @@ mod tests {
     }
 
     #[test]
+    fn drain_during_chunked_prefill_observes_and_finishes_the_chunks() {
+        // Satellite regression: prefill used to run inline, invisible to
+        // `in_flight`, so a drain begun mid-prefill reported the shard
+        // quiesced while a forward was still executing. Chunked prefill
+        // counts every chunk in `in_flight`, so the drain both *sees* the
+        // prefill and pumps it to completion.
+        let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 99));
+        let r = Router::new(
+            model,
+            crate::router::RouterConfig {
+                shards: 2,
+                total_threads: 4,
+                routing_overhead: 0.02,
+                server: ServerConfig {
+                    prefill_chunk: 2,
+                    kv_capacity: 32,
+                    coalesce_wait: Duration::ZERO,
+                    ..Default::default()
+                },
+            },
+        )
+        .unwrap();
+        let hidden = r.shard(0).server().model().config().hidden;
+        let id = r.create_session(0).unwrap();
+        let shard = r.placement_of(id).unwrap();
+        let tokens = 8; // 4 chunks of 2
+        let rx = r.submit_prefill(id, &token(7, hidden * tokens), tokens).unwrap();
+        assert_eq!(
+            r.shard(shard).server().in_flight(),
+            1,
+            "prefill work is visible to the drain before any chunk ran"
+        );
+        let report = r.drain_shard(shard);
+        assert!(report.is_quiesced(), "drain runs the prefill to completion");
+        assert_eq!(report.executed, 4, "all four chunks executed by the drain");
+        assert_eq!(report.live_sessions, 1);
+        assert_eq!(rx.recv().unwrap().unwrap().len(), hidden * tokens);
+        assert_eq!(r.shard(shard).server().stats().snapshot().prefill_chunks, 4);
+        r.close_session(id).unwrap();
+        assert!(r.drain_shard(shard).is_empty());
+    }
+
+    #[test]
     fn drain_shard_pumps_queues_dry_and_reports_emptiness() {
         let r = router(2);
         let hidden = r.shard(0).server().model().config().hidden;

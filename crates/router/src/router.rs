@@ -186,7 +186,12 @@ impl Router {
         self.sessions.lock().get(&id).copied().ok_or(RouterError::UnknownSession(id))
     }
 
-    /// Routes a prefill to the session's shard.
+    /// Routes a blocking prefill to the session's shard. Under the hood
+    /// this is the chunked path ([`Router::submit_prefill`]): the prompt
+    /// is split into `prefill_chunk`-bounded chunks that interleave with
+    /// the shard's decode batches, so a long prompt no longer monopolizes
+    /// the shard's pool — and the work is visible to the shard's
+    /// `in_flight`, so drains observe it.
     pub fn prefill(
         &self,
         id: RouterSessionId,
@@ -195,6 +200,23 @@ impl Router {
     ) -> Result<Vec<f32>, RouterError> {
         let p = self.lookup(id)?;
         Ok(self.shards[p.shard].server().prefill(p.local, x, tokens)?)
+    }
+
+    /// Routes a non-blocking chunked prefill to the session's shard
+    /// (session affinity: the chunks — and the KV cache they fill — stay
+    /// on the shard the session was placed on). The full `hidden x
+    /// tokens` output arrives on the returned channel after the final
+    /// chunk; every chunk counts toward the shard's
+    /// [`pl_serve::Server::in_flight`], which is what
+    /// [`Router::drain_shard`] and [`Router::close_session`] quiesce on.
+    pub fn submit_prefill(
+        &self,
+        id: RouterSessionId,
+        x: &[f32],
+        tokens: usize,
+    ) -> Result<mpsc::Receiver<StepResult>, RouterError> {
+        let p = self.lookup(id)?;
+        Ok(self.shards[p.shard].server().submit_prefill(p.local, x, tokens)?)
     }
 
     /// Routes a non-blocking decode step to the session's shard.

@@ -38,12 +38,14 @@
 //!   actually executed.
 
 pub mod batcher;
+pub mod prefill;
 pub mod queue;
 pub mod server;
 pub mod session;
 pub mod stats;
 
-pub use batcher::{DynamicBatcher, StepRequest};
+pub use batcher::{ChunkItem, DynamicBatcher, StepRequest, WorkItem};
+pub use prefill::PrefillJob;
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig};
 pub use session::{Session, SessionId, TenantId};
@@ -87,6 +89,15 @@ pub enum ServeError {
     },
     /// The server is shutting down.
     ShuttingDown,
+    /// The work item carried a program-order ticket the session has
+    /// already executed past. Possible only when the one-submitter-per-
+    /// session protocol was violated (two threads raced submits and a
+    /// backpressure rollback duplicated a ticket); rejected loudly
+    /// instead of deferred forever.
+    StaleTicket {
+        /// The session whose ticket was stale.
+        session: SessionId,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -107,6 +118,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "bad input: expected {expected} values, got {got}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::StaleTicket { session } => {
+                write!(f, "stale program-order ticket for session {session} (duplicate submit?)")
+            }
         }
     }
 }

@@ -1,0 +1,182 @@
+//! Chunked prefill jobs: the unit of continuous batching.
+//!
+//! A prompt submitted through [`crate::Server::submit_prefill`] becomes one
+//! [`PrefillJob`]: the whole prompt plus its ladder-aligned chunk widths
+//! ([`pl_dnn::prefill_chunk_widths`]). The job itself never sits in a
+//! queue — *chunks* do ([`crate::batcher::WorkItem::PrefillChunk`]), one at
+//! a time: chunk `i + 1` is enqueued only after chunk `i` executed, so the
+//! KV cache always extends in prompt order while decode batches run in
+//! between. Outputs accumulate here and the completion channel fires once
+//! with the full `hidden x tokens` result after the final chunk.
+
+use crate::session::{SessionId, TenantId};
+use crate::StepResult;
+use parking_lot::Mutex;
+use pl_dnn::prefill_chunk_widths;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+
+/// One in-flight chunked prefill: the prompt, its chunk plan, the
+/// accumulated outputs, and the completion channel.
+pub struct PrefillJob {
+    session: SessionId,
+    tenant: TenantId,
+    /// The session's program-order ticket for the **whole job** (drawn
+    /// from `Session::submit_seq`, like a decode step's
+    /// `StepRequest::seq`): every chunk checks out under this ticket and
+    /// the cursor advances only when the job finishes (or aborts), so
+    /// work pipelined behind the prefill cannot execute between chunks.
+    seq: u64,
+    hidden: usize,
+    prompt: Vec<f32>,
+    /// Chunk widths in execution order (sum = prompt tokens).
+    widths: Vec<usize>,
+    /// Token offset of each chunk (prefix sums of `widths`).
+    offsets: Vec<usize>,
+    reply: Sender<StepResult>,
+    /// Per-chunk outputs, appended in chunk order. At most one chunk of a
+    /// job is ever in flight, so this lock is uncontended.
+    out: Mutex<Vec<f32>>,
+}
+
+impl PrefillJob {
+    /// Plans a prefill of `prompt` (`hidden x tokens`, column-major) into
+    /// chunks of at most `chunk` tokens; returns the job and the receiver
+    /// its completion (or error) will be delivered on.
+    pub fn new(
+        session: SessionId,
+        tenant: TenantId,
+        seq: u64,
+        hidden: usize,
+        prompt: Vec<f32>,
+        tokens: usize,
+        chunk: usize,
+    ) -> (Arc<Self>, Receiver<StepResult>) {
+        let widths = prefill_chunk_widths(tokens, chunk);
+        let mut offsets = Vec::with_capacity(widths.len());
+        let mut at = 0usize;
+        for &w in &widths {
+            offsets.push(at);
+            at += w;
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = PrefillJob {
+            session,
+            tenant,
+            seq,
+            hidden,
+            prompt,
+            widths,
+            offsets,
+            reply: tx,
+            out: Mutex::new(Vec::with_capacity(hidden * tokens)),
+        };
+        (Arc::new(job), rx)
+    }
+
+    /// Target session.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The job's program-order ticket (see the field docs).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Submitting tenant (selects the ring).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Number of chunks this prefill executes as.
+    pub fn chunks(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Total prompt tokens.
+    pub fn tokens(&self) -> usize {
+        self.widths.iter().sum()
+    }
+
+    /// Token width of chunk `i`.
+    pub fn chunk_tokens(&self, i: usize) -> usize {
+        self.widths[i]
+    }
+
+    /// Tokens not yet applied as of chunk `i` — this chunk and everything
+    /// after it. Batch checkout validates KV capacity against this (not
+    /// the single chunk width) so an oversized prefill fails **atomically
+    /// at its first chunk**, before any tokens append, instead of leaving
+    /// a partial prompt in the session's KV cache.
+    pub fn remaining_tokens(&self, i: usize) -> usize {
+        self.tokens() - self.offsets[i]
+    }
+
+    /// The `hidden x chunk_tokens(i)` input slice of chunk `i`.
+    pub fn chunk_input(&self, i: usize) -> &[f32] {
+        let start = self.offsets[i] * self.hidden;
+        &self.prompt[start..start + self.widths[i] * self.hidden]
+    }
+
+    /// Appends chunk `i`'s output (called in chunk order by the executor).
+    pub fn push_output(&self, y: Vec<f32>) {
+        self.out.lock().extend(y);
+    }
+
+    /// Takes the accumulated `hidden x tokens` output (final-chunk path).
+    pub fn take_output(&self) -> Vec<f32> {
+        std::mem::take(&mut self.out.lock())
+    }
+
+    /// The completion channel (one delivery per job: the full output after
+    /// the final chunk, or the error that aborted it).
+    pub fn reply(&self) -> &Sender<StepResult> {
+        &self.reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_plans_ladder_aligned_chunks_and_accumulates() {
+        let hidden = 2;
+        let tokens = 11;
+        let prompt: Vec<f32> = (0..hidden * tokens).map(|i| i as f32).collect();
+        let (job, rx) = PrefillJob::new(7, 1, 5, hidden, prompt.clone(), tokens, 4);
+        assert_eq!(job.session(), 7);
+        assert_eq!(job.tenant(), 1);
+        assert_eq!(job.seq(), 5);
+        assert_eq!(job.chunks(), 3);
+        assert_eq!(job.tokens(), tokens);
+        assert_eq!(
+            (0..job.chunks()).map(|i| job.chunk_tokens(i)).collect::<Vec<_>>(),
+            vec![4, 4, 3]
+        );
+        assert_eq!(
+            (0..job.chunks()).map(|i| job.remaining_tokens(i)).collect::<Vec<_>>(),
+            vec![11, 7, 3]
+        );
+        // Chunk inputs tile the prompt exactly, in order.
+        let mut tiled = Vec::new();
+        for i in 0..job.chunks() {
+            tiled.extend_from_slice(job.chunk_input(i));
+            job.push_output(job.chunk_input(i).to_vec());
+        }
+        assert_eq!(tiled, prompt);
+        assert_eq!(job.take_output(), prompt);
+        // Completion flows through the job's channel.
+        job.reply().send(Ok(vec![1.0])).unwrap();
+        assert_eq!(rx.recv().unwrap().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn single_chunk_prompt_is_never_subdivided() {
+        let (job, _rx) = PrefillJob::new(1, 0, 0, 4, vec![0.0; 4 * 3], 3, 16);
+        assert_eq!(job.chunks(), 1);
+        assert_eq!(job.chunk_tokens(0), 3);
+        assert_eq!(job.chunk_input(0).len(), 12);
+    }
+}

@@ -1,7 +1,40 @@
 //! The serving runtime: admission control, the batcher loop, and the
 //! request lifecycle.
+//!
+//! ## Continuous batching
+//!
+//! Decode steps and **prefill chunks** flow through the same
+//! [`DynamicBatcher`]. A prompt submitted via [`Server::submit_prefill`]
+//! is split into bounded, power-of-two-ladder-aligned chunks
+//! ([`pl_dnn::prefill_chunk_widths`] under [`ServerConfig::prefill_chunk`])
+//! and admitted one chunk at a time: each batch packs **at most one**
+//! prefill chunk next to its decode lanes, and a chunk's successor is
+//! enqueued only after it executed. A 2048-token prompt therefore
+//! interleaves with live decode traffic — decode steps complete between
+//! (and alongside) its chunks — instead of monopolizing the pool for the
+//! whole forward, and every chunk is visible to [`Server::in_flight`], so
+//! drains and shutdown observe prefill work exactly like decode work.
+//! The blocking [`Server::prefill`] is a wrapper over this path; a prompt
+//! that fits in one chunk executes as a single forward and stays
+//! **bit-identical** to the pre-chunking inline prefill.
+//!
+//! ## The checked-out-session interlock
+//!
+//! Executing a batch *checks sessions out* of the table so the parallel
+//! region holds no lock while computing. A checked-out session leaves a
+//! [`Slot::CheckedOut`] marker behind rather than vanishing: concurrent
+//! submitters still resolve the tenant, a concurrent batch defers (rather
+//! than bounces) work for it, and — the part that closes a real race — a
+//! concurrent [`Server::close_session`] does not get `UnknownSession` for
+//! a live session. The close instead parks a completion channel in the
+//! marker and waits; when the executing batch checks the session back in
+//! it sees the parked closer, frees the session (KV cache and all) and
+//! hands over the generated-token count. Without the marker, a close
+//! racing the execution window failed spuriously and the batch then
+//! re-inserted the session as an untracked zombie.
 
-use crate::batcher::{DynamicBatcher, StepRequest};
+use crate::batcher::{ChunkItem, DynamicBatcher, StepRequest, WorkItem};
+use crate::prefill::PrefillJob;
 use crate::session::{Session, SessionId, TenantId};
 use crate::stats::ServerStats;
 use crate::{ServeError, StepResult};
@@ -29,6 +62,12 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// KV capacity (tokens) given to every new session.
     pub kv_capacity: usize,
+    /// Upper bound on a prefill chunk admitted through the batcher, in
+    /// tokens (normalized up to a power of two so non-final chunks hit
+    /// the warmed prefill ladder exactly). Prompts longer than this are
+    /// split and interleave with decode traffic; prompts that fit execute
+    /// as a single chunk, bit-identical to an unchunked forward.
+    pub prefill_chunk: usize,
     /// How long a non-full batch lingers for stragglers before executing.
     pub coalesce_wait: Duration,
     /// Batcher sleep when no work is pending.
@@ -51,9 +90,46 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_sessions: 64,
             kv_capacity: 128,
+            prefill_chunk: 16,
             coalesce_wait: Duration::from_micros(200),
             idle_poll: Duration::from_millis(1),
             fused: false,
+        }
+    }
+}
+
+/// A session-table slot: either the live session, or the marker left
+/// behind while an executing batch holds the session (see the module docs
+/// on the checked-out interlock).
+enum Slot {
+    /// Resident and claimable.
+    Live(Session),
+    /// Checked out by an executing batch/prefill chunk.
+    CheckedOut {
+        /// Owning tenant (submitters still need to resolve the ring).
+        tenant: TenantId,
+        /// The session's ticket dispenser (shared with the live
+        /// [`Session`]), so steps submitted during the window still draw
+        /// ordered tickets.
+        submit_seq: Arc<AtomicU64>,
+        /// Parked by a concurrent `close_session`: at check-in the session
+        /// is freed instead of re-inserted and the generated-token count
+        /// is sent here.
+        closer: Option<mpsc::Sender<u64>>,
+    },
+}
+
+/// One checked-out batch entry: the work item plus its claimed session.
+enum ReadyItem {
+    Decode(StepRequest, Session),
+    Chunk(ChunkItem, Session),
+}
+
+impl ReadyItem {
+    fn session_id(&self) -> SessionId {
+        match self {
+            ReadyItem::Decode(req, _) => req.session,
+            ReadyItem::Chunk(c, _) => c.job.session(),
         }
     }
 }
@@ -62,26 +138,49 @@ struct ServerInner {
     model: Arc<DecoderModel>,
     pool: Arc<ThreadPool>,
     cfg: ServerConfig,
-    sessions: Mutex<HashMap<SessionId, Session>>,
+    sessions: Mutex<HashMap<SessionId, Slot>>,
     session_count: AtomicU64,
     next_session: AtomicU64,
     batcher: DynamicBatcher,
     stats: ServerStats,
     shutdown: AtomicBool,
+    /// Whether a background batcher thread is driving [`Server::pump`] —
+    /// the blocking wrappers pump on the calling thread when it is not.
+    running: AtomicBool,
     tuning: Mutex<TuningDb>,
-    /// Accepted steps not yet replied to — incremented on successful
-    /// submit, decremented at reply delivery ([`ServerInner::deliver`]),
-    /// so an accepted step is counted even while its batch holds the
-    /// session checked out of the table.
+    /// Accepted work items (decode steps *and* prefill chunks) not yet
+    /// retired — incremented before an item is published to the batcher,
+    /// decremented at reply delivery ([`ServerInner::deliver`]); a
+    /// non-final prefill chunk's unit is **carried over** to its
+    /// successor (nothing is delivered for it), so accepted work is
+    /// counted even while its batch holds the session checked out of the
+    /// table and across chunk boundaries of one prefill. This is the
+    /// quiescence signal drains rely on.
     in_flight: AtomicU64,
 }
 
 impl ServerInner {
-    /// Delivers a step reply and retires its in-flight count. Every
-    /// accepted request's reply must go through here exactly once.
+    /// Delivers a reply and retires its in-flight count. Every accepted
+    /// item's terminal reply must go through here exactly once.
     fn deliver(&self, reply: &mpsc::Sender<StepResult>, result: StepResult) {
         let _ = reply.send(result);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Checks `sess` back into the table after its batch window. If a
+    /// closer parked on the slot meanwhile, the session is freed here and
+    /// the closer receives its generated-token count; otherwise the slot
+    /// goes back to [`Slot::Live`].
+    fn check_in(&self, sessions: &mut HashMap<SessionId, Slot>, id: SessionId, sess: Session) {
+        match sessions.remove(&id) {
+            Some(Slot::CheckedOut { closer: Some(done), .. }) => {
+                self.session_count.fetch_sub(1, Ordering::AcqRel);
+                let _ = done.send(sess.generated);
+            }
+            _ => {
+                sessions.insert(id, Slot::Live(sess));
+            }
+        }
     }
 }
 
@@ -90,9 +189,14 @@ impl ServerInner {
 ///
 /// Lifecycle: [`Server::new`] → optionally [`Server::warm_tuning`] →
 /// either [`Server::start`] (background batcher thread; clients call the
-/// blocking [`Server::step`]) or manual [`Server::pump`] (tests,
-/// single-threaded drivers). Protocol: **at most one in-flight operation
-/// per session** — the blocking API upholds this by construction.
+/// blocking [`Server::step`] / [`Server::prefill`]) or manual
+/// [`Server::pump`] (tests, single-threaded drivers). Protocol: **one
+/// submitter per session** — a session's submits are issued from one
+/// thread at a time (pipelining several in-flight steps from that thread
+/// is fine; program-order tickets keep them ordered). The blocking API
+/// upholds this by construction; racing submits to one session from two
+/// threads can duplicate a ticket across a backpressure rollback, which
+/// batch checkout rejects with [`ServeError::StaleTicket`].
 pub struct Server {
     inner: Arc<ServerInner>,
     batcher_thread: Option<JoinHandle<()>>,
@@ -111,6 +215,7 @@ impl Server {
             session_count: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            running: AtomicBool::new(false),
             tuning: Mutex::new(TuningDb::new()),
             in_flight: AtomicU64::new(0),
         });
@@ -137,7 +242,8 @@ impl Server {
         &self.inner.cfg
     }
 
-    /// Decode steps queued but not yet executed, across all tenant rings
+    /// Work items queued but not yet executed — decode steps and prefill
+    /// chunks, across all tenant rings plus the deferred side-queue
     /// (approximate — rings are concurrent). This is the queue-depth
     /// signal a fronting router uses for least-loaded placement and for
     /// graceful drains.
@@ -145,13 +251,16 @@ impl Server {
         self.inner.batcher.pending()
     }
 
-    /// Accepted decode steps whose reply has **not yet been delivered** —
-    /// queued in a ring *or* executing inside a batch (where the session
-    /// is checked out of the table and [`Server::pending`] no longer sees
-    /// it). The counter moves at submit and at reply delivery, so there
-    /// is no window where an accepted step is invisible: this is the
+    /// Accepted work whose terminal reply has **not yet been delivered** —
+    /// decode steps and prefill chunks, queued in a ring *or* executing
+    /// inside a batch (where the session is checked out of the table and
+    /// [`Server::pending`] no longer sees it). The counter moves at
+    /// submit, at reply delivery, and across prefill chunk hand-offs
+    /// (successor enqueued before the completed chunk retires), so there
+    /// is no window where accepted work is invisible: this is the
     /// quiescence signal for graceful drains (`pending() == 0` alone
-    /// races the batch-execution window).
+    /// races the batch-execution window — and, before chunked prefill,
+    /// missed in-progress prefills entirely).
     pub fn in_flight(&self) -> usize {
         self.inner.in_flight.load(Ordering::Acquire) as usize
     }
@@ -198,7 +307,9 @@ impl Server {
     /// the power-of-two ladder covers the widths the roofline actually
     /// distinguishes, and `pl_dnn::tuning` rounds a missed lookup up to
     /// the next power of two so in-between prompt lengths still reuse the
-    /// nearest warmed spec.
+    /// nearest warmed spec. Chunked prefill is cut to this same ladder
+    /// ([`pl_dnn::prefill_chunk_widths`]), so every non-final chunk is an
+    /// **exact** hit on a warmed key.
     pub fn prefill_gemm_problems(&self) -> Vec<GemmProblem> {
         let mut out = Vec::new();
         for t in batch_ladder(self.inner.cfg.kv_capacity) {
@@ -294,40 +405,178 @@ impl Server {
         }
         let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
         let state = self.inner.model.new_state(self.inner.cfg.kv_capacity);
-        self.inner.sessions.lock().insert(id, Session::new(id, tenant, state));
+        self.inner.sessions.lock().insert(id, Slot::Live(Session::new(id, tenant, state)));
         Ok(id)
     }
 
     /// Ends a session, freeing its KV cache. Returns how many tokens it
     /// decoded.
+    ///
+    /// If the session is momentarily **checked out** by an executing batch
+    /// or prefill chunk, the close interlocks with that window instead of
+    /// failing: it parks a completion channel in the slot and waits for
+    /// the batch to check the session back in (microseconds — one batch
+    /// execution), at which point the session is freed on the batcher's
+    /// side and the token count handed over. Work still queued for the
+    /// session afterwards errors `UnknownSession` through its reply
+    /// channel, exactly as if the close had happened first.
     pub fn close_session(&self, id: SessionId) -> Result<u64, ServeError> {
-        let sess = self.inner.sessions.lock().remove(&id).ok_or(ServeError::UnknownSession(id))?;
-        self.inner.session_count.fetch_sub(1, Ordering::AcqRel);
-        Ok(sess.generated)
+        let done = {
+            let mut sessions = self.inner.sessions.lock();
+            match sessions.get_mut(&id) {
+                None => return Err(ServeError::UnknownSession(id)),
+                Some(Slot::Live(_)) => {
+                    let Some(Slot::Live(sess)) = sessions.remove(&id) else { unreachable!() };
+                    self.inner.session_count.fetch_sub(1, Ordering::AcqRel);
+                    return Ok(sess.generated);
+                }
+                Some(Slot::CheckedOut { closer, .. }) => {
+                    if closer.is_some() {
+                        // A concurrent close already parked; first one wins.
+                        return Err(ServeError::UnknownSession(id));
+                    }
+                    let (tx, rx) = mpsc::channel();
+                    *closer = Some(tx);
+                    rx
+                }
+            }
+        };
+        done.recv().map_err(|_| ServeError::UnknownSession(id))
     }
 
-    /// Runs a whole-prompt prefill (`hidden x tokens`, column-major) for
-    /// `id` on the calling thread. Prefill is compute-bound and already
-    /// saturates the pool on its own, so it bypasses the decode batcher.
-    pub fn prefill(&self, id: SessionId, x: &[f32], tokens: usize) -> Result<Vec<f32>, ServeError> {
+    /// Submits a prefill without blocking: the prompt (`hidden x tokens`,
+    /// column-major) is split into ladder-aligned chunks of at most
+    /// [`ServerConfig::prefill_chunk`] tokens and admitted through the
+    /// batcher one chunk at a time, interleaving with decode traffic. The
+    /// full `hidden x tokens` output arrives on the returned channel once
+    /// the final chunk executes (or the error that aborted the prefill —
+    /// e.g. the session was closed mid-prefill). Every chunk counts
+    /// toward [`Server::in_flight`] from submission to completion.
+    pub fn submit_prefill(
+        &self,
+        id: SessionId,
+        x: &[f32],
+        tokens: usize,
+    ) -> Result<mpsc::Receiver<StepResult>, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
         let hidden = self.inner.model.config().hidden;
         if x.len() != hidden * tokens || tokens == 0 {
             return Err(ServeError::BadInput { expected: hidden * tokens.max(1), got: x.len() });
         }
-        let mut sess =
-            self.inner.sessions.lock().remove(&id).ok_or(ServeError::UnknownSession(id))?;
-        if !sess.fits(tokens) {
-            let ctx = sess.context_len();
-            self.inner.sessions.lock().insert(id, sess);
-            return Err(ServeError::KvExhausted {
-                context: ctx,
-                capacity: self.inner.cfg.kv_capacity,
-            });
+        let (tenant, tickets) = self.admit(id, tokens)?;
+        // The whole job draws ONE program-order ticket: its chunks check
+        // out under it and the cursor advances only when the job finishes,
+        // so a decode step pipelined behind the prefill waits for every
+        // chunk instead of slipping in between two of them.
+        let seq = tickets.fetch_add(1, Ordering::AcqRel);
+        let (job, rx) = PrefillJob::new(
+            id,
+            tenant,
+            seq,
+            hidden,
+            x.to_vec(),
+            tokens,
+            self.inner.cfg.prefill_chunk,
+        );
+        let item = WorkItem::PrefillChunk(ChunkItem { job, chunk: 0, enqueued: Instant::now() });
+        self.publish(&tickets, item)?;
+        Ok(rx)
+    }
+
+    /// Shared admission lookup for [`Server::submit_step`] and
+    /// [`Server::submit_prefill`]: resolves the session's tenant and
+    /// program-order ticket dispenser. A `Live` session is validated for
+    /// `need` tokens of KV capacity (decode passes 0 — its one token is
+    /// checked at batch checkout, preserving the delivered-error path). A
+    /// `CheckedOut` session is still live — the marker shares the ticket
+    /// dispenser — but its state is with the executing batch, so the
+    /// capacity check is deferred to checkout, which validates a
+    /// prefill's **whole remaining prompt** atomically: an oversized
+    /// prompt is rejected before any token appends, never leaving a
+    /// partial prefill behind.
+    fn admit(&self, id: SessionId, need: usize) -> Result<(TenantId, Arc<AtomicU64>), ServeError> {
+        let sessions = self.inner.sessions.lock();
+        match sessions.get(&id) {
+            None => Err(ServeError::UnknownSession(id)),
+            Some(Slot::Live(sess)) => {
+                if !sess.fits(need) {
+                    return Err(ServeError::KvExhausted {
+                        context: sess.context_len(),
+                        capacity: self.inner.cfg.kv_capacity,
+                    });
+                }
+                Ok((sess.tenant, Arc::clone(&sess.submit_seq)))
+            }
+            Some(Slot::CheckedOut { tenant, submit_seq, .. }) => {
+                Ok((*tenant, Arc::clone(submit_seq)))
+            }
         }
-        let y = self.inner.model.forward(&mut sess.state, x, tokens, &self.inner.pool);
-        self.inner.sessions.lock().insert(id, sess);
-        self.inner.stats.prefills.fetch_add(1, Ordering::Relaxed);
-        Ok(y)
+    }
+
+    /// Shared publication tail for admitted work: counts the item
+    /// in-flight **before** the ring push (a concurrent batcher may
+    /// execute and deliver it — retiring the count — at any moment;
+    /// incrementing afterwards could transiently wrap the counter below
+    /// zero), closes the check-then-push race with `shutdown()` (if the
+    /// flag flipped while enqueueing, the batcher and shutdown's drain may
+    /// already be gone — bounce whatever is pending so no caller blocks
+    /// forever), and on a full ring rolls back the drawn ticket and the
+    /// in-flight unit. The ticket rollback is safe under the documented
+    /// **one-submitter-per-session** protocol: the same thread observes
+    /// the backpressure error before its next submit, so no later ticket
+    /// for this session can have been drawn concurrently. If the protocol
+    /// is violated and the rollback duplicates a published ticket, batch
+    /// checkout rejects the duplicate with [`ServeError::StaleTicket`]
+    /// rather than deferring it forever.
+    fn publish(&self, tickets: &AtomicU64, item: WorkItem) -> Result<(), ServeError> {
+        self.inner.in_flight.fetch_add(1, Ordering::AcqRel);
+        match self.inner.batcher.submit(item) {
+            Ok(()) => {
+                if self.inner.shutdown.load(Ordering::Acquire) {
+                    self.bounce_pending();
+                }
+                Ok(())
+            }
+            Err(item) => {
+                tickets.fetch_sub(1, Ordering::AcqRel);
+                self.inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Backpressure { tenant: item.tenant() })
+            }
+        }
+    }
+
+    /// Blocking whole-prompt prefill (`hidden x tokens`, column-major) for
+    /// `id`: a wrapper over the chunked [`Server::submit_prefill`] path.
+    /// With a background batcher ([`Server::start`]) the call simply waits
+    /// for completion while the chunks interleave with other traffic; in
+    /// manual-drive mode it pumps on the calling thread until its own
+    /// chunks (and whatever decode work shares their batches) have
+    /// executed. A prompt of at most [`ServerConfig::prefill_chunk`]
+    /// tokens runs as a single chunk and is bit-identical to an unchunked
+    /// forward.
+    pub fn prefill(&self, id: SessionId, x: &[f32], tokens: usize) -> Result<Vec<f32>, ServeError> {
+        let rx = self.submit_prefill(id, x, tokens)?;
+        loop {
+            match rx.try_recv() {
+                Ok(res) => return res,
+                Err(mpsc::TryRecvError::Disconnected) => return Err(ServeError::ShuttingDown),
+                Err(mpsc::TryRecvError::Empty) => {
+                    if self.inner.running.load(Ordering::Acquire) {
+                        // A background batcher owns execution; just wait.
+                        return match rx.recv() {
+                            Ok(res) => res,
+                            Err(_) => Err(ServeError::ShuttingDown),
+                        };
+                    }
+                    if self.pump() == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
     }
 
     /// Submits one decode step without blocking; the result arrives on the
@@ -344,48 +593,36 @@ impl Server {
         if x.len() != hidden {
             return Err(ServeError::BadInput { expected: hidden, got: x.len() });
         }
-        let tenant = {
-            let sessions = self.inner.sessions.lock();
-            sessions.get(&id).ok_or(ServeError::UnknownSession(id))?.tenant
-        };
+        let (tenant, tickets) = self.admit(id, 0)?;
         let (tx, rx) = mpsc::channel();
-        let req =
-            StepRequest { session: id, tenant, x: x.to_vec(), enqueued: Instant::now(), reply: tx };
-        // Counted *before* the request is published: once it is in the
-        // ring a concurrent batcher may execute and deliver it (retiring
-        // the count) at any moment — incrementing afterwards could
-        // transiently wrap the counter below zero.
-        self.inner.in_flight.fetch_add(1, Ordering::AcqRel);
-        match self.inner.batcher.submit(req) {
-            Ok(()) => {
-                // Close the check-then-push race with shutdown(): if the
-                // flag flipped while we were enqueueing, the batcher (and
-                // shutdown's drain) may already be gone — bounce whatever
-                // is pending ourselves so no caller blocks forever.
-                if self.inner.shutdown.load(Ordering::Acquire) {
-                    self.bounce_pending();
-                }
-                self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(rx)
-            }
-            Err(_) => {
-                self.inner.in_flight.fetch_sub(1, Ordering::AcqRel);
-                self.inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Backpressure { tenant })
-            }
-        }
+        // Draw the program-order ticket: batch checkout executes this
+        // session's steps strictly in ticket order, so concurrent pumps
+        // cannot reorder a pipelined stream.
+        let seq = tickets.fetch_add(1, Ordering::AcqRel);
+        let req = StepRequest {
+            session: id,
+            tenant,
+            seq,
+            x: x.to_vec(),
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        self.publish(&tickets, WorkItem::Decode(req))?;
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(rx)
     }
 
-    /// Drains the submission rings, replying `ShuttingDown` to every
-    /// queued request.
+    /// Drains the submission rings and the deferred side-queue, replying
+    /// `ShuttingDown` to every queued item (a prefill job's completion
+    /// channel receives the bounce of whichever chunk was pending).
     fn bounce_pending(&self) {
         loop {
             let left = self.inner.batcher.collect(usize::MAX);
             if left.is_empty() {
                 break;
             }
-            for req in left {
-                self.inner.deliver(&req.reply, Err(ServeError::ShuttingDown));
+            for item in left {
+                self.inner.deliver(item.reply(), Err(ServeError::ShuttingDown));
             }
         }
     }
@@ -402,7 +639,9 @@ impl Server {
 
     /// Collects and executes one batch on the calling thread. Returns the
     /// executed batch size (0 when nothing was pending). This is the same
-    /// code path the background batcher runs.
+    /// code path the background batcher runs; it is safe to call from
+    /// several threads concurrently (work for a session another pump holds
+    /// checked out is deferred, not lost or double-executed).
     pub fn pump(&self) -> usize {
         let inner = &self.inner;
         let mut batch = inner.batcher.collect(inner.cfg.max_batch);
@@ -425,77 +664,235 @@ impl Server {
         self.run_batch(batch)
     }
 
-    /// Executes `batch` in one parallel region and delivers replies.
-    fn run_batch(&self, batch: Vec<StepRequest>) -> usize {
+    /// Executes `batch` in one parallel region and delivers replies. At
+    /// most one prefill chunk rides per batch, next to the decode lanes;
+    /// surplus chunks, duplicate-session items and items whose session is
+    /// checked out by a concurrent batch are deferred (FIFO, ahead of the
+    /// rings) to the next batch in program order.
+    fn run_batch(&self, batch: Vec<WorkItem>) -> usize {
         let inner = &self.inner;
-        // Pull the target sessions out of the table so the region holds no
-        // lock while computing. A session can appear in a batch at most
-        // once (its state is stepped sequentially); pipelined duplicates
-        // are deferred to the next batch in submission order.
-        let mut ready: Vec<(StepRequest, Session)> = Vec::with_capacity(batch.len());
-        let mut deferred: Vec<StepRequest> = Vec::new();
+        // Phase 1 — checkout: pull the target sessions out of the table so
+        // the region holds no lock while computing, leaving CheckedOut
+        // markers behind (see the module docs).
+        let mut ready: Vec<ReadyItem> = Vec::with_capacity(batch.len());
+        let mut has_chunk = false;
         {
             let mut sessions = inner.sessions.lock();
-            for req in batch {
-                if ready.iter().any(|(r, _)| r.session == req.session) {
-                    deferred.push(req);
+            for item in batch {
+                let sid = item.session();
+                let second_chunk = has_chunk && matches!(item, WorkItem::PrefillChunk(_));
+                if second_chunk || ready.iter().any(|r| r.session_id() == sid) {
+                    inner.batcher.defer(item);
                     continue;
                 }
-                match sessions.remove(&req.session) {
-                    Some(sess) if sess.fits(1) => ready.push((req, sess)),
-                    Some(sess) => {
-                        let err = ServeError::KvExhausted {
-                            context: sess.context_len(),
-                            capacity: inner.cfg.kv_capacity,
-                        };
-                        sessions.insert(req.session, sess);
-                        inner.deliver(&req.reply, Err(err));
+                match sessions.get_mut(&sid) {
+                    None => inner.deliver(item.reply(), Err(ServeError::UnknownSession(sid))),
+                    Some(Slot::CheckedOut { .. }) => {
+                        // A concurrent pump's batch holds this session;
+                        // replay the item next batch, in program order.
+                        inner.batcher.defer(item);
                     }
-                    None => {
-                        inner.deliver(&req.reply, Err(ServeError::UnknownSession(req.session)));
+                    Some(slot) => {
+                        let Slot::Live(sess) = &mut *slot else { unreachable!() };
+                        // Program-order guard: a concurrent pump may have
+                        // collected a *later* pipelined item of this
+                        // session and reached checkout first — and a
+                        // decode step queued behind a multi-chunk prefill
+                        // replays through the side-queue ahead of the
+                        // prefill's continuation chunks. Only the item
+                        // holding the session's next ticket runs (every
+                        // chunk of a prefill job carries the job's one
+                        // ticket); later tickets are deferred.
+                        let item_seq = match &item {
+                            WorkItem::Decode(req) => req.seq,
+                            WorkItem::PrefillChunk(c) => c.job.seq(),
+                        };
+                        if item_seq > sess.exec_seq {
+                            inner.batcher.defer(item);
+                            continue;
+                        }
+                        if item_seq < sess.exec_seq {
+                            // A ticket behind the cursor can only be a
+                            // duplicate: every legitimate ticket advances
+                            // `exec_seq` exactly once when it executes or
+                            // errors. Duplicates arise when the one-
+                            // submitter-per-session protocol is violated
+                            // (a backpressure rollback raced another
+                            // submit's draw). Deferring would replay it
+                            // forever — a silent livelock where the caller
+                            // hangs and `in_flight` never drains; reject
+                            // it loudly instead.
+                            inner.deliver(
+                                item.reply(),
+                                Err(ServeError::StaleTicket { session: sid }),
+                            );
+                            continue;
+                        }
+                        // Capacity: a decode step needs one token; a
+                        // prefill chunk is validated against the job's
+                        // **whole remaining prompt**, so an oversized
+                        // prefill (admitted while the session was checked
+                        // out and unverifiable) fails atomically at its
+                        // first chunk instead of leaving a partial prompt
+                        // in the KV cache.
+                        let need = match &item {
+                            WorkItem::Decode(_) => 1,
+                            WorkItem::PrefillChunk(c) => c.job.remaining_tokens(c.chunk),
+                        };
+                        if !sess.fits(need) {
+                            let err = ServeError::KvExhausted {
+                                context: sess.context_len(),
+                                capacity: inner.cfg.kv_capacity,
+                            };
+                            // The errored step — or aborted prefill job —
+                            // consumed its ticket; advance the cursor so
+                            // later pipelined items are not deferred
+                            // forever.
+                            sess.exec_seq += 1;
+                            inner.deliver(item.reply(), Err(err));
+                            continue;
+                        }
+                        let marker = Slot::CheckedOut {
+                            tenant: sess.tenant,
+                            submit_seq: Arc::clone(&sess.submit_seq),
+                            closer: None,
+                        };
+                        let Slot::Live(sess) = std::mem::replace(slot, marker) else {
+                            unreachable!()
+                        };
+                        ready.push(match item {
+                            WorkItem::Decode(req) => ReadyItem::Decode(req, sess),
+                            WorkItem::PrefillChunk(c) => {
+                                has_chunk = true;
+                                ReadyItem::Chunk(c, sess)
+                            }
+                        });
                     }
                 }
-            }
-        }
-        for req in deferred {
-            if let Err(req) = self.inner.batcher.submit(req) {
-                // The ring refilled meanwhile; surface it as backpressure.
-                inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
-                let tenant = req.tenant;
-                inner.deliver(&req.reply, Err(ServeError::Backpressure { tenant }));
             }
         }
         if ready.is_empty() {
             return 0;
         }
-        let items: Vec<(&mut DecoderState, &[f32])> =
-            ready.iter_mut().map(|(req, sess)| (&mut sess.state, req.x.as_slice())).collect();
-        let size = items.len();
-        let outputs = if inner.cfg.fused {
-            let out = inner.model.step_batch_fused(items, &inner.pool);
-            let cfg = inner.model.config();
-            let (h, f, l) = (cfg.hidden, cfg.ffn, cfg.layers as u64);
-            // Per layer: 4 h x h GEMMs (QKV + output) and one of each FFN
-            // shape — the actual GEMM executions this batch fused.
-            inner.stats.record_fused_batch(&[
-                ((h, size, h), 4 * l),
-                ((f, size, h), l),
-                ((h, size, f), l),
-            ]);
-            out
+        let size = ready.len();
+        let decode_lanes = size - usize::from(has_chunk);
+
+        // Phase 2 — execute, no lock held.
+        let outputs: Vec<Vec<f32>> = if inner.cfg.fused {
+            // Fused decode lanes share one `hidden x B` GEMM per layer
+            // projection; the prefill chunk (if any) runs as its own
+            // forward in the same pump iteration.
+            let mut decode_idx = Vec::with_capacity(decode_lanes);
+            let mut decode_items: Vec<(&mut DecoderState, &[f32])> =
+                Vec::with_capacity(decode_lanes);
+            let mut chunk_idx = None;
+            for (i, r) in ready.iter_mut().enumerate() {
+                match r {
+                    ReadyItem::Decode(req, sess) => {
+                        decode_idx.push(i);
+                        decode_items.push((&mut sess.state, req.x.as_slice()));
+                    }
+                    ReadyItem::Chunk(..) => chunk_idx = Some(i),
+                }
+            }
+            let mut outputs = vec![Vec::new(); size];
+            if !decode_items.is_empty() {
+                let decode_out = inner.model.step_batch_fused(decode_items, &inner.pool);
+                let cfg = inner.model.config();
+                let (h, f, l) = (cfg.hidden, cfg.ffn, cfg.layers as u64);
+                // Per layer: 4 h x h GEMMs (QKV + output) and one of each
+                // FFN shape — the actual GEMM executions this batch fused.
+                inner.stats.record_fused_batch(&[
+                    ((h, decode_lanes, h), 4 * l),
+                    ((f, decode_lanes, h), l),
+                    ((h, decode_lanes, f), l),
+                ]);
+                for (i, y) in decode_idx.into_iter().zip(decode_out) {
+                    outputs[i] = y;
+                }
+            }
+            if let Some(i) = chunk_idx {
+                let ReadyItem::Chunk(c, sess) = &mut ready[i] else { unreachable!() };
+                outputs[i] = inner.model.forward(
+                    &mut sess.state,
+                    c.job.chunk_input(c.chunk),
+                    c.job.chunk_tokens(c.chunk),
+                    &inner.pool,
+                );
+            }
+            outputs
         } else {
-            inner.model.step_batch(items, &inner.pool)
+            // Serial: one mixed region over decode lanes + the chunk; each
+            // item's forward is bit-identical to running it alone.
+            let items: Vec<(&mut DecoderState, &[f32], usize)> = ready
+                .iter_mut()
+                .map(|r| match r {
+                    ReadyItem::Decode(req, sess) => (&mut sess.state, req.x.as_slice(), 1),
+                    ReadyItem::Chunk(c, sess) => {
+                        (&mut sess.state, c.job.chunk_input(c.chunk), c.job.chunk_tokens(c.chunk))
+                    }
+                })
+                .collect();
+            inner.model.forward_batch(items, &inner.pool)
         };
+
+        // Phase 3 — check-in and delivery.
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
         inner.stats.batch_sizes.record(size);
+        if decode_lanes > 0 {
+            inner.stats.decode_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        if has_chunk && decode_lanes > 0 {
+            inner.stats.mixed_batches.fetch_add(1, Ordering::Relaxed);
+        }
         let mut sessions = inner.sessions.lock();
-        for ((req, mut sess), y) in ready.into_iter().zip(outputs) {
-            sess.generated += 1;
-            sessions.insert(req.session, sess);
-            let us = req.enqueued.elapsed().as_micros() as u64;
-            inner.stats.step_latency.record_us(us);
-            inner.stats.completed.fetch_add(1, Ordering::Relaxed);
-            inner.deliver(&req.reply, Ok(y));
+        for (r, y) in ready.into_iter().zip(outputs) {
+            match r {
+                ReadyItem::Decode(req, mut sess) => {
+                    sess.generated += 1;
+                    // The step's ticket is spent: advance the
+                    // program-order cursor so the session's next
+                    // pipelined step becomes executable.
+                    sess.exec_seq += 1;
+                    inner.check_in(&mut sessions, req.session, sess);
+                    let us = req.enqueued.elapsed().as_micros() as u64;
+                    inner.stats.step_latency.record_us(us);
+                    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    inner.deliver(&req.reply, Ok(y));
+                }
+                ReadyItem::Chunk(c, mut sess) => {
+                    inner.stats.prefill_chunks.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .stats
+                        .prefill_chunk_latency
+                        .record_us(c.enqueued.elapsed().as_micros() as u64);
+                    c.job.push_output(y);
+                    if c.chunk + 1 == c.job.chunks() {
+                        // The job's single ticket is spent only when its
+                        // final chunk lands: items pipelined behind the
+                        // prefill become executable now, never between
+                        // chunks.
+                        sess.exec_seq += 1;
+                    }
+                    inner.check_in(&mut sessions, c.job.session(), sess);
+                    let next = c.chunk + 1;
+                    if next < c.job.chunks() {
+                        // The completed chunk's in-flight unit transfers
+                        // to the successor: nothing is delivered for a
+                        // non-final chunk, so the counter stays raised
+                        // across the hand-off and a drain polling
+                        // `in_flight` never sees a mid-prefill gap.
+                        inner.batcher.defer(WorkItem::PrefillChunk(ChunkItem {
+                            job: Arc::clone(&c.job),
+                            chunk: next,
+                            enqueued: Instant::now(),
+                        }));
+                    } else {
+                        inner.stats.prefills.fetch_add(1, Ordering::Relaxed);
+                        inner.deliver(c.job.reply(), Ok(c.job.take_output()));
+                    }
+                }
+            }
         }
         size
     }
@@ -505,6 +902,7 @@ impl Server {
         if self.batcher_thread.is_some() {
             return;
         }
+        self.inner.running.store(true, Ordering::Release);
         let inner = Arc::clone(&self.inner);
         let server = Server { inner, batcher_thread: None };
         self.batcher_thread = Some(
@@ -518,7 +916,18 @@ impl Server {
                         {
                             break;
                         }
-                        std::thread::sleep(server.inner.cfg.idle_poll);
+                        // `pump` returns the *executed* count: a batch
+                        // whose items were all deferred (out-of-order
+                        // ticket at the side-queue head, session checked
+                        // out by a concurrent pump) executes nothing yet
+                        // work is still pending and becomes runnable as
+                        // soon as the blocking item checks in — yield and
+                        // re-collect instead of sleeping a full idle_poll.
+                        if server.inner.batcher.pending() > 0 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(server.inner.cfg.idle_poll);
+                        }
                     }
                 })
                 .expect("failed to spawn batcher thread"),
@@ -531,6 +940,7 @@ impl Server {
         if let Some(h) = self.batcher_thread.take() {
             let _ = h.join();
         }
+        self.inner.running.store(false, Ordering::Release);
         // Without a batcher thread, bounce whatever is still queued.
         self.bounce_pending();
     }
@@ -600,6 +1010,7 @@ mod tests {
         assert_eq!(snap.completed, n as u64);
         assert_eq!(snap.max_batch_observed, n);
         assert_eq!(snap.batches, 1);
+        assert_eq!(snap.decode_batches, 1);
     }
 
     #[test]
@@ -619,6 +1030,161 @@ mod tests {
         let _ = server.model().forward(&mut st, &prompt, 3, &pool);
         let want = server.model().forward(&mut st, &token(2, hidden), 1, &pool);
         assert_eq!(stepped, want);
+    }
+
+    #[test]
+    fn single_chunk_prefill_is_bit_identical_to_unchunked_forward() {
+        // The chunked admission path must not change single-chunk prompts:
+        // a prompt of <= prefill_chunk tokens executes as exactly one
+        // forward, bitwise equal to the pre-chunking inline prefill.
+        let server = tiny_server(ServerConfig { prefill_chunk: 16, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let prompt = token(77, hidden * 5);
+        let y = server.prefill(id, &prompt, 5).unwrap();
+        let mut st = server.model().new_state(16);
+        let want = server.model().forward(&mut st, &prompt, 5, &ThreadPool::new(2));
+        assert_eq!(y, want, "single-chunk prefill must be bit-identical");
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.prefills, 1);
+        assert_eq!(snap.prefill_chunks, 1);
+    }
+
+    #[test]
+    fn multi_chunk_prefill_matches_whole_prompt_within_tolerance() {
+        let server =
+            tiny_server(ServerConfig { prefill_chunk: 4, kv_capacity: 32, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let tokens = 11; // chunks of 4, 4, 3
+        let prompt = token(78, hidden * tokens);
+        let y = server.prefill(id, &prompt, tokens).unwrap();
+        assert_eq!(y.len(), hidden * tokens);
+        assert_eq!(server.stats().prefill_chunks.load(Ordering::Relaxed), 3);
+        // Chunk-by-chunk baseline is bitwise (same forwards, same widths)…
+        let pool = ThreadPool::new(2);
+        let mut st = server.model().new_state(32);
+        let chunked = server.model().forward_chunked(&mut st, &prompt, tokens, 4, &pool);
+        assert_eq!(y, chunked, "served chunks must equal a chunked forward bitwise");
+        // …and the whole-prompt forward agrees within tolerance.
+        let mut st = server.model().new_state(32);
+        let whole = server.model().forward(&mut st, &prompt, tokens, &pool);
+        let err = pl_tensor::max_rel_err(&y, &whole);
+        assert!(err <= 1e-5, "rel err {err}");
+    }
+
+    #[test]
+    fn stale_ticket_is_rejected_not_deferred_forever() {
+        // A ticket behind the session's exec_seq cursor can only exist if
+        // the one-submitter-per-session protocol was violated: a
+        // backpressure rollback raced a concurrent same-session submit
+        // and the dispenser re-issued a published ticket. Checkout used
+        // to re-defer such an item on every batch — a silent livelock
+        // (the caller hangs on recv, in_flight never drains, drains and
+        // shutdown never quiesce). It must fail loudly instead.
+        let server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let rx1 = server.submit_step(id, &token(91, hidden)).unwrap();
+        assert_eq!(server.pump(), 1);
+        // Ticket 0 is spent and exec_seq is now 1. Forge the duplicate: a
+        // second item carrying the spent ticket 0, published exactly as
+        // submit_step would have.
+        rx1.recv().unwrap().unwrap();
+        let (tx, rx) = mpsc::channel();
+        server.inner.in_flight.fetch_add(1, Ordering::AcqRel);
+        server
+            .inner
+            .batcher
+            .submit(WorkItem::Decode(StepRequest {
+                session: id,
+                tenant: 0,
+                seq: 0,
+                x: token(92, hidden),
+                enqueued: Instant::now(),
+                reply: tx,
+            }))
+            .unwrap_or_else(|_| panic!("ring full"));
+        server.pump();
+        match rx.try_recv() {
+            Ok(Err(ServeError::StaleTicket { session })) => assert_eq!(session, id),
+            other => panic!("stale ticket must be rejected loudly, got {other:?}"),
+        }
+        assert_eq!(server.in_flight(), 0, "the rejected duplicate must retire its count");
+        assert_eq!(server.inner.batcher.pending(), 0, "nothing may stay parked in the queues");
+        // The session itself is unharmed: a fresh step still executes.
+        let rx2 = server.submit_step(id, &token(93, hidden)).unwrap();
+        assert_eq!(server.pump(), 1);
+        rx2.recv().unwrap().unwrap();
+    }
+
+    #[test]
+    fn decode_is_not_starved_by_concurrent_multi_chunk_prefills() {
+        // Regression: with `max_batch` (or more) concurrent prefill jobs,
+        // the side-queue held that many chunks, every collect filled the
+        // whole batch from it (one chunk executing, the rest re-deferred),
+        // and a ring-queued decode step waited for ALL remaining prefill
+        // work — cross-session head-of-line blocking. The one-chunk-per-
+        // collect cap leaves the other lanes for decode.
+        let server = tiny_server(ServerConfig {
+            max_batch: 2,
+            prefill_chunk: 4,
+            kv_capacity: 32,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let a = server.create_session(0).unwrap();
+        let b = server.create_session(0).unwrap();
+        let c = server.create_session(0).unwrap();
+        let tokens = 16; // 4 chunks of 4 under prefill_chunk = 4
+        let rx_a = server.submit_prefill(a, &token(41, hidden * tokens), tokens).unwrap();
+        let rx_b = server.submit_prefill(b, &token(42, hidden * tokens), tokens).unwrap();
+        let rx_c = server.submit_step(c, &token(43, hidden)).unwrap();
+        // Pump until the decode step completes; both prefills (8 chunks
+        // total) must still be in flight at that point.
+        let mut pumps = 0;
+        loop {
+            assert!(pumps < 16, "decode step starved behind concurrent prefills");
+            server.pump();
+            pumps += 1;
+            match rx_c.try_recv() {
+                Ok(res) => {
+                    res.unwrap();
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) => {}
+                Err(e) => panic!("decode reply channel died: {e:?}"),
+            }
+        }
+        assert!(
+            matches!(rx_a.try_recv(), Err(mpsc::TryRecvError::Empty)),
+            "decode must complete before prefill A finishes"
+        );
+        assert!(
+            matches!(rx_b.try_recv(), Err(mpsc::TryRecvError::Empty)),
+            "decode must complete before prefill B finishes"
+        );
+        // Both prefills still run to completion afterwards.
+        let (mut done_a, mut done_b) = (false, false);
+        for _ in 0..32 {
+            server.pump();
+            if let Ok(r) = rx_a.try_recv() {
+                r.unwrap();
+                done_a = true;
+            }
+            if let Ok(r) = rx_b.try_recv() {
+                r.unwrap();
+                done_b = true;
+            }
+            if done_a && done_b {
+                break;
+            }
+        }
+        assert!(done_a && done_b, "prefills must complete after the decode interleave");
+        assert_eq!(server.in_flight(), 0);
+        assert_eq!(server.stats().prefill_chunks.load(Ordering::Relaxed), 8);
     }
 
     #[test]
@@ -644,6 +1210,223 @@ mod tests {
         let w2 = server.model().forward(&mut st, &token(22, hidden), 1, &pool);
         assert_eq!(y1, w1);
         assert_eq!(y2, w2);
+    }
+
+    #[test]
+    fn deferred_steps_execute_in_submission_order_ahead_of_ring_queued_ones() {
+        // Satellite regression: three pipelined steps of one session,
+        // batch window of two. The old code re-submitted the deferred
+        // step 2 to the *back* of the ring — behind step 3 — so step 3
+        // executed first and corrupted the KV stream. The FIFO side-queue
+        // replays step 2 ahead of the ring.
+        let server = tiny_server(ServerConfig {
+            max_batch: 2,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let xs: Vec<Vec<f32>> = (0..3).map(|t| token(50 + t as u64, hidden)).collect();
+        let rxs: Vec<_> = xs.iter().map(|x| server.submit_step(id, x).unwrap()).collect();
+        // Batch 1 collects steps 1+2, executes 1, defers 2 (step 3 still
+        // ring-queued). Batch 2 must run step 2, NOT step 3.
+        assert_eq!(server.pump(), 1);
+        assert_eq!(server.pump(), 1);
+        assert_eq!(server.pump(), 1);
+        let got: Vec<Vec<f32>> = rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect();
+        // Delivery order == submission order == KV order: the outputs
+        // must match a sequential 3-step baseline bitwise.
+        let mut st = server.model().new_state(8);
+        let pool = ThreadPool::new(2);
+        for (t, (x, y)) in xs.iter().zip(&got).enumerate() {
+            let want = server.model().forward(&mut st, x, 1, &pool);
+            assert_eq!(y, &want, "step {t} executed out of order");
+        }
+        assert_eq!(st.cached_tokens(), 3);
+        assert_eq!(server.close_session(id).unwrap(), 3, "all three steps landed in KV order");
+    }
+
+    #[test]
+    fn concurrent_pumps_preserve_same_session_program_order() {
+        // Review regression: two pumps could each collect one of a
+        // session's pipelined steps, and whichever reached checkout first
+        // executed — even if it held the *later* step — corrupting the KV
+        // stream. The per-session ticket (`StepRequest::seq` vs
+        // `Session::exec_seq`) defers out-of-order steps, so the stream
+        // must stay bitwise-sequential under two concurrent pumpers.
+        let server = Arc::new(tiny_server(ServerConfig {
+            // One item per batch maximizes pump interleavings.
+            max_batch: 1,
+            coalesce_wait: Duration::ZERO,
+            queue_capacity: 256,
+            kv_capacity: 256,
+            ..Default::default()
+        }));
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        const STEPS: usize = 200;
+        let xs: Vec<Vec<f32>> = (0..STEPS).map(|t| token(8000 + t as u64, hidden)).collect();
+        let rxs: Vec<_> = xs.iter().map(|x| server.submit_step(id, x).unwrap()).collect();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let server = Arc::clone(&server);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // Both pumpers start together so they actually contend.
+                    barrier.wait();
+                    while server.in_flight() > 0 {
+                        if server.pump() == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let got: Vec<Vec<f32>> = rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect();
+        let mut st = server.model().new_state(STEPS + 1);
+        let pool = ThreadPool::new(2);
+        for (t, (x, y)) in xs.iter().zip(&got).enumerate() {
+            let want = server.model().forward(&mut st, x, 1, &pool);
+            assert_eq!(y, &want, "step {t} executed out of program order");
+        }
+        assert_eq!(server.close_session(id).unwrap(), STEPS as u64);
+    }
+
+    #[test]
+    fn out_of_order_checkout_is_deferred_not_executed() {
+        // Deterministic white-box form of the concurrent-pump race: pump A
+        // collects step N, pump B collects step N+1, and B reaches
+        // checkout FIRST. Simulated by collecting both items by hand and
+        // running B's batch before A's: the program-order guard must
+        // defer step N+1 (not execute it against a KV cache missing step
+        // N), then execute it after step N in a later pump.
+        let server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let xs: Vec<Vec<f32>> = (0..2).map(|t| token(70 + t as u64, hidden)).collect();
+        let rx0 = server.submit_step(id, &xs[0]).unwrap();
+        let rx1 = server.submit_step(id, &xs[1]).unwrap();
+        // Pump A's collect takes step 0; pump B's takes step 1.
+        let step0 = server.inner.batcher.collect(1);
+        let step1 = server.inner.batcher.collect(1);
+        assert_eq!(step0.len(), 1);
+        assert_eq!(step1.len(), 1);
+        // B wins the checkout race with the LATER step: it must not run.
+        assert_eq!(server.run_batch(step1), 0, "out-of-order step must be deferred");
+        assert!(rx1.try_recv().is_err(), "no reply for the deferred step");
+        // A's batch executes step 0; the deferred step 1 rides the next
+        // pump from the side-queue.
+        assert_eq!(server.run_batch(step0), 1);
+        assert_eq!(server.pump(), 1);
+        let y0 = rx0.recv().unwrap().unwrap();
+        let y1 = rx1.recv().unwrap().unwrap();
+        let mut st = server.model().new_state(8);
+        let pool = ThreadPool::new(2);
+        assert_eq!(y0, server.model().forward(&mut st, &xs[0], 1, &pool));
+        assert_eq!(y1, server.model().forward(&mut st, &xs[1], 1, &pool), "KV order preserved");
+        assert_eq!(server.close_session(id).unwrap(), 2);
+    }
+
+    #[test]
+    fn decode_step_pipelined_behind_a_prefill_waits_for_every_chunk() {
+        // Review regression: a decode step submitted after a multi-chunk
+        // prefill replays through the side-queue *ahead of* the prefill's
+        // continuation chunks (the same-session dedup defers the step
+        // before phase 3 defers the next chunk). Without the job ticket it
+        // executed between two chunks, splicing a decode token into the
+        // middle of the prompt's KV — silently. The job-wide ticket
+        // defers it until the final chunk has landed.
+        let server = tiny_server(ServerConfig {
+            prefill_chunk: 2,
+            kv_capacity: 32,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let tokens = 8; // 4 chunks of 2
+        let prompt = token(96, hidden * tokens);
+        let prefill_rx = server.submit_prefill(id, &prompt, tokens).unwrap();
+        let x = token(97, hidden);
+        let step_rx = server.submit_step(id, &x).unwrap();
+        // Drive to completion; the step must resolve after the prefill.
+        let mut prefill_out = None;
+        let mut step_out = None;
+        let mut pumps = 0;
+        while prefill_out.is_none() || step_out.is_none() {
+            server.pump();
+            pumps += 1;
+            assert!(pumps < 64, "no livelock");
+            if let Ok(res) = prefill_rx.try_recv() {
+                prefill_out = Some(res.unwrap());
+            }
+            if let Ok(res) = step_rx.try_recv() {
+                assert!(
+                    prefill_out.is_some(),
+                    "step must not complete before the prefill it was pipelined behind"
+                );
+                step_out = Some(res.unwrap());
+            }
+        }
+        // Outputs in program order: whole chunked prompt first, then the
+        // step on top of the full 8-token context — bitwise.
+        let pool = ThreadPool::new(2);
+        let mut st = server.model().new_state(32);
+        let chunked = server.model().forward_chunked(&mut st, &prompt, tokens, 2, &pool);
+        let want_step = server.model().forward(&mut st, &x, 1, &pool);
+        assert_eq!(prefill_out.unwrap(), chunked);
+        assert_eq!(step_out.unwrap(), want_step, "step spliced into the prompt's KV");
+        // The session's KV really holds prompt-then-step: one more step
+        // continues bit-identically from the 9-token baseline context.
+        let x2 = token(98, hidden);
+        let rx2 = server.submit_step(id, &x2).unwrap();
+        while server.pump() == 0 {}
+        assert_eq!(rx2.recv().unwrap().unwrap(), server.model().forward(&mut st, &x2, 1, &pool));
+        assert_eq!(server.close_session(id).unwrap(), 2);
+    }
+
+    #[test]
+    fn oversized_prefill_fails_atomically_without_partial_kv_append() {
+        // Review regression: a prefill admitted without an up-front
+        // capacity check (the session can be checked out at submit, or —
+        // as here — grow between admission and execution) must fail at
+        // its FIRST chunk, before any tokens append, never leaving a
+        // partial prompt in the KV cache.
+        let server = tiny_server(ServerConfig {
+            kv_capacity: 8,
+            prefill_chunk: 2,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        // A decode step queued ahead of the prefill grows the context to 1
+        // before any chunk runs, so the 8-token prompt (admitted at
+        // context 0, where it fit exactly) no longer fits.
+        let x0 = token(60, hidden);
+        let step_rx = server.submit_step(id, &x0).unwrap();
+        let prompt = token(61, hidden * 8);
+        let prefill_rx = server.submit_prefill(id, &prompt, 8).unwrap();
+        assert_eq!(server.pump(), 1, "the step runs first; the same-session chunk defers");
+        let y0 = step_rx.recv().unwrap().unwrap();
+        assert_eq!(server.pump(), 0, "chunk 0 is rejected at checkout, nothing executes");
+        assert!(matches!(
+            prefill_rx.recv().unwrap(),
+            Err(ServeError::KvExhausted { context: 1, capacity: 8 })
+        ));
+        assert_eq!(server.in_flight(), 0);
+        // No partial prompt landed: the next step continues bit-identically
+        // from the 1-token context.
+        let x1 = token(62, hidden);
+        let rx = server.submit_step(id, &x1).unwrap();
+        assert_eq!(server.pump(), 1);
+        let y1 = rx.recv().unwrap().unwrap();
+        let mut st = server.model().new_state(8);
+        let pool = ThreadPool::new(2);
+        assert_eq!(y0, server.model().forward(&mut st, &x0, 1, &pool));
+        assert_eq!(y1, server.model().forward(&mut st, &x1, 1, &pool));
     }
 
     #[test]
@@ -681,6 +1464,121 @@ mod tests {
     }
 
     #[test]
+    fn in_flight_covers_every_prefill_chunk_without_gaps() {
+        // Satellite regression: prefill work used to be invisible to
+        // in_flight (and unchecked against shutdown), so drains could
+        // report a shard quiesced mid-prefill. Now every chunk counts,
+        // including across chunk hand-offs.
+        let server = tiny_server(ServerConfig {
+            prefill_chunk: 2,
+            kv_capacity: 16,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let tokens = 7; // chunks of 2, 2, 2, 1
+        let rx = server.submit_prefill(id, &token(90, hidden * tokens), tokens).unwrap();
+        assert_eq!(server.in_flight(), 1, "prefill visible before any pump");
+        // Every intermediate chunk leaves the successor in flight.
+        for chunk in 0..4 {
+            assert_eq!(server.in_flight(), 1, "no mid-prefill gap before chunk {chunk}");
+            assert_eq!(server.pump(), 1);
+        }
+        assert_eq!(server.in_flight(), 0);
+        assert_eq!(server.pump(), 0, "no chunks left");
+        assert_eq!(rx.recv().unwrap().unwrap().len(), hidden * tokens);
+        assert_eq!(server.stats().snapshot().prefill_chunks, 4);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_prefills_and_bounces_queued_chunks() {
+        let mut server = tiny_server(ServerConfig {
+            prefill_chunk: 2,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let rx = server.submit_prefill(id, &token(91, hidden * 6), 6).unwrap();
+        server.shutdown();
+        // The queued first chunk was bounced through the job's channel…
+        assert!(matches!(rx.recv().unwrap(), Err(ServeError::ShuttingDown)));
+        assert_eq!(server.in_flight(), 0);
+        // …and new prefills are rejected outright.
+        assert!(matches!(
+            server.submit_prefill(id, &token(92, hidden), 1),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn close_session_interlocks_with_the_checked_out_window() {
+        // Satellite regression: a close racing the batch-execution window
+        // used to get UnknownSession for a live session, and the window
+        // then re-inserted the session as an untracked zombie. The
+        // CheckedOut marker makes the close wait for the window and free
+        // the session at check-in.
+        let server = Arc::new(tiny_server(ServerConfig {
+            prefill_chunk: 64,
+            kv_capacity: 64,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        }));
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        // A single 48-token chunk: a long execution window.
+        let _rx = server.submit_prefill(id, &token(93, hidden * 48), 48).unwrap();
+        std::thread::scope(|scope| {
+            let pumper = {
+                let server = Arc::clone(&server);
+                scope.spawn(move || server.pump())
+            };
+            // Wait until the chunk has been collected (ring empty) and is
+            // executing (still in flight) — the checked-out window.
+            while !(server.pending() == 0 && server.in_flight() > 0) {
+                std::hint::spin_loop();
+            }
+            // Close mid-window: must succeed (waiting for the window),
+            // never report a live session as unknown.
+            let generated = server.close_session(id).unwrap();
+            assert_eq!(generated, 0, "prefill decodes no tokens");
+            assert_eq!(pumper.join().unwrap(), 1);
+        });
+        assert_eq!(server.session_count(), 0, "no zombie session survives the race");
+        assert!(matches!(server.close_session(id), Err(ServeError::UnknownSession(_))));
+        // The freed id is really gone from the table: new work bounces.
+        assert!(matches!(
+            server.submit_prefill(id, &token(94, hidden), 1),
+            Err(ServeError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn close_session_mid_multi_chunk_prefill_frees_the_session_and_aborts_the_job() {
+        // Closing between chunks of a longer prefill: the close wins, the
+        // session's KV cache is freed, and the orphaned continuation chunk
+        // errors through the prefill's completion channel instead of
+        // resurrecting the session.
+        let server = tiny_server(ServerConfig {
+            prefill_chunk: 2,
+            kv_capacity: 16,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let rx = server.submit_prefill(id, &token(95, hidden * 6), 6).unwrap();
+        assert_eq!(server.pump(), 1, "first chunk executes");
+        assert_eq!(server.close_session(id).unwrap(), 0, "close between chunks succeeds");
+        assert_eq!(server.session_count(), 0);
+        // The continuation chunk finds the session gone and aborts the job.
+        assert_eq!(server.pump(), 0);
+        assert!(matches!(rx.recv().unwrap(), Err(ServeError::UnknownSession(_))));
+        assert_eq!(server.in_flight(), 0, "aborted chunk retired its in-flight count");
+    }
+
+    #[test]
     fn backpressure_surfaces_to_submitter() {
         let server = tiny_server(ServerConfig { queue_capacity: 2, ..Default::default() });
         let hidden = server.model().config().hidden;
@@ -690,6 +1588,14 @@ mod tests {
         let _r2 = server.submit_step(id, &x).unwrap();
         assert!(matches!(server.submit_step(id, &x), Err(ServeError::Backpressure { tenant: 0 })));
         assert_eq!(server.stats().rejected_backpressure.load(Ordering::Relaxed), 1);
+        // Prefills ride the same bounded rings: a full ring bounces them
+        // too (and releases their in-flight count).
+        let before = server.in_flight();
+        assert!(matches!(
+            server.submit_prefill(id, &x, 1),
+            Err(ServeError::Backpressure { tenant: 0 })
+        ));
+        assert_eq!(server.in_flight(), before);
     }
 
     #[test]
@@ -820,5 +1726,49 @@ mod tests {
             "the hidden x B GEMM executions are observable"
         );
         assert_eq!(serial_server.stats().snapshot().fused_batches, 0);
+    }
+
+    #[test]
+    fn fused_mixed_batch_runs_decode_lanes_fused_and_chunk_serially() {
+        // A fused-mode batch holding decode lanes *and* a prefill chunk:
+        // the lanes fuse (recorded at the lane count, not the batch
+        // size), the chunk executes as its own forward, and both land.
+        let server = tiny_server(ServerConfig {
+            fused: true,
+            prefill_chunk: 4,
+            kv_capacity: 32,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let decode_ids: Vec<SessionId> =
+            (0..3).map(|_| server.create_session(0).unwrap()).collect();
+        let prefill_id = server.create_session(0).unwrap();
+        let rxs: Vec<_> = decode_ids
+            .iter()
+            .enumerate()
+            .map(|(s, &id)| server.submit_step(id, &token(30 + s as u64, hidden)).unwrap())
+            .collect();
+        let prompt = token(40, hidden * 8);
+        let prx = server.submit_prefill(prefill_id, &prompt, 8).unwrap();
+        assert_eq!(server.pump(), 4, "3 decode lanes + 1 chunk in one batch");
+        assert_eq!(server.pump(), 1, "continuation chunk");
+        for rx in rxs {
+            rx.recv().unwrap().unwrap();
+        }
+        let y = prx.recv().unwrap().unwrap();
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.mixed_batches, 1);
+        assert_eq!(snap.prefill_chunks, 2);
+        assert_eq!(snap.fused_batches, 1, "only the decode-bearing batch fuses");
+        assert!(
+            snap.fused_gemm_shapes.iter().all(|&((_, n, _), _)| n == 3),
+            "fused width is the decode-lane count, not the batch size: {:?}",
+            snap.fused_gemm_shapes
+        );
+        // The chunk path is the serial forward even in fused mode.
+        let pool = ThreadPool::new(2);
+        let mut st = server.model().new_state(32);
+        assert_eq!(y, server.model().forward_chunked(&mut st, &prompt, 8, 4, &pool));
     }
 }

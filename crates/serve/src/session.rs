@@ -1,6 +1,8 @@
 //! Sessions: one decode stream per connected client.
 
 use pl_dnn::DecoderState;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Server-assigned session identifier.
@@ -23,12 +25,28 @@ pub struct Session {
     pub generated: u64,
     /// Creation time (for session-age metrics/eviction policies).
     pub created: Instant,
+    /// Monotonic ticket dispenser for submitted decode steps. Shared
+    /// (`Arc`) with the session's `CheckedOut` marker so a step submitted
+    /// during an execution window still draws an ordered ticket.
+    pub submit_seq: Arc<AtomicU64>,
+    /// The next decode-step ticket to execute — the program-order cursor
+    /// batch checkout enforces (a step whose ticket is ahead of this is
+    /// deferred, so concurrent pumps cannot reorder a pipelined stream).
+    pub exec_seq: u64,
 }
 
 impl Session {
     /// Fresh session around an empty KV state.
     pub fn new(id: SessionId, tenant: TenantId, state: DecoderState) -> Self {
-        Session { id, tenant, state, generated: 0, created: Instant::now() }
+        Session {
+            id,
+            tenant,
+            state,
+            generated: 0,
+            created: Instant::now(),
+            submit_seq: Arc::new(AtomicU64::new(0)),
+            exec_seq: 0,
+        }
     }
 
     /// Tokens currently held in the KV cache.

@@ -31,6 +31,19 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Element-wise sum of `other` into `mine`, growing `mine` as needed —
+/// the bucket-histogram half of [`StatsSnapshot::merge`], shared by every
+/// latency histogram a snapshot carries so the resize-then-add logic
+/// exists once.
+fn merge_buckets(mine: &mut Vec<u64>, other: &[u64]) {
+    if mine.len() < other.len() {
+        mine.resize(other.len(), 0);
+    }
+    for (i, &c) in other.iter().enumerate() {
+        mine[i] += c;
+    }
+}
+
 /// Quantile estimate from raw log2 bucket counts: the upper edge of the
 /// bucket containing rank `ceil(q * n)`. This is the pure fold behind
 /// [`LatencyHistogram::quantile_us`], shared with [`StatsSnapshot::merge`]
@@ -156,12 +169,23 @@ pub struct ServerStats {
     pub rejected_sessions: AtomicU64,
     /// Batches executed.
     pub batches: AtomicU64,
-    /// Prefill calls served.
+    /// Batches that contained at least one decode lane (a batch can also
+    /// be a lone prefill chunk).
+    pub decode_batches: AtomicU64,
+    /// Prefills completed (all chunks executed, reply delivered).
     pub prefills: AtomicU64,
+    /// Prefill chunks executed through the batcher.
+    pub prefill_chunks: AtomicU64,
+    /// Batches that interleaved a prefill chunk with decode lanes — the
+    /// continuous-batching signal: nonzero means long prompts shared
+    /// regions with live decode traffic instead of blocking it.
+    pub mixed_batches: AtomicU64,
     /// Batches executed through the fused cross-session path.
     pub fused_batches: AtomicU64,
     /// Queue-to-reply latency of decode steps.
     pub step_latency: LatencyHistogram,
+    /// Enqueue-to-execution latency of prefill chunks.
+    pub prefill_chunk_latency: LatencyHistogram,
     /// Distribution of executed batch sizes.
     pub batch_sizes: CountHistogram,
     /// `(m, n, k) -> GEMMs executed` over all fused batches (n is the
@@ -183,9 +207,13 @@ impl ServerStats {
             rejected_backpressure: AtomicU64::new(0),
             rejected_sessions: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            decode_batches: AtomicU64::new(0),
             prefills: AtomicU64::new(0),
+            prefill_chunks: AtomicU64::new(0),
+            mixed_batches: AtomicU64::new(0),
             fused_batches: AtomicU64::new(0),
             step_latency: LatencyHistogram::new(),
+            prefill_chunk_latency: LatencyHistogram::new(),
             batch_sizes: CountHistogram::new(max_batch),
             fused_gemm_shapes: Mutex::new(BTreeMap::new()),
         }
@@ -219,7 +247,10 @@ impl ServerStats {
             rejected_backpressure: self.rejected_backpressure.load(Ordering::Relaxed),
             rejected_sessions: self.rejected_sessions.load(Ordering::Relaxed),
             batches,
+            decode_batches: self.decode_batches.load(Ordering::Relaxed),
             prefills: self.prefills.load(Ordering::Relaxed),
+            prefill_chunks: self.prefill_chunks.load(Ordering::Relaxed),
+            mixed_batches: self.mixed_batches.load(Ordering::Relaxed),
             fused_batches: self.fused_batches.load(Ordering::Relaxed),
             fused_gemm_shapes: self.fused_gemm_shapes(),
             tokens_per_s: completed as f64 / elapsed,
@@ -230,6 +261,9 @@ impl ServerStats {
             p50_us: self.step_latency.quantile_us(0.50),
             p99_us: self.step_latency.quantile_us(0.99),
             mean_us: self.step_latency.mean_us(),
+            chunk_latency_buckets: self.prefill_chunk_latency.bucket_counts(),
+            chunk_p50_us: self.prefill_chunk_latency.quantile_us(0.50),
+            chunk_p99_us: self.prefill_chunk_latency.quantile_us(0.99),
         }
     }
 }
@@ -249,8 +283,14 @@ pub struct StatsSnapshot {
     pub rejected_sessions: u64,
     /// Batches executed.
     pub batches: u64,
-    /// Prefills served.
+    /// Batches containing at least one decode lane.
+    pub decode_batches: u64,
+    /// Prefills completed.
     pub prefills: u64,
+    /// Prefill chunks executed through the batcher.
+    pub prefill_chunks: u64,
+    /// Batches that interleaved a prefill chunk with decode lanes.
+    pub mixed_batches: u64,
     /// Batches executed through the fused cross-session path.
     pub fused_batches: u64,
     /// `((m, n, k), GEMMs executed)` of the shapes fused batches ran.
@@ -273,6 +313,13 @@ pub struct StatsSnapshot {
     pub p99_us: u64,
     /// Mean step latency (µs).
     pub mean_us: f64,
+    /// Raw log2 prefill-chunk latency buckets (mergeable, like
+    /// `latency_buckets`).
+    pub chunk_latency_buckets: Vec<u64>,
+    /// Median prefill-chunk enqueue-to-execution latency (µs).
+    pub chunk_p50_us: u64,
+    /// 99th percentile prefill-chunk latency (µs).
+    pub chunk_p99_us: u64,
 }
 
 impl StatsSnapshot {
@@ -285,7 +332,10 @@ impl StatsSnapshot {
             rejected_backpressure: 0,
             rejected_sessions: 0,
             batches: 0,
+            decode_batches: 0,
             prefills: 0,
+            prefill_chunks: 0,
+            mixed_batches: 0,
             fused_batches: 0,
             fused_gemm_shapes: Vec::new(),
             tokens_per_s: 0.0,
@@ -296,6 +346,9 @@ impl StatsSnapshot {
             p50_us: 0,
             p99_us: 0,
             mean_us: 0.0,
+            chunk_latency_buckets: vec![0; LATENCY_BUCKETS],
+            chunk_p50_us: 0,
+            chunk_p99_us: 0,
         }
     }
 
@@ -319,7 +372,10 @@ impl StatsSnapshot {
         self.rejected_backpressure += other.rejected_backpressure;
         self.rejected_sessions += other.rejected_sessions;
         self.batches += other.batches;
+        self.decode_batches += other.decode_batches;
         self.prefills += other.prefills;
+        self.prefill_chunks += other.prefill_chunks;
+        self.mixed_batches += other.mixed_batches;
         self.fused_batches += other.fused_batches;
         self.max_batch_observed = self.max_batch_observed.max(other.max_batch_observed);
 
@@ -336,12 +392,7 @@ impl StatsSnapshot {
         }
         self.batch_distribution = dist.into_iter().collect();
 
-        if self.latency_buckets.len() < other.latency_buckets.len() {
-            self.latency_buckets.resize(other.latency_buckets.len(), 0);
-        }
-        for (i, &c) in other.latency_buckets.iter().enumerate() {
-            self.latency_buckets[i] += c;
-        }
+        merge_buckets(&mut self.latency_buckets, &other.latency_buckets);
 
         self.tokens_per_s = self.completed as f64 / self.elapsed_s.max(1e-9);
         self.mean_batch =
@@ -353,6 +404,10 @@ impl StatsSnapshot {
         };
         self.p50_us = quantile_from_buckets(&self.latency_buckets, 0.50);
         self.p99_us = quantile_from_buckets(&self.latency_buckets, 0.99);
+
+        merge_buckets(&mut self.chunk_latency_buckets, &other.chunk_latency_buckets);
+        self.chunk_p50_us = quantile_from_buckets(&self.chunk_latency_buckets, 0.50);
+        self.chunk_p99_us = quantile_from_buckets(&self.chunk_latency_buckets, 0.99);
     }
 
     /// Hand-rolled JSON rendering (no serialization crates in this
@@ -363,6 +418,8 @@ impl StatsSnapshot {
         let dist: Vec<String> =
             self.batch_distribution.iter().map(|(b, c)| format!("[{b},{c}]")).collect();
         let buckets: Vec<String> = self.latency_buckets.iter().map(u64::to_string).collect();
+        let chunk_buckets: Vec<String> =
+            self.chunk_latency_buckets.iter().map(u64::to_string).collect();
         let shapes: Vec<String> = self
             .fused_gemm_shapes
             .iter()
@@ -372,11 +429,13 @@ impl StatsSnapshot {
             concat!(
                 "{{\"elapsed_s\":{:.6},\"submitted\":{},\"completed\":{},",
                 "\"rejected_backpressure\":{},\"rejected_sessions\":{},",
-                "\"batches\":{},\"prefills\":{},\"fused_batches\":{},",
+                "\"batches\":{},\"decode_batches\":{},\"prefills\":{},",
+                "\"prefill_chunks\":{},\"mixed_batches\":{},\"fused_batches\":{},",
                 "\"tokens_per_s\":{:.3},\"mean_batch\":{:.4},",
                 "\"max_batch_observed\":{},\"batch_distribution\":[{}],",
                 "\"latency_buckets\":[{}],\"fused_gemm_shapes\":[{}],",
-                "\"p50_us\":{},\"p99_us\":{},\"mean_us\":{:.3}}}"
+                "\"p50_us\":{},\"p99_us\":{},\"mean_us\":{:.3},",
+                "\"chunk_latency_buckets\":[{}],\"chunk_p50_us\":{},\"chunk_p99_us\":{}}}"
             ),
             self.elapsed_s,
             self.submitted,
@@ -384,7 +443,10 @@ impl StatsSnapshot {
             self.rejected_backpressure,
             self.rejected_sessions,
             self.batches,
+            self.decode_batches,
             self.prefills,
+            self.prefill_chunks,
+            self.mixed_batches,
             self.fused_batches,
             self.tokens_per_s,
             self.mean_batch,
@@ -395,6 +457,9 @@ impl StatsSnapshot {
             self.p50_us,
             self.p99_us,
             self.mean_us,
+            chunk_buckets.join(","),
+            self.chunk_p50_us,
+            self.chunk_p99_us,
         )
     }
 }
@@ -477,12 +542,26 @@ mod tests {
         b.prefills.fetch_add(3, Ordering::Relaxed);
         a.record_fused_batch(&[((32, 4, 32), 8)]);
         b.record_fused_batch(&[((32, 4, 32), 8), ((64, 4, 32), 2)]);
+        // Chunked-prefill surfaces merge too: counters add, chunk
+        // latency quantiles recompute from summed buckets.
+        a.prefill_chunks.fetch_add(4, Ordering::Relaxed);
+        b.prefill_chunks.fetch_add(2, Ordering::Relaxed);
+        a.mixed_batches.fetch_add(1, Ordering::Relaxed);
+        a.decode_batches.fetch_add(50, Ordering::Relaxed);
+        b.decode_batches.fetch_add(1, Ordering::Relaxed);
+        a.prefill_chunk_latency.record_us(8);
+        b.prefill_chunk_latency.record_us(512);
 
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged.completed, 100);
         assert_eq!(merged.batches, 51);
         assert_eq!(merged.prefills, 3);
+        assert_eq!(merged.prefill_chunks, 6);
+        assert_eq!(merged.mixed_batches, 1);
+        assert_eq!(merged.decode_batches, 51);
+        assert_eq!(merged.chunk_p50_us, 16, "fast chunk's bucket edge");
+        assert_eq!(quantile_from_buckets(&merged.chunk_latency_buckets, 1.0), 1024);
         assert_eq!(merged.latency_count(), 100);
         // p50 over {99x16, 1x1024} is the 16 µs observation's bucket
         // (upper edge 32); p99 lands on the rank-99 observation (still
@@ -541,6 +620,9 @@ mod tests {
         s.batch_sizes.record(3);
         s.step_latency.record_us(10);
         s.record_fused_batch(&[((32, 2, 32), 8)]);
+        s.prefill_chunks.fetch_add(3, Ordering::Relaxed);
+        s.mixed_batches.fetch_add(1, Ordering::Relaxed);
+        s.prefill_chunk_latency.record_us(100);
         let json = s.snapshot().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for needle in [
@@ -550,6 +632,10 @@ mod tests {
             "\"fused_gemm_shapes\":[[[32,2,32],8]]",
             "\"latency_buckets\":[",
             "\"p99_us\":16",
+            "\"prefill_chunks\":3",
+            "\"mixed_batches\":1",
+            "\"chunk_latency_buckets\":[",
+            "\"chunk_p99_us\":128",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

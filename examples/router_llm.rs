@@ -241,6 +241,7 @@ fn main() {
             batch: SESSIONS,
             shards: n,
             steps_per_s: sps,
+            p99_us: 0.0,
         });
         if n == shards && shards == 1 {
             break;

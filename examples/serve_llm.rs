@@ -1,13 +1,18 @@
 //! End-to-end pl-serve demo: a multi-tenant batched inference server over
-//! one shared scaled decoder.
+//! one shared scaled decoder, with a mixed prefill + decode scenario.
 //!
 //! Eight concurrent client sessions (two tenants) each run a prefill and
 //! then a closed decode loop (the last token's transformed state feeds
-//! back as the next input — a deterministic stand-in for sampling). The
-//! batcher coalesces their pending steps into single parallel regions;
-//! afterwards every session's entire output stream is checked against a
-//! sequential, unbatched `Decoder` baseline over the same weights, and
-//! the `ServerStats` surface is printed.
+//! back as the next input — a deterministic stand-in for sampling). A
+//! ninth client arrives mid-run with a **long prompt** (8 x the server's
+//! `prefill_chunk`): continuous batching splits it into ladder-aligned
+//! chunks that interleave with the live decode batches instead of
+//! blocking them. The batcher coalesces pending steps into single
+//! parallel regions; afterwards every session's entire output stream is
+//! checked against a sequential, unbatched `Decoder` baseline over the
+//! same weights — and the chunked prefill against both a chunk-by-chunk
+//! forward (bitwise) and the whole-prompt forward (tolerance) — and the
+//! `ServerStats` surface is printed.
 //!
 //! Two batch-execution modes:
 //!
@@ -34,6 +39,11 @@ const PROMPT: usize = 4;
 const STEPS: usize = 24;
 const KV: usize = 64;
 const FUSED_TOL: f32 = 1e-5;
+/// Chunk cap for the continuous-batching path: the short session prompts
+/// (4 tokens) stay single-chunk (bit-identical), the long prompt splits.
+const PREFILL_CHUNK: usize = 4;
+/// The mid-run long prompt: 8 chunks of `PREFILL_CHUNK`.
+const LONG_PROMPT: usize = 32;
 
 fn prompt_for(session: usize, hidden: usize) -> Vec<f32> {
     let mut x = vec![0.0f32; hidden * PROMPT];
@@ -66,6 +76,7 @@ fn main() {
             tenants: TENANTS,
             max_batch: SESSIONS,
             kv_capacity: KV,
+            prefill_chunk: PREFILL_CHUNK,
             coalesce_wait: Duration::from_millis(2),
             fused,
             ..Default::default()
@@ -80,9 +91,17 @@ fn main() {
     // must pack activations only.
     let packs_before_traffic = pl_dnn::prepared::pack_events();
 
-    // --- Serve: concurrent clients through the batcher. -----------------
+    // --- Serve: concurrent clients through the batcher, plus one late
+    // long-prompt client whose prefill chunks interleave with the live
+    // decode traffic. --------------------------------------------------
+    let long_prompt = {
+        let mut p = vec![0.0f32; hidden * LONG_PROMPT];
+        fill_uniform(&mut p, &mut Xorshift::new(31337), -0.5, 0.5);
+        p
+    };
     let t0 = Instant::now();
     let mut served: Vec<Vec<Vec<f32>>> = Vec::new();
+    let mut long_served: Vec<f32> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for s in 0..SESSIONS {
@@ -101,9 +120,26 @@ fn main() {
                 outs
             }));
         }
+        let long_handle = {
+            let server = &server;
+            let long_prompt = &long_prompt;
+            scope.spawn(move || {
+                // Arrive mid-run, while decode traffic is live.
+                while server.stats().completed.load(std::sync::atomic::Ordering::Relaxed)
+                    < (SESSIONS * STEPS / 4) as u64
+                {
+                    std::thread::yield_now();
+                }
+                let id = server.create_session(1).expect("late session admitted");
+                let y = server.prefill(id, long_prompt, LONG_PROMPT).unwrap();
+                server.close_session(id).unwrap();
+                y
+            })
+        };
         for h in handles {
             served.push(h.join().unwrap());
         }
+        long_served = long_handle.join().unwrap();
     });
     let serve_s = t0.elapsed().as_secs_f64();
     let snap = server.stats().snapshot();
@@ -138,12 +174,32 @@ fn main() {
             }
         }
     }
+    // The interleaved long prefill: bitwise equal to a chunk-by-chunk
+    // forward (same widths, same kernels — in both modes the chunk runs
+    // the serial forward path), within tolerance of the whole-prompt
+    // forward (chunking changes the projection GEMM widths).
+    let mut st = model.new_state(KV);
+    let chunked_base =
+        model.forward_chunked(&mut st, &long_prompt, LONG_PROMPT, PREFILL_CHUNK, &pool);
+    if long_served != chunked_base {
+        eprintln!("MISMATCH: interleaved long prefill vs chunked forward");
+        mismatches += 1;
+    }
+    let mut st = model.new_state(KV);
+    let whole_base = model.forward(&mut st, &long_prompt, LONG_PROMPT, &pool);
+    let long_err = max_rel_err(&long_served, &whole_base);
+    if long_err > FUSED_TOL {
+        eprintln!("TOLERANCE EXCEEDED: chunked vs whole-prompt prefill rel err {long_err}");
+        mismatches += 1;
+    }
     let base_s = t1.elapsed().as_secs_f64();
 
     // --- Report. ---------------------------------------------------------
     println!("\n=== ServerStats ===");
     println!("steps completed      {:>10}", snap.completed);
     println!("prefills             {:>10}", snap.prefills);
+    println!("prefill chunks       {:>10}", snap.prefill_chunks);
+    println!("mixed batches        {:>10}", snap.mixed_batches);
     println!("batches              {:>10}", snap.batches);
     println!("fused batches        {:>10}", snap.fused_batches);
     println!("mean batch size      {:>10.2}", snap.mean_batch);
@@ -182,19 +238,34 @@ fn main() {
         snap.max_batch_observed
     );
     assert_eq!(snap.completed, (SESSIONS * STEPS) as u64);
+    assert_eq!(snap.prefills, (SESSIONS + 1) as u64, "short prefills + the long one completed");
+    assert_eq!(
+        snap.prefill_chunks,
+        (SESSIONS + LONG_PROMPT / PREFILL_CHUNK) as u64,
+        "short prompts stay single-chunk; the long one splits into {} chunks",
+        LONG_PROMPT / PREFILL_CHUNK
+    );
     if fused {
-        assert_eq!(snap.fused_batches, snap.batches, "every batch must run fused");
+        // A batch can be a lone prefill chunk; every decode-bearing batch
+        // must have run fused.
+        assert_eq!(snap.fused_batches, snap.decode_batches, "every decode batch must run fused");
         assert!(!snap.fused_gemm_shapes.is_empty());
         println!(
-            "\nOK: {SESSIONS} concurrent sessions, max batch {}, fused outputs within \
+            "\nOK: {SESSIONS} concurrent sessions + 1 interleaved long prefill \
+             ({} chunks, {} mixed batches), max batch {}, fused outputs within \
              {FUSED_TOL} of the sequential baseline (worst rel err {worst_rel:.2e})",
+            LONG_PROMPT / PREFILL_CHUNK,
+            snap.mixed_batches,
             snap.max_batch_observed
         );
     } else {
         assert_eq!(snap.fused_batches, 0);
         println!(
-            "\nOK: {SESSIONS} concurrent sessions, max batch {}, all outputs \
+            "\nOK: {SESSIONS} concurrent sessions + 1 interleaved long prefill \
+             ({} chunks, {} mixed batches), max batch {}, all outputs \
              bit-identical to the sequential baseline",
+            LONG_PROMPT / PREFILL_CHUNK,
+            snap.mixed_batches,
             snap.max_batch_observed
         );
     }

@@ -143,7 +143,10 @@ fn fused_batched_sessions_match_serial_within_tolerance() {
     let snap = server.stats().snapshot();
     server.shutdown();
     assert_eq!(snap.completed, (SESSIONS * STEPS) as u64);
-    assert_eq!(snap.fused_batches, snap.batches, "every batch ran fused");
+    // Prefills now ride the batcher too, so a batch can be a lone prefill
+    // chunk: the fused invariant is that every *decode-bearing* batch ran
+    // fused.
+    assert_eq!(snap.fused_batches, snap.decode_batches, "every decode batch ran fused");
     assert!(!snap.fused_gemm_shapes.is_empty(), "fused GEMM shapes recorded");
     let cfg = *model.config();
     for &((m, n, k), _) in &snap.fused_gemm_shapes {
@@ -234,6 +237,144 @@ fn ring_full_backpressure_is_an_error_and_the_session_recovers() {
 }
 
 use pl_serve::ServeError;
+
+#[test]
+fn chunked_prefill_interleaves_with_live_decode_traffic() {
+    // The continuous-batching acceptance scenario: a 32-token prompt
+    // (8 x prefill_chunk) submitted while B = 8 decode traffic is live
+    // must not stall decode — every prefill chunk shares its batch with
+    // decode lanes, decode steps complete between the chunks, and the
+    // chunked output matches the whole-prompt forward.
+    let cfg = DecoderConfig::scaled_for_tests();
+    let hidden = cfg.hidden;
+    let model = Arc::new(DecoderModel::new(cfg, 20240731));
+    let pool = Arc::new(ThreadPool::new(4));
+    const DECODERS: usize = 8;
+    const CHUNK: usize = 4;
+    const PROMPT_TOKENS: usize = 8 * CHUNK; // 8 chunks
+    let server = Server::new(
+        Arc::clone(&model),
+        pool,
+        ServerConfig {
+            tenants: 2,
+            max_batch: DECODERS,
+            kv_capacity: 64,
+            prefill_chunk: CHUNK,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        },
+    );
+
+    // B = 8 live decode sessions (tenant 0), closed loop.
+    let decode_ids: Vec<_> = (0..DECODERS).map(|_| server.create_session(0).unwrap()).collect();
+    let mut xs: Vec<Vec<f32>> = (0..DECODERS)
+        .map(|s| {
+            let mut x = vec![0.0f32; hidden];
+            fill_uniform(&mut x, &mut Xorshift::new(8800 + s as u64), -0.5, 0.5);
+            x
+        })
+        .collect();
+    let mut rxs: Vec<_> =
+        decode_ids.iter().zip(&xs).map(|(&id, x)| server.submit_step(id, x).unwrap()).collect();
+    let mut decode_steps = [0usize; DECODERS];
+
+    // The long prompt arrives on tenant 1 while decode traffic is live.
+    let prefill_id = server.create_session(1).unwrap();
+    let mut prompt = vec![0.0f32; hidden * PROMPT_TOKENS];
+    fill_uniform(&mut prompt, &mut Xorshift::new(9900), -0.5, 0.5);
+    let prefill_rx = server.submit_prefill(prefill_id, &prompt, PROMPT_TOKENS).unwrap();
+
+    // Drive manually; keep every decode session's next step queued so the
+    // batcher always has live decode work next to the prefill chunks.
+    let mut decode_between_chunks = vec![0u64; PROMPT_TOKENS / CHUNK + 1];
+    let mut prefill_out = None;
+    while prefill_out.is_none() {
+        assert!(server.pump() > 0, "work is always pending until the prefill completes");
+        let chunks_done = server.stats().prefill_chunks.load(std::sync::atomic::Ordering::Relaxed);
+        for (s, rx) in rxs.iter_mut().enumerate() {
+            if let Ok(res) = rx.try_recv() {
+                let y = res.unwrap();
+                decode_steps[s] += 1;
+                decode_between_chunks[chunks_done as usize] += 1;
+                xs[s] = y.clone();
+                *rx = server.submit_step(decode_ids[s], &y).unwrap();
+            }
+        }
+        if let Ok(res) = prefill_rx.try_recv() {
+            prefill_out = Some(res.unwrap());
+        }
+    }
+    let prefill_out = prefill_out.unwrap();
+    // Let the tail decode steps finish (each session has exactly one
+    // outstanding step).
+    while server.pump() > 0 {}
+    for (s, rx) in rxs.into_iter().enumerate() {
+        xs[s] = rx.recv().unwrap().unwrap();
+    }
+
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.prefill_chunks, (PROMPT_TOKENS / CHUNK) as u64);
+    assert_eq!(snap.prefills, 1);
+    // Interleaving, counted two ways: (a) most chunk-bearing batches also
+    // carried decode lanes; (b) decode steps completed *between* the
+    // chunks (at several distinct chunk-progress points), not just before
+    // the first or after the last.
+    assert!(
+        snap.mixed_batches >= 6,
+        "prefill chunks must share batches with decode lanes: {} mixed of {} batches",
+        snap.mixed_batches,
+        snap.batches
+    );
+    let interleave_points =
+        decode_between_chunks[1..PROMPT_TOKENS / CHUNK].iter().filter(|&&c| c > 0).count();
+    assert!(
+        interleave_points >= 4,
+        "decode completions must land between prefill chunks: {decode_between_chunks:?}"
+    );
+    let mid_prefill_decode: u64 = decode_between_chunks[1..PROMPT_TOKENS / CHUNK].iter().sum();
+    assert!(
+        mid_prefill_decode >= DECODERS as u64,
+        "decode must keep completing while the prefill is in flight"
+    );
+
+    // Correctness of the interleaved prefill: bitwise equal to a chunked
+    // forward (same widths, same kernels), within tolerance of the
+    // whole-prompt forward.
+    let bpool = ThreadPool::new(2);
+    let mut st = model.new_state(64);
+    let chunked = model.forward_chunked(&mut st, &prompt, PROMPT_TOKENS, CHUNK, &bpool);
+    assert_eq!(prefill_out, chunked, "served chunked prefill must match forward_chunked bitwise");
+    let mut st_whole = model.new_state(64);
+    let whole = model.forward(&mut st_whole, &prompt, PROMPT_TOKENS, &bpool);
+    let err = max_rel_err(&prefill_out, &whole);
+    assert!(err <= 1e-5, "chunked vs whole-prompt prefill rel err {err}");
+
+    // The prefill session's KV context really holds all 32 tokens: its
+    // next decode step must continue bit-identically from the chunked
+    // baseline state.
+    let x_next = last_token(&prefill_out, hidden);
+    let rx = server.submit_step(prefill_id, &x_next).unwrap();
+    while server.pump() == 0 {}
+    let stepped = rx.recv().unwrap().unwrap();
+    assert_eq!(stepped, model.forward(&mut st, &x_next, 1, &bpool));
+
+    // The decode streams themselves stayed correct under the interleaving:
+    // every session's final output equals a sequential closed-loop
+    // baseline of the same length, bitwise.
+    for (s, &id) in decode_ids.iter().enumerate() {
+        let mut st = model.new_state(64);
+        let mut x = {
+            let mut x = vec![0.0f32; hidden];
+            fill_uniform(&mut x, &mut Xorshift::new(8800 + s as u64), -0.5, 0.5);
+            x
+        };
+        for _ in 0..=decode_steps[s] {
+            x = model.forward(&mut st, &x, 1, &bpool);
+        }
+        assert_eq!(x, xs[s], "decode session {s} diverged under interleaved prefill");
+        assert_eq!(server.close_session(id).unwrap(), decode_steps[s] as u64 + 1);
+    }
+}
 
 #[test]
 fn per_tenant_fairness_under_flood() {
