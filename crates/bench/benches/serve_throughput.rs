@@ -14,14 +14,15 @@
 //! which is where the fused-over-serial headroom at B >= 4 comes from.
 
 use pl_bench::{
-    f1, f2, header, measure_router_steps_per_s, router_mode_name, row, time_it, BenchArtifact,
-    BenchRow, RouterLoad, ROUTING_OVERHEAD, SERVE_ARTIFACT,
+    f1, f2, header, measure_router_steps_per_s, router_mode_name, row, time_it, trace_shapes_json,
+    BenchArtifact, BenchRow, RouterLoad, ROUTING_OVERHEAD, SERVE_ARTIFACT, TRACE_SHAPES_ARTIFACT,
 };
 use pl_dnn::matmul::{matmul, Trans};
 use pl_dnn::{DecoderConfig, DecoderModel, MatmulPlan};
 use pl_runtime::{default_threads, ThreadPool};
 use pl_serve::{Server, ServerConfig};
 use pl_tensor::{fill_uniform, Xorshift};
+use pl_trace::TraceSummary;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -226,34 +227,159 @@ fn router_scaling(model: &Arc<DecoderModel>, total_threads: usize, artifact: &mu
                 "pl-router scale-out ({ROUTER_SESSIONS} sessions x {STEPS} steps, \
                  {total_threads} threads split across shards, {mode}) [measured]"
             ),
-            &["shards", "steps/s", "measured x", "projected x"],
+            &["shards", "steps/s", "measured x", "projected x", "p99 us"],
         );
         let mut single = 0.0f64;
         for shards in [1usize, 2, 4] {
-            let sps = measure_router_steps_per_s(model, shards, total_threads, &load);
+            let m = measure_router_steps_per_s(model, shards, total_threads, &load);
             if shards == 1 {
-                single = sps;
+                single = m.steps_per_s;
             }
             let projection =
                 pl_router::serving_scaling_model(ROUTING_OVERHEAD).projected_speedup(shards);
             row(&[
                 shards.to_string(),
-                f1(sps),
-                format!("{:.2}x", sps / single.max(1e-9)),
+                f1(m.steps_per_s),
+                format!("{:.2}x", m.steps_per_s / single.max(1e-9)),
                 format!("{projection:.2}x"),
+                m.p99_us.to_string(),
             ]);
             artifact.upsert(BenchRow {
                 mode: mode.to_string(),
                 batch: ROUTER_SESSIONS,
                 shards,
-                steps_per_s: sps,
-                p99_us: 0.0,
+                steps_per_s: m.steps_per_s,
+                p99_us: m.p99_us as f64,
             });
         }
     }
 }
 
+/// The flight-recorder's disabled-path cost, as a bench row pair: the
+/// same fused B = 8 drive with tracing compiled in but **off** (the
+/// default everywhere else in this harness — one relaxed atomic load per
+/// would-be span) vs **on** (every span recorded into the per-thread
+/// rings). The off row must sit within noise of the on-row-free sweep
+/// above; the on row prices full recording.
+fn trace_overhead(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>, artifact: &mut BenchArtifact) {
+    header(
+        &format!("pl-trace overhead (fused, max_batch={SESSIONS}) [measured]"),
+        &["max_batch", "mode", "steps/s", "mean batch", "max batch", "p50 us", "p99 us"],
+    );
+    assert!(!pl_trace::enabled(), "overhead baseline needs tracing off");
+    // Each drive is a sub-second run, so single readings are noisy:
+    // take the best of a few reps per mode (peak throughput is the
+    // right statistic for an overhead comparison — interference only
+    // ever subtracts).
+    const REPS: usize = 3;
+    let best = |rows: [(f64, u64); REPS]| {
+        rows.into_iter().reduce(|a, b| if b.0 > a.0 { b } else { a }).unwrap()
+    };
+    let (off_sps, off_p99) = best(std::array::from_fn(|_| drive(SESSIONS, true, model, pool)));
+    pl_trace::enable();
+    let (on_sps, on_p99) = best(std::array::from_fn(|_| drive(SESSIONS, true, model, pool)));
+    pl_trace::disable();
+    println!("tracing on/off throughput ratio: {:.3}", on_sps / off_sps.max(1e-9));
+    for (mode, sps, p99) in
+        [("fused-trace-off", off_sps, off_p99), ("fused-trace-on", on_sps, on_p99)]
+    {
+        artifact.upsert(BenchRow {
+            mode: mode.into(),
+            batch: SESSIONS,
+            shards: 1,
+            steps_per_s: sps,
+            p99_us: p99 as f64,
+        });
+    }
+}
+
+/// The span names the `--trace` breakdown reports, batcher-level down to
+/// kernel-level. `step.queue_wait` is the submit→collect share of the
+/// step latency; everything else is execute-side.
+const BREAKDOWN_SPANS: [&str; 9] = [
+    "batch.collect",
+    "batch.checkout",
+    "batch.execute",
+    "batch.deliver",
+    "step.queue_wait",
+    "decode.ln",
+    "decode.qkv",
+    "decode.attn",
+    "decode.ffn",
+];
+
+/// `--trace`: re-drive the B = 8 serial and fused workloads with the
+/// flight recorder on, and print the per-phase time breakdown that
+/// explains where the two execution modes actually spend the step — the
+/// serial/fused gap attributed to named spans instead of guessed at.
+/// Writes the full event stream to `trace_serve.json` (Chrome
+/// `chrome://tracing` / Perfetto format) and the per-shape
+/// `gemm.execute` / `spmm.execute` stats to `TRACE_shapes.json`.
+fn trace_diagnose(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) {
+    pl_trace::enable();
+    let serial_since = pl_trace::now_ns();
+    println!("\n--- traced re-run: serial then fused at max_batch={SESSIONS} ---");
+    drive(SESSIONS, false, model, pool);
+    let serial_events = pl_trace::snapshot_since(serial_since);
+    let fused_since = pl_trace::now_ns();
+    drive(SESSIONS, true, model, pool);
+    let fused_events = pl_trace::snapshot_since(fused_since);
+    pl_trace::disable();
+    if pl_trace::total_dropped() > 0 {
+        println!(
+            "warning: {} events dropped to ring wraparound (raise PL_TRACE_EVENTS)",
+            pl_trace::total_dropped()
+        );
+    }
+    let serial = TraceSummary::from_events(&serial_events);
+    let fused = TraceSummary::from_events(&fused_events);
+
+    header(
+        &format!("per-phase breakdown, serial vs fused (max_batch={SESSIONS}) [traced]"),
+        &["span", "serial ms", "count", "fused ms", "count", "fused/serial"],
+    );
+    for name in BREAKDOWN_SPANS {
+        let (s_ns, s_n) = (serial.total_ns_for(name), serial.count_for(name));
+        let (f_ns, f_n) = (fused.total_ns_for(name), fused.count_for(name));
+        row(&[
+            name.to_string(),
+            f2(s_ns as f64 / 1e6),
+            s_n.to_string(),
+            f2(f_ns as f64 / 1e6),
+            f_n.to_string(),
+            format!("{:.2}x", f_ns as f64 / (s_ns as f64).max(1e-9)),
+        ]);
+    }
+    let gemm = |s: &TraceSummary| s.total_ns_for("gemm.execute") + s.total_ns_for("spmm.execute");
+    row(&[
+        "gemm+spmm".to_string(),
+        f2(gemm(&serial) as f64 / 1e6),
+        serial.count_for("gemm.execute").to_string(),
+        f2(gemm(&fused) as f64 / 1e6),
+        fused.count_for("gemm.execute").to_string(),
+        format!("{:.2}x", gemm(&fused) as f64 / (gemm(&serial) as f64).max(1e-9)),
+    ]);
+
+    // Both runs in one Chrome trace: serial events all precede fused
+    // ones on the shared epoch clock, so concatenation stays sorted.
+    let mut all = serial_events;
+    all.extend(fused_events);
+    let trace_path = pl_bench::workspace_path("trace_serve.json");
+    match std::fs::write(&trace_path, pl_trace::chrome_trace_json(&all)) {
+        Ok(()) => println!("\nwrote {} events to {}", all.len(), trace_path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", trace_path.display()),
+    }
+    let mut shapes = serial;
+    shapes.merge(&fused);
+    let shapes_path = pl_bench::workspace_path(TRACE_SHAPES_ARTIFACT);
+    match std::fs::write(&shapes_path, trace_shapes_json(&shapes)) {
+        Ok(()) => println!("wrote per-shape kernel timings to {}", shapes_path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", shapes_path.display()),
+    }
+}
+
 fn main() {
+    let trace_mode = std::env::args().any(|a| a == "--trace");
     let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 11));
     let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
     let mut artifact = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
@@ -293,6 +419,10 @@ fn main() {
     );
     mixed_workload(&model, &pool, &mut artifact);
     router_scaling(&model, pool.nthreads(), &mut artifact);
+    trace_overhead(&model, &pool, &mut artifact);
+    if trace_mode {
+        trace_diagnose(&model, &pool);
+    }
     match artifact.save(&pl_bench::workspace_path(SERVE_ARTIFACT)) {
         Ok(()) => println!("\nwrote {} rows to {SERVE_ARTIFACT}", artifact.rows().len()),
         Err(e) => eprintln!("\nfailed to write {SERVE_ARTIFACT}: {e}"),

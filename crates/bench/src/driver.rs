@@ -50,22 +50,34 @@ pub struct RouterLoad {
     pub seed: u64,
 }
 
+/// What one router drive measured: throughput plus the fleet-wide step
+/// latency tail, so artifact rows carry a real p99 instead of 0.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterMeasurement {
+    /// Decode steps/s over the client phase wall time.
+    pub steps_per_s: f64,
+    /// Fleet-wide p99 step latency (µs), recomputed from the shards'
+    /// **merged** latency buckets (`StatsSnapshot::merge`), never from
+    /// averaged per-shard quantiles.
+    pub p99_us: u64,
+}
+
 /// Drives `load` through a router at `shards` shards over
 /// `total_threads` (split disjointly) and returns decode steps/s
 /// measured over the **client phase wall time only** (the stats
 /// snapshot's own `tokens_per_s` clock starts at server construction, so
 /// it would charge higher shard counts for building more pools — a
-/// systematic anti-scaling bias on short runs). Each shard's `max_batch`
-/// is sized to its share of the sessions — a shard holding
-/// `sessions / shards` streams can never fill a fleet-wide batch and
-/// would otherwise pay the full coalesce linger on every batch, skewing
-/// the scaling comparison.
+/// systematic anti-scaling bias on short runs), along with the merged
+/// p99 step latency. Each shard's `max_batch` is sized to its share of
+/// the sessions — a shard holding `sessions / shards` streams can never
+/// fill a fleet-wide batch and would otherwise pay the full coalesce
+/// linger on every batch, skewing the scaling comparison.
 pub fn measure_router_steps_per_s(
     model: &Arc<DecoderModel>,
     shards: usize,
     total_threads: usize,
     load: &RouterLoad,
-) -> f64 {
+) -> RouterMeasurement {
     let mut router = Router::new(
         Arc::clone(model),
         RouterConfig {
@@ -101,8 +113,11 @@ pub fn measure_router_steps_per_s(
         }
     });
     let elapsed = t0.elapsed().as_secs_f64();
-    let completed = router.stats().completed;
+    let fleet = router.stats();
     router.shutdown();
-    assert_eq!(completed, (load.sessions * load.steps) as u64, "driver lost steps");
-    completed as f64 / elapsed.max(1e-9)
+    assert_eq!(fleet.completed, (load.sessions * load.steps) as u64, "driver lost steps");
+    RouterMeasurement {
+        steps_per_s: fleet.completed as f64 / elapsed.max(1e-9),
+        p99_us: fleet.p99_us,
+    }
 }

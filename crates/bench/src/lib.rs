@@ -19,11 +19,14 @@
 pub mod artifact;
 pub mod baseline;
 pub mod driver;
+pub mod trace_artifact;
 
 pub use artifact::{workspace_path, BenchArtifact, BenchRow};
 pub use driver::{
-    measure_router_steps_per_s, router_mode_name, RouterLoad, ROUTING_OVERHEAD, SERVE_ARTIFACT,
+    measure_router_steps_per_s, router_mode_name, RouterLoad, RouterMeasurement, ROUTING_OVERHEAD,
+    SERVE_ARTIFACT,
 };
+pub use trace_artifact::{trace_shapes_json, TRACE_SHAPES_ARTIFACT};
 
 use std::time::Instant;
 

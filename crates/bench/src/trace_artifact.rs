@@ -1,0 +1,98 @@
+//! The per-shape kernel-timing artifact (`TRACE_shapes.json`).
+//!
+//! `serve_throughput --trace` folds a traced serving run's
+//! `gemm.execute` / `spmm.execute` spans into a [`TraceSummary`] and
+//! commits the per-shape stats here — a *measured* timing table keyed by
+//! the exact `(m, n, k)` shapes the serving path executes, the seed data
+//! a measured-cost autotuner needs (today's `pl-autotuner` ranks loop
+//! orders with the analytical model only).
+
+use pl_trace::TraceSummary;
+
+/// File name of the per-shape kernel timing artifact (resolve with
+/// [`crate::workspace_path`]).
+pub const TRACE_SHAPES_ARTIFACT: &str = "TRACE_shapes.json";
+
+/// Span names that key a kernel shape: `args` are `[m, n, k]` for GEMM
+/// and `[m, tokens, k]` for SpMM.
+const SHAPE_SPANS: [&str; 2] = ["gemm.execute", "spmm.execute"];
+
+/// Renders the kernel-shape entries of `summary` as the
+/// `TRACE_shapes.json` document. Entries come out in `BTreeMap` order
+/// (op name, then shape), so regenerating the artifact on an unchanged
+/// workload produces a stable diff.
+pub fn trace_shapes_json(summary: &TraceSummary) -> String {
+    let mut out = String::from("{\n  \"entries\": [\n");
+    let mut first = true;
+    for ((name, args), stat) in &summary.entries {
+        if !SHAPE_SPANS.contains(&name.as_str()) {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"count\": {}, \
+             \"total_ns\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}}}",
+            name.trim_end_matches(".execute"),
+            args[0],
+            args[1],
+            args[2],
+            stat.count,
+            stat.total_ns,
+            stat.mean_ns(),
+            stat.quantile_ns(0.50),
+            stat.quantile_ns(0.99),
+            stat.min_ns,
+            stat.max_ns,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_trace::{Event, EventKind};
+
+    fn span_pair(name: &'static str, args: [u64; 3], ts: u64, dur: u64) -> [Event; 2] {
+        [
+            Event { name, kind: EventKind::Begin, lane: 0, ts_ns: ts, dur_ns: 0, args },
+            Event { name, kind: EventKind::End, lane: 0, ts_ns: ts + dur, dur_ns: 0, args },
+        ]
+    }
+
+    #[test]
+    fn renders_only_kernel_shape_spans() {
+        let mut events = Vec::new();
+        events.extend(span_pair("gemm.execute", [256, 8, 256], 0, 1000));
+        events.extend(span_pair("gemm.execute", [256, 8, 256], 2000, 3000));
+        events.extend(span_pair("spmm.execute", [64, 4, 64], 6000, 500));
+        events.extend(span_pair("decode.ffn", [0, 8, 1], 7000, 9000));
+        let json = trace_shapes_json(&TraceSummary::from_events(&events));
+        assert!(json.contains("\"op\": \"gemm\", \"m\": 256, \"n\": 8, \"k\": 256"));
+        assert!(json.contains("\"count\": 2, \"total_ns\": 4000"));
+        assert!(json.contains("\"op\": \"spmm\", \"m\": 64, \"n\": 4, \"k\": 64"));
+        assert!(!json.contains("decode.ffn"), "non-kernel spans must not leak in: {json}");
+    }
+
+    #[test]
+    fn shapes_sort_stably_by_op_then_shape() {
+        let mut events = Vec::new();
+        events.extend(span_pair("gemm.execute", [512, 1, 256], 0, 10));
+        events.extend(span_pair("gemm.execute", [256, 1, 256], 20, 10));
+        let json = trace_shapes_json(&TraceSummary::from_events(&events));
+        let small = json.find("\"m\": 256").unwrap();
+        let large = json.find("\"m\": 512").unwrap();
+        assert!(small < large, "entries must come out in shape order: {json}");
+    }
+
+    #[test]
+    fn empty_summary_renders_empty_entries() {
+        let json = trace_shapes_json(&TraceSummary::empty());
+        assert!(json.contains("\"entries\": [\n\n  ]"));
+    }
+}

@@ -377,6 +377,9 @@ impl DecoderModel {
         let outs: Vec<Mutex<Vec<f32>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
         pool.parallel_tasks(n, |i| {
             let (state, x, tokens) = slots[i].lock().unwrap().take().expect("slot claimed once");
+            // One span per batch lane: on a trace timeline these tile the
+            // region and show how the items load-balanced over the team.
+            let _item_span = pl_trace::span("batch.item", [i as u64, tokens as u64, 0]);
             // Nested pool calls inside the region serialize, so the
             // per-session compute is deterministic and identical to the
             // unbatched path (see `Gemm` per-block determinism).
@@ -479,13 +482,16 @@ impl DecoderModel {
 
         // Pre-LN over the whole `hidden x B` matrix (per-column, so
         // per-session, exactly as the serial path normalizes).
+        let ln_span = pl_trace::span("decode.ln", [l as u64, b as u64, 1]);
         let mut xn = vec![0.0f32; h * b];
         let (mut mean, mut rstd) = (vec![0.0; b], vec![0.0; b]);
         norm::layernorm(h, b, x, h, &blk.ln1_g, &blk.ln1_b, 1e-5, &mut xn, h, &mut mean, &mut rstd);
+        drop(ln_span);
 
         // The fused projections: one `hidden x B` GEMM each where the
         // serial path runs B `hidden x 1` GEMVs. The blocked input is
         // packed once and feeds all three plans.
+        let qkv_span = pl_trace::span("decode.qkv", [l as u64, b as u64, 1]);
         let (q, knew, vnew) = {
             let xb = blk.wq.pack_activations(&xn, b, &mut scratch.b_hidden);
             (
@@ -494,12 +500,14 @@ impl DecoderModel {
                 blk.wv.execute_packed(xb, &mut scratch.c_hidden, pool),
             )
         };
+        drop(qkv_span);
 
         // Per-session attention against each session's own cache, all
         // sessions load-balanced inside one region. The per-session
         // mutexes are uncontended (the dynamic schedule hands each index
         // to exactly one thread); they only launder the &mut across the
         // team.
+        let attn_span = pl_trace::span("decode.attn", [l as u64, b as u64, 1]);
         let ctx_cols: Vec<Mutex<Vec<f32>>> = (0..b).map(|_| Mutex::new(Vec::new())).collect();
         let scale = 1.0 / (dh as f32).sqrt();
         pool.parallel_tasks(b, |s| {
@@ -544,10 +552,12 @@ impl DecoderModel {
             let cb = blk.wo.pack_activations(&ctx, b, &mut scratch.b_hidden);
             blk.wo.execute_packed(cb, &mut scratch.c_hidden, pool)
         };
+        drop(attn_span);
         let mut resid: Vec<f32> = x.iter().zip(&attn).map(|(a, b)| a + b).collect();
 
         // FFN with pre-LN, again over all B columns at once; the blocked
         // scratch (same `k = hidden` layout as QKV) is reused.
+        let _ffn_span = pl_trace::span("decode.ffn", [l as u64, b as u64, 1]);
         let mut rn = vec![0.0f32; h * b];
         norm::layernorm(
             h, b, &resid, h, &blk.ln2_g, &blk.ln2_b, 1e-5, &mut rn, h, &mut mean, &mut rstd,
@@ -584,14 +594,18 @@ impl DecoderModel {
         let past = state.caches[l].len;
         assert!(past + tokens <= state.caches[l].capacity, "KV cache overflow");
 
-        // Pre-LN.
+        // Pre-LN. Phase spans carry [layer, width, serial=0] so a trace
+        // lines the serial path up against the fused one (args[2] = 1).
+        let ln_span = pl_trace::span("decode.ln", [l as u64, tokens as u64, 0]);
         let mut xn = vec![0.0f32; h * tokens];
         let (mut mean, mut rstd) = (vec![0.0; tokens], vec![0.0; tokens]);
         norm::layernorm(
             h, tokens, x, h, &blk.ln1_g, &blk.ln1_b, 1e-5, &mut xn, h, &mut mean, &mut rstd,
         );
+        drop(ln_span);
 
         // QKV through the prepared plans, sharing one packed input.
+        let qkv_span = pl_trace::span("decode.qkv", [l as u64, tokens as u64, 0]);
         let (q, knew, vnew) = {
             let xb = blk.wq.pack_activations(&xn, tokens, &mut scratch.b_hidden);
             (
@@ -600,6 +614,7 @@ impl DecoderModel {
                 blk.wv.execute_packed(xb, &mut scratch.c_hidden, pool),
             )
         };
+        drop(qkv_span);
         // Append to cache.
         {
             let cache = &mut state.caches[l];
@@ -610,6 +625,7 @@ impl DecoderModel {
         let total = past + tokens;
         let cache = &state.caches[l];
 
+        let attn_span = pl_trace::span("decode.attn", [l as u64, tokens as u64, 0]);
         let scale = 1.0 / (dh as f32).sqrt();
         let mut ctx = vec![0.0f32; h * tokens];
         for hd in 0..nh {
@@ -644,9 +660,11 @@ impl DecoderModel {
             let cb = blk.wo.pack_activations(&ctx, tokens, &mut scratch.b_hidden);
             blk.wo.execute_packed(cb, &mut scratch.c_hidden, pool)
         };
+        drop(attn_span);
         let mut resid: Vec<f32> = x.iter().zip(&attn).map(|(a, b)| a + b).collect();
 
         // FFN with pre-LN.
+        let _ffn_span = pl_trace::span("decode.ffn", [l as u64, tokens as u64, 0]);
         let mut rn = vec![0.0f32; h * tokens];
         norm::layernorm(
             h, tokens, &resid, h, &blk.ln2_g, &blk.ln2_b, 1e-5, &mut rn, h, &mut mean, &mut rstd,

@@ -247,6 +247,9 @@ impl MatmulPlan {
         pool: &ThreadPool,
     ) -> Vec<f32> {
         let n = act.cols();
+        // Per-shape wall-clock span: aggregated by (m, n, k) this is the
+        // measured-timing table the autotuning roadmap item consumes.
+        let _span = pl_trace::span("gemm.execute", [self.m as u64, n as u64, self.k as u64]);
         let kernel = self.kernel_for(n);
         let c = reuse_blocked(
             &mut c_buf.slot,
@@ -410,6 +413,7 @@ impl SpmmPlan {
     pub fn execute(&self, x: &[f32], tokens: usize, pool: &ThreadPool) -> Vec<f32> {
         let (m, k) = (self.weight.rows(), self.weight.cols());
         assert_eq!(x.len(), k * tokens, "activation size mismatch");
+        let _span = pl_trace::span("spmm.execute", [m as u64, tokens as u64, k as u64]);
         let kernel = self.kernel_for(tokens);
         let mut b = VnniMatrix::<f32>::new(k, tokens, kernel.bn, 1).expect("b layout");
         b.pack_from_colmajor(x);

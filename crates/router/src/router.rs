@@ -9,7 +9,8 @@ use pl_autotuner::TuningDb;
 use pl_dnn::DecoderModel;
 use pl_perfmodel::Platform;
 use pl_serve::{ServeError, ServerConfig, SessionId, StatsSnapshot, StepResult, TenantId};
-use std::collections::HashMap;
+use pl_trace::TraceSummary;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -309,6 +310,27 @@ impl Router {
         stats_agg::aggregate(snaps.iter())
     }
 
+    /// The fleet-wide trace summary since trace time `since_ns`
+    /// ([`pl_trace::now_ns`]): every shard's pump and pool threads record
+    /// into the process recorder on their own lanes, and this folds one
+    /// per-lane [`TraceSummary`] at a time through
+    /// [`TraceSummary::merge`] — the same summed-buckets aggregation
+    /// discipline as [`stats_agg::aggregate`], so fleet quantiles come
+    /// from merged histograms, never from averaged per-lane quantiles.
+    /// Returns an empty summary when tracing was off.
+    pub fn trace_summary(&self, since_ns: u64) -> TraceSummary {
+        let events = pl_trace::snapshot_since(since_ns);
+        let mut by_lane: BTreeMap<u32, Vec<pl_trace::Event>> = BTreeMap::new();
+        for e in events {
+            by_lane.entry(e.lane).or_default().push(e);
+        }
+        let mut agg = TraceSummary::empty();
+        for evs in by_lane.values() {
+            agg.merge(&TraceSummary::from_events(evs));
+        }
+        agg
+    }
+
     /// The [`ScalingModel`](pl_perfmodel::ScalingModel) projection of the
     /// throughput speedup at `shards` shards over one, under this
     /// router's configured `routing_overhead` — printed (and asserted)
@@ -447,6 +469,37 @@ mod tests {
                 x = want;
             }
         }
+    }
+
+    #[test]
+    fn trace_summary_aggregates_spans_across_shards() {
+        // Both shards' batch execution records into the process recorder;
+        // the router folds the per-lane summaries into one fleet view.
+        let r = tiny_router(2, no_wait());
+        let hidden = r.shard(0).server().model().config().hidden;
+        let ids: Vec<_> = (0..4).map(|_| r.create_session(0).unwrap()).collect();
+        let since = pl_trace::now_ns();
+        pl_trace::enable();
+        let rxs: Vec<_> = (0..4)
+            .map(|s| r.submit_step(ids[s], &token(600 + s as u64, hidden)).unwrap())
+            .collect();
+        while r.pump_all() > 0 {}
+        pl_trace::disable();
+        for rx in rxs {
+            rx.recv().unwrap().unwrap();
+        }
+        let summary = r.trace_summary(since);
+        // Every shard executed ≥ 1 batch, so the fleet summary carries
+        // batch spans, per-shape GEMM spans, and per-step queue waits.
+        assert!(summary.count_for("batch.execute") >= 2, "{summary:?}");
+        assert!(summary.count_for("gemm.execute") > 0);
+        assert!(summary.count_for("step.queue_wait") >= 4);
+        assert!(summary.total_ns_for("gemm.execute") > 0, "GEMM spans carry wall time");
+        // Scoping by `since` excludes the pre-enable traffic of other
+        // tests' routers on these lanes… and re-summarizing later traffic
+        // only grows counts, never shrinks them (merge is additive).
+        let again = r.trace_summary(since);
+        assert!(again.count_for("gemm.execute") >= summary.count_for("gemm.execute"));
     }
 
     #[test]

@@ -128,6 +128,10 @@ impl ThreadPool {
             return;
         }
 
+        // Covers dispatch-lock wait + broadcast + the whole team's work;
+        // nested (serialized) calls above are inside the caller's spans
+        // already and record nothing extra.
+        let _region_span = pl_trace::span("pool.region", [self.nthreads as u64, 0, 0]);
         let _guard = self.dispatch.lock();
 
         let barrier = Arc::new(Barrier::new(self.nthreads));
@@ -246,6 +250,10 @@ impl ThreadPool {
 fn run_region_member(region: Region, tid: usize) {
     let Region { job, barrier, remaining, caller, panic, nthreads } = region;
     let ctx = WorkerCtx { tid, nthreads, barrier };
+    // One span per team member per region: the occupancy view — on a
+    // trace timeline, gaps between a lane's `pool.worker` spans are
+    // time that thread sat idle while the region's stragglers finished.
+    let _member_span = pl_trace::span("pool.worker", [tid as u64, nthreads as u64, 0]);
     IN_PARALLEL.with(|c| c.set(true));
     let result = catch_unwind(AssertUnwindSafe(|| (job)(&ctx)));
     IN_PARALLEL.with(|c| c.set(false));

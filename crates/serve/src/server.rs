@@ -649,7 +649,10 @@ impl Server {
             return 0;
         }
         // Linger briefly for stragglers so bursts coalesce into one
-        // region even when submitters race the batcher.
+        // region even when submitters race the batcher. The span starts
+        // only after a nonempty first collect, so idle polling records
+        // nothing.
+        let collect_span = pl_trace::span("batch.collect", [batch.len() as u64, 0, 0]);
         if batch.len() < inner.cfg.max_batch && !inner.cfg.coalesce_wait.is_zero() {
             let deadline = Instant::now() + inner.cfg.coalesce_wait;
             while batch.len() < inner.cfg.max_batch && Instant::now() < deadline {
@@ -661,6 +664,7 @@ impl Server {
                 }
             }
         }
+        drop(collect_span);
         self.run_batch(batch)
     }
 
@@ -671,9 +675,13 @@ impl Server {
     /// rings) to the next batch in program order.
     fn run_batch(&self, batch: Vec<WorkItem>) -> usize {
         let inner = &self.inner;
+        // The collect boundary for the queue-wait/execute latency split:
+        // submit→here is queue wait, here→reply is execute.
+        let collected = Instant::now();
         // Phase 1 — checkout: pull the target sessions out of the table so
         // the region holds no lock while computing, leaving CheckedOut
         // markers behind (see the module docs).
+        let checkout_span = pl_trace::span("batch.checkout", [batch.len() as u64, 0, 0]);
         let mut ready: Vec<ReadyItem> = Vec::with_capacity(batch.len());
         let mut has_chunk = false;
         {
@@ -771,6 +779,7 @@ impl Server {
                 }
             }
         }
+        drop(checkout_span);
         if ready.is_empty() {
             return 0;
         }
@@ -778,6 +787,10 @@ impl Server {
         let decode_lanes = size - usize::from(has_chunk);
 
         // Phase 2 — execute, no lock held.
+        let execute_span = pl_trace::span(
+            "batch.execute",
+            [size as u64, decode_lanes as u64, u64::from(inner.cfg.fused)],
+        );
         let outputs: Vec<Vec<f32>> = if inner.cfg.fused {
             // Fused decode lanes share one `hidden x B` GEMM per layer
             // projection; the prefill chunk (if any) runs as its own
@@ -813,6 +826,10 @@ impl Server {
             }
             if let Some(i) = chunk_idx {
                 let ReadyItem::Chunk(c, sess) = &mut ready[i] else { unreachable!() };
+                let _chunk_span = pl_trace::span(
+                    "prefill.chunk",
+                    [c.chunk as u64, c.job.chunk_tokens(c.chunk) as u64, 1],
+                );
                 outputs[i] = inner.model.forward(
                     &mut sess.state,
                     c.job.chunk_input(c.chunk),
@@ -835,8 +852,10 @@ impl Server {
                 .collect();
             inner.model.forward_batch(items, &inner.pool)
         };
+        drop(execute_span);
 
         // Phase 3 — check-in and delivery.
+        let _deliver_span = pl_trace::span("batch.deliver", [size as u64, 0, 0]);
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
         inner.stats.batch_sizes.record(size);
         if decode_lanes > 0 {
@@ -855,8 +874,22 @@ impl Server {
                     // pipelined step becomes executable.
                     sess.exec_seq += 1;
                     inner.check_in(&mut sessions, req.session, sess);
+                    // Combined latency plus its split at the collect
+                    // boundary: ring wait vs batch compute.
                     let us = req.enqueued.elapsed().as_micros() as u64;
+                    let queue_wait = collected.saturating_duration_since(req.enqueued);
                     inner.stats.step_latency.record_us(us);
+                    inner.stats.queue_wait_latency.record_us(queue_wait.as_micros() as u64);
+                    inner.stats.execute_latency.record_us(collected.elapsed().as_micros() as u64);
+                    if pl_trace::enabled() {
+                        // The per-item submit→collect span, placed on the
+                        // trace timebase so it lines up under this batch's
+                        // checkout/execute spans.
+                        let q_ns = queue_wait.as_nanos() as u64;
+                        let since_collect = collected.elapsed().as_nanos() as u64;
+                        let start = pl_trace::now_ns().saturating_sub(since_collect + q_ns);
+                        pl_trace::complete("step.queue_wait", start, q_ns, [req.session, 0, 0]);
+                    }
                     inner.stats.completed.fetch_add(1, Ordering::Relaxed);
                     inner.deliver(&req.reply, Ok(y));
                 }
@@ -866,6 +899,18 @@ impl Server {
                         .stats
                         .prefill_chunk_latency
                         .record_us(c.enqueued.elapsed().as_micros() as u64);
+                    if pl_trace::enabled() {
+                        let q_ns =
+                            collected.saturating_duration_since(c.enqueued).as_nanos() as u64;
+                        let since_collect = collected.elapsed().as_nanos() as u64;
+                        let start = pl_trace::now_ns().saturating_sub(since_collect + q_ns);
+                        pl_trace::complete(
+                            "chunk.queue_wait",
+                            start,
+                            q_ns,
+                            [c.job.session(), c.chunk as u64, 0],
+                        );
+                    }
                     c.job.push_output(y);
                     if c.chunk + 1 == c.job.chunks() {
                         // The job's single ticket is spent only when its

@@ -182,8 +182,17 @@ pub struct ServerStats {
     pub mixed_batches: AtomicU64,
     /// Batches executed through the fused cross-session path.
     pub fused_batches: AtomicU64,
-    /// Queue-to-reply latency of decode steps.
+    /// Queue-to-reply latency of decode steps (the combined histogram,
+    /// kept for artifact compatibility: `queue_wait_latency` +
+    /// `execute_latency` split the same interval).
     pub step_latency: LatencyHistogram,
+    /// Submit→collect slice of step latency: time a step sat in the
+    /// submission ring (plus coalesce linger and deferred replays)
+    /// before a batch picked it up. High here = queueing problem.
+    pub queue_wait_latency: LatencyHistogram,
+    /// Collect→deliver slice of step latency: checkout + the parallel
+    /// region + check-in/reply. High here = compute problem.
+    pub execute_latency: LatencyHistogram,
     /// Enqueue-to-execution latency of prefill chunks.
     pub prefill_chunk_latency: LatencyHistogram,
     /// Distribution of executed batch sizes.
@@ -213,6 +222,8 @@ impl ServerStats {
             mixed_batches: AtomicU64::new(0),
             fused_batches: AtomicU64::new(0),
             step_latency: LatencyHistogram::new(),
+            queue_wait_latency: LatencyHistogram::new(),
+            execute_latency: LatencyHistogram::new(),
             prefill_chunk_latency: LatencyHistogram::new(),
             batch_sizes: CountHistogram::new(max_batch),
             fused_gemm_shapes: Mutex::new(BTreeMap::new()),
@@ -261,6 +272,12 @@ impl ServerStats {
             p50_us: self.step_latency.quantile_us(0.50),
             p99_us: self.step_latency.quantile_us(0.99),
             mean_us: self.step_latency.mean_us(),
+            queue_wait_buckets: self.queue_wait_latency.bucket_counts(),
+            queue_wait_p50_us: self.queue_wait_latency.quantile_us(0.50),
+            queue_wait_p99_us: self.queue_wait_latency.quantile_us(0.99),
+            execute_buckets: self.execute_latency.bucket_counts(),
+            execute_p50_us: self.execute_latency.quantile_us(0.50),
+            execute_p99_us: self.execute_latency.quantile_us(0.99),
             chunk_latency_buckets: self.prefill_chunk_latency.bucket_counts(),
             chunk_p50_us: self.prefill_chunk_latency.quantile_us(0.50),
             chunk_p99_us: self.prefill_chunk_latency.quantile_us(0.99),
@@ -313,6 +330,20 @@ pub struct StatsSnapshot {
     pub p99_us: u64,
     /// Mean step latency (µs).
     pub mean_us: f64,
+    /// Raw log2 buckets of the submit→collect (queue wait) slice of
+    /// step latency (mergeable, like `latency_buckets`).
+    pub queue_wait_buckets: Vec<u64>,
+    /// Median queue wait (µs, bucket upper edge).
+    pub queue_wait_p50_us: u64,
+    /// 99th percentile queue wait (µs).
+    pub queue_wait_p99_us: u64,
+    /// Raw log2 buckets of the collect→deliver (execute) slice of step
+    /// latency (mergeable).
+    pub execute_buckets: Vec<u64>,
+    /// Median execute latency (µs, bucket upper edge).
+    pub execute_p50_us: u64,
+    /// 99th percentile execute latency (µs).
+    pub execute_p99_us: u64,
     /// Raw log2 prefill-chunk latency buckets (mergeable, like
     /// `latency_buckets`).
     pub chunk_latency_buckets: Vec<u64>,
@@ -346,6 +377,12 @@ impl StatsSnapshot {
             p50_us: 0,
             p99_us: 0,
             mean_us: 0.0,
+            queue_wait_buckets: vec![0; LATENCY_BUCKETS],
+            queue_wait_p50_us: 0,
+            queue_wait_p99_us: 0,
+            execute_buckets: vec![0; LATENCY_BUCKETS],
+            execute_p50_us: 0,
+            execute_p99_us: 0,
             chunk_latency_buckets: vec![0; LATENCY_BUCKETS],
             chunk_p50_us: 0,
             chunk_p99_us: 0,
@@ -405,6 +442,13 @@ impl StatsSnapshot {
         self.p50_us = quantile_from_buckets(&self.latency_buckets, 0.50);
         self.p99_us = quantile_from_buckets(&self.latency_buckets, 0.99);
 
+        merge_buckets(&mut self.queue_wait_buckets, &other.queue_wait_buckets);
+        self.queue_wait_p50_us = quantile_from_buckets(&self.queue_wait_buckets, 0.50);
+        self.queue_wait_p99_us = quantile_from_buckets(&self.queue_wait_buckets, 0.99);
+        merge_buckets(&mut self.execute_buckets, &other.execute_buckets);
+        self.execute_p50_us = quantile_from_buckets(&self.execute_buckets, 0.50);
+        self.execute_p99_us = quantile_from_buckets(&self.execute_buckets, 0.99);
+
         merge_buckets(&mut self.chunk_latency_buckets, &other.chunk_latency_buckets);
         self.chunk_p50_us = quantile_from_buckets(&self.chunk_latency_buckets, 0.50);
         self.chunk_p99_us = quantile_from_buckets(&self.chunk_latency_buckets, 0.99);
@@ -418,6 +462,9 @@ impl StatsSnapshot {
         let dist: Vec<String> =
             self.batch_distribution.iter().map(|(b, c)| format!("[{b},{c}]")).collect();
         let buckets: Vec<String> = self.latency_buckets.iter().map(u64::to_string).collect();
+        let queue_buckets: Vec<String> =
+            self.queue_wait_buckets.iter().map(u64::to_string).collect();
+        let exec_buckets: Vec<String> = self.execute_buckets.iter().map(u64::to_string).collect();
         let chunk_buckets: Vec<String> =
             self.chunk_latency_buckets.iter().map(u64::to_string).collect();
         let shapes: Vec<String> = self
@@ -435,6 +482,9 @@ impl StatsSnapshot {
                 "\"max_batch_observed\":{},\"batch_distribution\":[{}],",
                 "\"latency_buckets\":[{}],\"fused_gemm_shapes\":[{}],",
                 "\"p50_us\":{},\"p99_us\":{},\"mean_us\":{:.3},",
+                "\"queue_wait_buckets\":[{}],\"queue_wait_p50_us\":{},",
+                "\"queue_wait_p99_us\":{},\"execute_buckets\":[{}],",
+                "\"execute_p50_us\":{},\"execute_p99_us\":{},",
                 "\"chunk_latency_buckets\":[{}],\"chunk_p50_us\":{},\"chunk_p99_us\":{}}}"
             ),
             self.elapsed_s,
@@ -457,6 +507,12 @@ impl StatsSnapshot {
             self.p50_us,
             self.p99_us,
             self.mean_us,
+            queue_buckets.join(","),
+            self.queue_wait_p50_us,
+            self.queue_wait_p99_us,
+            exec_buckets.join(","),
+            self.execute_p50_us,
+            self.execute_p99_us,
             chunk_buckets.join(","),
             self.chunk_p50_us,
             self.chunk_p99_us,
@@ -551,6 +607,12 @@ mod tests {
         b.decode_batches.fetch_add(1, Ordering::Relaxed);
         a.prefill_chunk_latency.record_us(8);
         b.prefill_chunk_latency.record_us(512);
+        // The queue-wait/execute split merges like the combined
+        // histogram: summed buckets, recomputed quantiles.
+        a.queue_wait_latency.record_us(4);
+        b.queue_wait_latency.record_us(256);
+        a.execute_latency.record_us(12);
+        b.execute_latency.record_us(768);
 
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
@@ -562,6 +624,12 @@ mod tests {
         assert_eq!(merged.decode_batches, 51);
         assert_eq!(merged.chunk_p50_us, 16, "fast chunk's bucket edge");
         assert_eq!(quantile_from_buckets(&merged.chunk_latency_buckets, 1.0), 1024);
+        assert_eq!(merged.queue_wait_buckets.iter().sum::<u64>(), 2);
+        assert_eq!(merged.queue_wait_p50_us, 8, "fast queue wait's bucket edge");
+        assert_eq!(quantile_from_buckets(&merged.queue_wait_buckets, 1.0), 512);
+        assert_eq!(merged.execute_buckets.iter().sum::<u64>(), 2);
+        assert_eq!(merged.execute_p50_us, 16);
+        assert_eq!(quantile_from_buckets(&merged.execute_buckets, 1.0), 1024);
         assert_eq!(merged.latency_count(), 100);
         // p50 over {99x16, 1x1024} is the 16 µs observation's bucket
         // (upper edge 32); p99 lands on the rank-99 observation (still
@@ -623,6 +691,8 @@ mod tests {
         s.prefill_chunks.fetch_add(3, Ordering::Relaxed);
         s.mixed_batches.fetch_add(1, Ordering::Relaxed);
         s.prefill_chunk_latency.record_us(100);
+        s.queue_wait_latency.record_us(3);
+        s.execute_latency.record_us(7);
         let json = s.snapshot().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for needle in [
@@ -636,6 +706,10 @@ mod tests {
             "\"mixed_batches\":1",
             "\"chunk_latency_buckets\":[",
             "\"chunk_p99_us\":128",
+            "\"queue_wait_buckets\":[",
+            "\"queue_wait_p99_us\":4",
+            "\"execute_buckets\":[",
+            "\"execute_p99_us\":8",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -1,0 +1,118 @@
+//! Chrome `trace_event` JSON exporter: renders an event snapshot into
+//! the format `chrome://tracing` and Perfetto load directly.
+//!
+//! Mapping: each recorder lane becomes a `tid` row under `pid` 1;
+//! `Begin`/`End` edges become `ph: "B"`/`"E"`, `Complete` becomes
+//! `ph: "X"` with `dur`, `Instant` becomes `ph: "i"` (thread-scoped).
+//! Timestamps convert from the recorder's nanosecond timebase to the
+//! format's microseconds with three decimals, so nanosecond resolution
+//! survives the unit change.
+
+use crate::ring::{Event, EventKind};
+
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn escape(name: &str) -> String {
+    // Span names are static identifiers by convention, but the format
+    // must stay valid JSON even if one sneaks in a quote or backslash.
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_one(e: &Event, out: &mut String) {
+    let name = escape(e.name);
+    let common =
+        format!("\"name\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}", name, e.lane, ts_us(e.ts_ns));
+    let args =
+        format!("\"args\":{{\"a0\":{},\"a1\":{},\"a2\":{}}}", e.args[0], e.args[1], e.args[2]);
+    match e.kind {
+        EventKind::Begin => {
+            out.push_str(&format!("{{{common},\"ph\":\"B\",{args}}}"));
+        }
+        EventKind::End => {
+            out.push_str(&format!("{{{common},\"ph\":\"E\"}}"));
+        }
+        EventKind::Instant => {
+            out.push_str(&format!("{{{common},\"ph\":\"i\",\"s\":\"t\",{args}}}"));
+        }
+        EventKind::Complete => {
+            out.push_str(&format!("{{{common},\"ph\":\"X\",\"dur\":{},{args}}}", ts_us(e.dur_ns)));
+        }
+    }
+}
+
+/// Renders `events` as a Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}`). Pair with [`crate::snapshot`]:
+///
+/// ```
+/// pl_trace::enable();
+/// {
+///     let _span = pl_trace::span("work", [0; 3]);
+/// }
+/// let json = pl_trace::chrome_trace_json(&pl_trace::snapshot());
+/// assert!(json.contains("\"ph\":\"B\""));
+/// ```
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_one(e, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        name: &'static str,
+        kind: EventKind,
+        lane: u32,
+        ts: u64,
+        dur: u64,
+        args: [u64; 3],
+    ) -> Event {
+        Event { name, kind, lane, ts_ns: ts, dur_ns: dur, args }
+    }
+
+    #[test]
+    fn renders_all_phases() {
+        let events = vec![
+            ev("region", EventKind::Begin, 0, 1500, 0, [4, 0, 0]),
+            ev("region", EventKind::End, 0, 2500, 0, [4, 0, 0]),
+            ev("queue_wait", EventKind::Complete, 1, 100, 1400, [3, 0, 0]),
+            ev("mark", EventKind::Instant, 2, 42, 0, [0; 3]),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        for needle in [
+            "\"traceEvents\":[",
+            "\"name\":\"region\",\"pid\":1,\"tid\":0,\"ts\":1.500,\"ph\":\"B\"",
+            "\"ts\":2.500,\"ph\":\"E\"",
+            "\"ph\":\"X\",\"dur\":1.400",
+            "\"ph\":\"i\",\"s\":\"t\"",
+            "\"args\":{\"a0\":4,\"a1\":0,\"a2\":0}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let json = chrome_trace_json(&[ev("a\"b\\c", EventKind::Instant, 0, 0, 0, [0; 3])]);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_document() {
+        assert_eq!(chrome_trace_json(&[]), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

@@ -209,7 +209,10 @@ fn main() {
 
     // --- Phase 2: measured scale-out vs the ScalingModel projection. ----
     println!("\n=== scale-out: measured vs ScalingModel projection ===");
-    println!("{:>7} {:>16} {:>12} {:>13}", "shards", "steps/s", "measured x", "projected x");
+    println!(
+        "{:>7} {:>16} {:>12} {:>13} {:>8}",
+        "shards", "steps/s", "measured x", "projected x", "p99 us"
+    );
     let mode = router_mode_name(fused);
     let mut artifact = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
     let projection = pl_router::serving_scaling_model(ROUTING_OVERHEAD);
@@ -224,24 +227,26 @@ fn main() {
     let mut single_sps = 0.0f64;
     let mut multi_speedup = 0.0f64;
     for n in [1usize, shards] {
-        let sps = measure_router_steps_per_s(&model, n, total_threads, &load);
+        let m = measure_router_steps_per_s(&model, n, total_threads, &load);
         if n == 1 {
-            single_sps = sps;
+            single_sps = m.steps_per_s;
         }
-        let measured_x = sps / single_sps.max(1e-9);
+        let measured_x = m.steps_per_s / single_sps.max(1e-9);
         if n == shards {
             multi_speedup = measured_x;
         }
         println!(
-            "{n:>7} {sps:>16.1} {measured_x:>11.2}x {:>12.2}x",
-            projection.projected_speedup(n)
+            "{n:>7} {:>16.1} {measured_x:>11.2}x {:>12.2}x {:>8}",
+            m.steps_per_s,
+            projection.projected_speedup(n),
+            m.p99_us
         );
         artifact.upsert(BenchRow {
             mode: mode.to_string(),
             batch: SESSIONS,
             shards: n,
-            steps_per_s: sps,
-            p99_us: 0.0,
+            steps_per_s: m.steps_per_s,
+            p99_us: m.p99_us as f64,
         });
         if n == shards && shards == 1 {
             break;

@@ -23,7 +23,13 @@
 //!   (`DecoderModel::step_batch_fused`) — the check is tolerance-based
 //!   (<= 1e-5 relative error) and the fused GEMM shapes are printed.
 //!
-//! Run: `cargo run --release --example serve_llm [-- --fused]`
+//! With `--trace` (or `PL_SERVE_TRACE=1`) the `pl-trace` flight recorder
+//! runs for the serving phase: the captured events are validated in
+//! process (balanced begin/end on every lane, nonzero GEMM spans) and
+//! dumped to `trace_serve_llm.json` in Chrome `trace_event` format —
+//! open it in `chrome://tracing` or `ui.perfetto.dev`.
+//!
+//! Run: `cargo run --release --example serve_llm [-- --fused] [-- --trace]`
 
 use pl_dnn::{Decoder, DecoderConfig, DecoderModel};
 use pl_perfmodel::Platform;
@@ -58,6 +64,8 @@ fn last_token(y: &[f32], hidden: usize) -> Vec<f32> {
 fn main() {
     let fused = std::env::args().any(|a| a == "--fused")
         || std::env::var("PL_SERVE_FUSED").is_ok_and(|v| v == "1");
+    let trace = std::env::args().any(|a| a == "--trace")
+        || std::env::var("PL_SERVE_TRACE").is_ok_and(|v| v == "1");
     let cfg = DecoderConfig::scaled_for_tests();
     let hidden = cfg.hidden;
     let model = Arc::new(DecoderModel::new(cfg, 2024));
@@ -99,6 +107,12 @@ fn main() {
         fill_uniform(&mut p, &mut Xorshift::new(31337), -0.5, 0.5);
         p
     };
+    // Trace only the serving phase: everything recorded from here on is
+    // live batched traffic, not warmup or baseline replay.
+    let trace_since = pl_trace::now_ns();
+    if trace {
+        pl_trace::enable();
+    }
     let t0 = Instant::now();
     let mut served: Vec<Vec<Vec<f32>>> = Vec::new();
     let mut long_served: Vec<f32> = Vec::new();
@@ -144,6 +158,10 @@ fn main() {
     let serve_s = t0.elapsed().as_secs_f64();
     let snap = server.stats().snapshot();
     server.shutdown();
+    let trace_events = trace.then(|| {
+        pl_trace::disable();
+        pl_trace::snapshot_since(trace_since)
+    });
 
     // --- Baseline: the same streams, sequential and unbatched. ----------
     let t1 = Instant::now();
@@ -208,6 +226,8 @@ fn main() {
     println!("throughput           {:>10.1} steps/s", snap.tokens_per_s);
     println!("step latency p50     {:>10} us", snap.p50_us);
     println!("step latency p99     {:>10} us", snap.p99_us);
+    println!("queue wait p50/p99   {:>6}/{} us", snap.queue_wait_p50_us, snap.queue_wait_p99_us);
+    println!("execute p50/p99      {:>6}/{} us", snap.execute_p50_us, snap.execute_p99_us);
     println!(
         "rejected (backpressure/sessions) {}/{}",
         snap.rejected_backpressure, snap.rejected_sessions
@@ -220,6 +240,60 @@ fn main() {
     }
     println!("\nserve wall time      {serve_s:>10.3} s");
     println!("baseline wall time   {base_s:>10.3} s (sequential unbatched)");
+
+    // --- Flight recorder: validate and dump the serving-phase trace. -----
+    if let Some(events) = trace_events {
+        println!("\n=== flight recorder ===");
+        assert!(!events.is_empty(), "tracing was on but captured nothing");
+        assert_eq!(pl_trace::total_dropped(), 0, "ring too small for this workload");
+        // Span guards are RAII and strictly nested per thread, so after
+        // shutdown every lane's Begin/End counts must balance exactly.
+        let mut balance: std::collections::BTreeMap<u32, i64> = std::collections::BTreeMap::new();
+        for e in &events {
+            match e.kind {
+                pl_trace::EventKind::Begin => *balance.entry(e.lane).or_default() += 1,
+                pl_trace::EventKind::End => *balance.entry(e.lane).or_default() -= 1,
+                _ => {}
+            }
+        }
+        for (lane, b) in &balance {
+            assert_eq!(*b, 0, "lane {lane}: unbalanced begin/end spans");
+        }
+        let summary = pl_trace::TraceSummary::from_events(&events);
+        assert_eq!(summary.unmatched, 0, "orphan End events in the trace");
+        assert!(summary.count_for("gemm.execute") > 0, "no GEMM spans recorded");
+        assert!(summary.total_ns_for("gemm.execute") > 0, "GEMM spans all zero-length");
+        assert!(summary.count_for("batch.execute") > 0, "no batch execute spans recorded");
+        assert_eq!(
+            summary.count_for("step.queue_wait"),
+            (SESSIONS * STEPS) as u64,
+            "every decode step must record its queue wait"
+        );
+        println!("events captured      {:>10}", events.len());
+        println!("recorder lanes       {:>10}", balance.len());
+        println!(
+            "gemm spans           {:>10} ({:.2} ms total)",
+            summary.count_for("gemm.execute"),
+            summary.total_ns_for("gemm.execute") as f64 / 1e6
+        );
+        println!(
+            "decode phases (ms)   ln {:.2} / qkv {:.2} / attn {:.2} / ffn {:.2}",
+            summary.total_ns_for("decode.ln") as f64 / 1e6,
+            summary.total_ns_for("decode.qkv") as f64 / 1e6,
+            summary.total_ns_for("decode.attn") as f64 / 1e6,
+            summary.total_ns_for("decode.ffn") as f64 / 1e6
+        );
+        let json = pl_trace::chrome_trace_json(&events);
+        assert!(json.contains("\"traceEvents\""), "chrome export malformed");
+        let path = pl_bench::workspace_path("trace_serve_llm.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => {
+                println!("wrote {} — open in chrome://tracing or ui.perfetto.dev", path.display())
+            }
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+        println!("OK: trace balanced on every lane, GEMM spans nonzero");
+    }
 
     assert_eq!(
         pl_dnn::prepared::pack_events(),
