@@ -14,11 +14,12 @@
 //! which is where the fused-over-serial headroom at B >= 4 comes from.
 
 use pl_bench::{
-    f1, f2, header, measure_router_steps_per_s, router_mode_name, row, time_it, trace_shapes_json,
-    BenchArtifact, BenchRow, RouterLoad, ROUTING_OVERHEAD, SERVE_ARTIFACT, TRACE_SHAPES_ARTIFACT,
+    f1, f2, fused_regressions, header, measure_router_steps_per_s, router_mode_name, row, time_it,
+    trace_shapes_json, BenchArtifact, BenchRow, RouterLoad, ROUTING_OVERHEAD, SERVE_ARTIFACT,
+    TRACE_SHAPES_ARTIFACT,
 };
 use pl_dnn::matmul::{matmul, Trans};
-use pl_dnn::{DecoderConfig, DecoderModel, MatmulPlan};
+use pl_dnn::{DecoderConfig, DecoderModel, MatmulPlan, Precision};
 use pl_runtime::{default_threads, ThreadPool};
 use pl_serve::{Server, ServerConfig};
 use pl_tensor::{fill_uniform, Xorshift};
@@ -29,6 +30,17 @@ use std::time::Duration;
 const SESSIONS: usize = 8;
 const STEPS: usize = 32;
 const KV: usize = 64;
+
+/// Artifact mode string: execution mode, suffixed with the precision when
+/// it is not the f32 default (`serial`, `fused-i8`, …) so per-precision
+/// rows coexist under distinct `{mode, batch, shards}` keys.
+fn serve_mode_name(fused: bool, precision: Precision) -> String {
+    let base = if fused { "fused" } else { "serial" };
+    match precision {
+        Precision::F32 => base.to_string(),
+        Precision::Int8 => format!("{base}-i8"),
+    }
+}
 
 fn drive(
     max_batch: usize,
@@ -47,6 +59,7 @@ fn drive(
             kv_capacity: KV,
             coalesce_wait: Duration::from_millis(1),
             fused,
+            precision: model.precision(),
             ..Default::default()
         },
     );
@@ -69,7 +82,7 @@ fn drive(
     server.shutdown();
     row(&[
         max_batch.to_string(),
-        if fused { "fused" } else { "serial" }.to_string(),
+        serve_mode_name(fused, model.precision()),
         f1(snap.tokens_per_s),
         f2(snap.mean_batch),
         snap.max_batch_observed.to_string(),
@@ -203,6 +216,67 @@ fn pack_amortization(pool: &Arc<ThreadPool>) {
     println!();
 }
 
+/// The quantized decode path: the same closed-loop workload served from
+/// the int8 model (same seed, so its weights are the exact quantization
+/// of the f32 model's), in both execution modes at B ∈ {1, 8}. The
+/// artifact gains `serial-i8` / `fused-i8` rows, and the same-host
+/// comparison table prints the i8/f32 throughput ratio against the f32
+/// numbers measured *this run* (`f32_ref`) — decode is weight-bandwidth
+/// bound, so the ~4x weight-stream reduction printed above the table is
+/// the mechanism behind any i8 win.
+fn int8_sweep(
+    f32_model: &Arc<DecoderModel>,
+    i8_model: &Arc<DecoderModel>,
+    pool: &Arc<ThreadPool>,
+    f32_ref: &[(usize, bool, f64)],
+    artifact: &mut BenchArtifact,
+) {
+    header(
+        &format!("quantized int8 decode ({SESSIONS} sessions x {STEPS} steps) [measured]"),
+        &["max_batch", "mode", "steps/s", "mean batch", "max batch", "p50 us", "p99 us"],
+    );
+    let mut measured = Vec::new();
+    for &batch in &[1usize, SESSIONS] {
+        for &fused in &[false, true] {
+            let (sps, p99) = drive(batch, fused, i8_model, pool);
+            artifact.upsert(BenchRow {
+                mode: serve_mode_name(fused, Precision::Int8),
+                batch,
+                shards: 1,
+                steps_per_s: sps,
+                p99_us: p99 as f64,
+            });
+            measured.push((batch, fused, sps));
+        }
+    }
+    let f32_bytes = f32_model.weight_stream_bytes_per_step();
+    let i8_bytes = i8_model.weight_stream_bytes_per_step();
+    println!(
+        "\nweight bytes streamed per decode step: f32 {} vs int8 {} ({:.2}x reduction)",
+        f32_bytes,
+        i8_bytes,
+        f32_bytes as f64 / i8_bytes as f64
+    );
+    header(
+        "f32 vs int8, same host, this run [measured]",
+        &["max_batch", "mode", "f32 steps/s", "i8 steps/s", "i8/f32"],
+    );
+    for (batch, fused, i8_sps) in measured {
+        let Some(&(_, _, f32_sps)) = f32_ref.iter().find(|&&(b, f, _)| b == batch && f == fused)
+        else {
+            continue;
+        };
+        row(&[
+            batch.to_string(),
+            if fused { "fused" } else { "serial" }.to_string(),
+            f1(f32_sps),
+            f1(i8_sps),
+            format!("{:.2}x", i8_sps / f32_sps.max(1e-9)),
+        ]);
+    }
+    println!();
+}
+
 const ROUTER_SESSIONS: usize = 16;
 
 /// Router scale-out: the same closed-loop traffic through a router at
@@ -312,10 +386,13 @@ const BREAKDOWN_SPANS: [&str; 9] = [
 /// flight recorder on, and print the per-phase time breakdown that
 /// explains where the two execution modes actually spend the step — the
 /// serial/fused gap attributed to named spans instead of guessed at.
-/// Writes the full event stream to `trace_serve.json` (Chrome
-/// `chrome://tracing` / Perfetto format) and the per-shape
-/// `gemm.execute` / `spmm.execute` stats to `TRACE_shapes.json`.
-fn trace_diagnose(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) {
+/// The int8 model is re-driven too (both modes), so the per-shape
+/// artifact carries `gemm.i8.execute` rows next to the f32 rows of the
+/// same shapes. Writes the full event stream to `trace_serve.json`
+/// (Chrome `chrome://tracing` / Perfetto format) and the per-shape
+/// `gemm.execute` / `gemm.i8.execute` / `spmm.execute` stats to
+/// `TRACE_shapes.json`.
+fn trace_diagnose(model: &Arc<DecoderModel>, i8_model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) {
     pl_trace::enable();
     let serial_since = pl_trace::now_ns();
     println!("\n--- traced re-run: serial then fused at max_batch={SESSIONS} ---");
@@ -324,6 +401,11 @@ fn trace_diagnose(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) {
     let fused_since = pl_trace::now_ns();
     drive(SESSIONS, true, model, pool);
     let fused_events = pl_trace::snapshot_since(fused_since);
+    let i8_since = pl_trace::now_ns();
+    println!("--- traced re-run: int8 serial then fused at max_batch={SESSIONS} ---");
+    drive(SESSIONS, false, i8_model, pool);
+    drive(SESSIONS, true, i8_model, pool);
+    let i8_events = pl_trace::snapshot_since(i8_since);
     pl_trace::disable();
     if pl_trace::total_dropped() > 0 {
         println!(
@@ -360,10 +442,11 @@ fn trace_diagnose(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) {
         format!("{:.2}x", gemm(&fused) as f64 / (gemm(&serial) as f64).max(1e-9)),
     ]);
 
-    // Both runs in one Chrome trace: serial events all precede fused
-    // ones on the shared epoch clock, so concatenation stays sorted.
+    // All runs in one Chrome trace: each re-run's events precede the
+    // next's on the shared epoch clock, so concatenation stays sorted.
     let mut all = serial_events;
     all.extend(fused_events);
+    all.extend(i8_events.iter().cloned());
     let trace_path = pl_bench::workspace_path("trace_serve.json");
     match std::fs::write(&trace_path, pl_trace::chrome_trace_json(&all)) {
         Ok(()) => println!("\nwrote {} events to {}", all.len(), trace_path.display()),
@@ -371,6 +454,7 @@ fn trace_diagnose(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) {
     }
     let mut shapes = serial;
     shapes.merge(&fused);
+    shapes.merge(&TraceSummary::from_events(&i8_events));
     let shapes_path = pl_bench::workspace_path(TRACE_SHAPES_ARTIFACT);
     match std::fs::write(&shapes_path, trace_shapes_json(&shapes)) {
         Ok(()) => println!("wrote per-shape kernel timings to {}", shapes_path.display()),
@@ -381,6 +465,14 @@ fn trace_diagnose(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>) {
 fn main() {
     let trace_mode = std::env::args().any(|a| a == "--trace");
     let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 11));
+    // Same seed: the int8 model's weights are the exact quantization of
+    // the f32 model's, so the comparison table isolates the execution
+    // path (the workload is identical).
+    let i8_model = Arc::new(DecoderModel::new_with_precision(
+        DecoderConfig::scaled_for_tests(),
+        11,
+        Precision::Int8,
+    ));
     let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
     let mut artifact = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
     pack_amortization(&pool);
@@ -393,9 +485,11 @@ fn main() {
     );
     let mut serial_at_max = 0.0;
     let mut fused_at_max = 0.0;
+    let mut f32_ref = Vec::new();
     for max_batch in [1usize, 2, 4, 8] {
         let (sps, p99) = drive(max_batch, false, &model, &pool);
         serial_at_max = sps;
+        f32_ref.push((max_batch, false, sps));
         artifact.upsert(BenchRow {
             mode: "serial".into(),
             batch: max_batch,
@@ -405,6 +499,7 @@ fn main() {
         });
         let (sps, p99) = drive(max_batch, true, &model, &pool);
         fused_at_max = sps;
+        f32_ref.push((max_batch, true, sps));
         artifact.upsert(BenchRow {
             mode: "fused".into(),
             batch: max_batch,
@@ -417,11 +512,15 @@ fn main() {
         "\nfused/serial speedup at max_batch=8: {:.2}x",
         fused_at_max / serial_at_max.max(1e-9)
     );
+    int8_sweep(&model, &i8_model, &pool, &f32_ref, &mut artifact);
     mixed_workload(&model, &pool, &mut artifact);
     router_scaling(&model, pool.nthreads(), &mut artifact);
     trace_overhead(&model, &pool, &mut artifact);
     if trace_mode {
-        trace_diagnose(&model, &pool);
+        trace_diagnose(&model, &i8_model, &pool);
+    }
+    for warning in fused_regressions(artifact.rows()) {
+        println!("{warning}");
     }
     match artifact.save(&pl_bench::workspace_path(SERVE_ARTIFACT)) {
         Ok(()) => println!("\nwrote {} rows to {SERVE_ARTIFACT}", artifact.rows().len()),

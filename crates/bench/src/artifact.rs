@@ -170,6 +170,41 @@ impl BenchArtifact {
     }
 }
 
+/// Scans `rows` for serial/fused mode pairs at the same
+/// `{batch, shards}` and returns one warning line per pair where the
+/// fused row is *slower* than its serial twin. Pairing is by mode-name
+/// substitution (`serial` → `fused`), so `serial`/`fused`,
+/// `serial-i8`/`fused-i8` and `router-serial`/`router-fused` all
+/// participate. Fused execution exists to raise decode arithmetic
+/// intensity; a fused row losing to serial at the same batch means the
+/// gather/pack overhead outweighs the GEMM win at that size, which the
+/// trajectory should flag rather than silently record.
+pub fn fused_regressions(rows: &[BenchRow]) -> Vec<String> {
+    let mut out = Vec::new();
+    for serial in rows.iter().filter(|r| r.mode.contains("serial")) {
+        let fused_mode = serial.mode.replace("serial", "fused");
+        let Some(fused) = rows
+            .iter()
+            .find(|r| r.mode == fused_mode && r.batch == serial.batch && r.shards == serial.shards)
+        else {
+            continue;
+        };
+        if fused.steps_per_s < serial.steps_per_s {
+            out.push(format!(
+                "warning: {} ({:.1} steps/s) < {} ({:.1} steps/s) at {{batch={}, shards={}}} — \
+                 fused batching is not paying for its gather at this size",
+                fused.mode,
+                fused.steps_per_s,
+                serial.mode,
+                serial.steps_per_s,
+                serial.batch,
+                serial.shards
+            ));
+        }
+    }
+    out
+}
+
 /// Splits `body` into the interiors of its top-level `{...}` objects,
 /// string-aware: braces inside quoted values (e.g. a mode named
 /// `"router{2}"`) do not terminate an object.
@@ -311,6 +346,32 @@ mod tests {
         let back = BenchArtifact::load(&path);
         assert_eq!(back.rows().len(), 1);
         assert_eq!(back.rows()[0].batch, 4);
+    }
+
+    #[test]
+    fn fused_regressions_flags_only_slower_fused_twins() {
+        let rows = vec![
+            row("serial", 8, 1, 8102.0),
+            row("fused", 8, 1, 6440.0), // slower: must warn
+            row("serial", 1, 1, 3000.0),
+            row("fused", 1, 1, 3500.0), // faster: silent
+            row("serial-i8", 8, 1, 9000.0),
+            row("fused-i8", 8, 1, 8000.0), // slower: must warn
+            row("router-serial", 16, 2, 100.0),
+            // no router-fused twin at shards=2: unpaired rows are skipped
+            row("mixed-chunked", 8, 1, 1.0), // non-serial modes never pair
+        ];
+        let warnings = fused_regressions(&rows);
+        assert_eq!(warnings.len(), 2, "exactly the two slower fused rows warn: {warnings:?}");
+        assert!(warnings[0].contains("fused") && warnings[0].contains("batch=8"));
+        assert!(warnings[1].contains("fused-i8"));
+    }
+
+    #[test]
+    fn fused_regressions_pairs_within_batch_and_shards() {
+        // A fused row at a different batch must not pair with this serial row.
+        let rows = vec![row("serial", 8, 1, 100.0), row("fused", 4, 1, 50.0)];
+        assert!(fused_regressions(&rows).is_empty());
     }
 
     #[test]

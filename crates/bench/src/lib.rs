@@ -21,7 +21,7 @@ pub mod baseline;
 pub mod driver;
 pub mod trace_artifact;
 
-pub use artifact::{workspace_path, BenchArtifact, BenchRow};
+pub use artifact::{fused_regressions, workspace_path, BenchArtifact, BenchRow};
 pub use driver::{
     measure_router_steps_per_s, router_mode_name, RouterLoad, RouterMeasurement, ROUTING_OVERHEAD,
     SERVE_ARTIFACT,

@@ -13,30 +13,38 @@ use pl_trace::TraceSummary;
 /// [`crate::workspace_path`]).
 pub const TRACE_SHAPES_ARTIFACT: &str = "TRACE_shapes.json";
 
-/// Span names that key a kernel shape: `args` are `[m, n, k]` for GEMM
-/// and `[m, tokens, k]` for SpMM.
-const SHAPE_SPANS: [&str; 2] = ["gemm.execute", "spmm.execute"];
+/// Span names that key a kernel shape, with the `(op, dtype)` each one
+/// denotes: `args` are `[m, n, k]` for GEMM and `[m, tokens, k]` for SpMM.
+/// Plans tag their execute span with the weight dtype (`gemm.execute` is
+/// f32, `gemm.i8.execute` the quantized path), so one artifact
+/// distinguishes the precisions an identical shape ran at.
+const SHAPE_SPANS: [(&str, &str, &str); 3] = [
+    ("gemm.execute", "gemm", "f32"),
+    ("gemm.i8.execute", "gemm", "i8"),
+    ("spmm.execute", "spmm", "f32"),
+];
 
 /// Renders the kernel-shape entries of `summary` as the
 /// `TRACE_shapes.json` document. Entries come out in `BTreeMap` order
-/// (op name, then shape), so regenerating the artifact on an unchanged
+/// (span name, then shape), so regenerating the artifact on an unchanged
 /// workload produces a stable diff.
 pub fn trace_shapes_json(summary: &TraceSummary) -> String {
     let mut out = String::from("{\n  \"entries\": [\n");
     let mut first = true;
     for ((name, args), stat) in &summary.entries {
-        if !SHAPE_SPANS.contains(&name.as_str()) {
+        let Some((_, op, dtype)) = SHAPE_SPANS.iter().find(|(n, ..)| n == name) else {
             continue;
-        }
+        };
         if !first {
             out.push_str(",\n");
         }
         first = false;
         out.push_str(&format!(
-            "    {{\"op\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"count\": {}, \
-             \"total_ns\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
-             \"min_ns\": {}, \"max_ns\": {}}}",
-            name.trim_end_matches(".execute"),
+            "    {{\"op\": \"{}\", \"dtype\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"count\": {}, \"total_ns\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            op,
+            dtype,
             args[0],
             args[1],
             args[2],
@@ -73,10 +81,27 @@ mod tests {
         events.extend(span_pair("spmm.execute", [64, 4, 64], 6000, 500));
         events.extend(span_pair("decode.ffn", [0, 8, 1], 7000, 9000));
         let json = trace_shapes_json(&TraceSummary::from_events(&events));
-        assert!(json.contains("\"op\": \"gemm\", \"m\": 256, \"n\": 8, \"k\": 256"));
+        assert!(
+            json.contains("\"op\": \"gemm\", \"dtype\": \"f32\", \"m\": 256, \"n\": 8, \"k\": 256")
+        );
         assert!(json.contains("\"count\": 2, \"total_ns\": 4000"));
-        assert!(json.contains("\"op\": \"spmm\", \"m\": 64, \"n\": 4, \"k\": 64"));
+        assert!(
+            json.contains("\"op\": \"spmm\", \"dtype\": \"f32\", \"m\": 64, \"n\": 4, \"k\": 64")
+        );
         assert!(!json.contains("decode.ffn"), "non-kernel spans must not leak in: {json}");
+    }
+
+    #[test]
+    fn i8_spans_keep_their_dtype_next_to_f32_rows_of_the_same_shape() {
+        // The same (m, n, k) shape run at both precisions must come out as
+        // two distinguishable rows — dtype is part of the row identity.
+        let mut events = Vec::new();
+        events.extend(span_pair("gemm.execute", [32, 1, 32], 0, 1000));
+        events.extend(span_pair("gemm.i8.execute", [32, 1, 32], 2000, 400));
+        let json = trace_shapes_json(&TraceSummary::from_events(&events));
+        assert!(json.contains("\"op\": \"gemm\", \"dtype\": \"f32\", \"m\": 32"));
+        assert!(json.contains("\"op\": \"gemm\", \"dtype\": \"i8\", \"m\": 32"));
+        assert!(!json.contains("gemm.i8"), "span names must not leak into op fields: {json}");
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub mod tuning;
 
 pub use bert::{BertConfig, BertEncoder, BertLayer};
 pub use llm::{prefill_chunk_widths, Decoder, DecoderConfig, DecoderModel, DecoderState};
-pub use prepared::{ActivationBuf, MatmulPlan, SpmmPlan};
+pub use prepared::{ActivationBuf, MatmulPlan, Precision, SpmmPlan};
 pub use resnet::{resnet50_conv_flops, resnet50_conv_shapes, BatchNorm, ConvLayerSpec, FcHead};
 pub use sparse_bert::{prune_to_block_sparse, SparseBertLayer};

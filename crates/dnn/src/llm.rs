@@ -47,7 +47,7 @@
 //! serial decode stays bit-identical to the previous behavior.
 
 use crate::matmul::Trans;
-use crate::prepared::{ActivationBuf, MatmulPlan};
+use crate::prepared::{ActivationBuf, MatmulPlan, Precision};
 use pl_autotuner::GemmProblem;
 use pl_runtime::ThreadPool;
 use pl_tensor::Xorshift;
@@ -176,6 +176,7 @@ struct KvCache {
 /// Immutable decoder weights, shareable across sessions.
 pub struct DecoderModel {
     cfg: DecoderConfig,
+    precision: Precision,
     blocks: Vec<Block>,
 }
 
@@ -233,6 +234,16 @@ impl DecoderModel {
     /// packed into its blocked kernel layout — the only weight-pack events
     /// the model ever generates (see [`crate::prepared::pack_events`]).
     pub fn new(cfg: DecoderConfig, seed: u64) -> Self {
+        Self::new_with_precision(cfg, seed, Precision::F32)
+    }
+
+    /// [`DecoderModel::new`] at an explicit precision. The same `seed`
+    /// draws the same f32 weights at every precision, so an
+    /// [`Precision::Int8`] model is the *quantization* of the f32 model
+    /// with that seed — the property the int8-vs-f32 equivalence tests
+    /// rely on. Quantization happens once here (per plan build); decode
+    /// steps touch no weight bytes at either precision.
+    pub fn new_with_precision(cfg: DecoderConfig, seed: u64, precision: Precision) -> Self {
         let mut rng = Xorshift::new(seed);
         let h = cfg.hidden;
         let f = cfg.ffn;
@@ -240,7 +251,7 @@ impl DecoderModel {
             let std = (1.0 / rows as f32).sqrt();
             let mut v = vec![0.0f32; rows * cols];
             pl_tensor::fill_normal(&mut v, &mut rng, 0.0, std);
-            MatmulPlan::new(&v, Trans::No, rows, cols)
+            MatmulPlan::with_precision(&v, Trans::No, rows, cols, precision)
         };
         let blocks = (0..cfg.layers)
             .map(|_| Block {
@@ -256,12 +267,26 @@ impl DecoderModel {
                 ln2_b: vec![0.0; h],
             })
             .collect();
-        DecoderModel { cfg, blocks }
+        DecoderModel { cfg, precision, blocks }
     }
 
     /// Config accessor.
     pub fn config(&self) -> &DecoderConfig {
         &self.cfg
+    }
+
+    /// The precision every weight plan was built at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes of packed weight operands streamed through memory by one
+    /// decode step (every plan executes exactly once per step, at any
+    /// batch width). Decode is weight-bandwidth-bound, so this is the
+    /// denominator of the int8 speedup story: the int8 figure is ~4x
+    /// smaller than the f32 one for the same config.
+    pub fn weight_stream_bytes_per_step(&self) -> usize {
+        self.blocks.iter().flat_map(|b| b.plans()).map(|p| p.weight_stream_bytes()).sum()
     }
 
     /// Appends (deduped by `(m, n, k)`) the exact GEMM problems this
@@ -1036,6 +1061,78 @@ mod tests {
         );
         // Warming is side-effect-only (zero widths skipped).
         model.warm_plans(&[1, 4, 0]);
+    }
+
+    #[test]
+    fn int8_model_tracks_f32_model_over_decode() {
+        // Same seed => the int8 model is the quantization of the f32 one.
+        // Prefill + several decode steps, serial and fused: outputs must
+        // stay within the quantization error budget (see the serve README
+        // "Precision" section for the bound's derivation) and stream ~4x
+        // fewer weight bytes per step.
+        let pool = ThreadPool::new(2);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let f32_model = Arc::new(DecoderModel::new(cfg, 314));
+        let i8_model = Arc::new(DecoderModel::new_with_precision(cfg, 314, Precision::Int8));
+        assert_eq!(f32_model.precision(), Precision::F32);
+        assert_eq!(i8_model.precision(), Precision::Int8);
+        let fb = f32_model.weight_stream_bytes_per_step();
+        let ib = i8_model.weight_stream_bytes_per_step();
+        let ratio = fb as f64 / ib as f64;
+        assert!(ratio > 3.5 && ratio <= 4.0, "weight-traffic ratio {ratio} (f32 {fb} / i8 {ib})");
+
+        let n = 3;
+        let steps = 4;
+        let mut f_states: Vec<DecoderState> = (0..n).map(|_| f32_model.new_state(16)).collect();
+        let mut q_states: Vec<DecoderState> = (0..n).map(|_| i8_model.new_state(16)).collect();
+        let mut qf_states: Vec<DecoderState> = (0..n).map(|_| i8_model.new_state(16)).collect();
+        let mut f_in = Vec::new();
+        let mut q_in = Vec::new();
+        for s in 0..n {
+            let prompt = s + 1; // ragged contexts
+            let mut px = vec![0.0f32; cfg.hidden * prompt];
+            fill_uniform(&mut px, &mut Xorshift::new(700 + s as u64), -0.5, 0.5);
+            let yf = f32_model.forward(&mut f_states[s], &px, prompt, &pool);
+            let yq = i8_model.forward(&mut q_states[s], &px, prompt, &pool);
+            let _ = i8_model.forward(&mut qf_states[s], &px, prompt, &pool);
+            f_in.push(yf[(prompt - 1) * cfg.hidden..prompt * cfg.hidden].to_vec());
+            q_in.push(yq[(prompt - 1) * cfg.hidden..prompt * cfg.hidden].to_vec());
+        }
+        let mut qf_in = q_in.clone();
+        for step in 0..steps {
+            let fb: Vec<(&mut DecoderState, &[f32])> =
+                f_states.iter_mut().zip(f_in.iter().map(|x| x.as_slice())).collect();
+            let f_out = f32_model.step_batch(fb, &pool);
+            let qb: Vec<(&mut DecoderState, &[f32])> =
+                q_states.iter_mut().zip(q_in.iter().map(|x| x.as_slice())).collect();
+            let q_out = i8_model.step_batch(qb, &pool);
+            let qfb: Vec<(&mut DecoderState, &[f32])> =
+                qf_states.iter_mut().zip(qf_in.iter().map(|x| x.as_slice())).collect();
+            let qf_out = i8_model.step_batch_fused(qfb, &pool);
+            for s in 0..n {
+                // Int8 (serial) vs f32. Bound derivation: symmetric int8
+                // rounding bounds each operand element's error by half a
+                // quantization step (max|.|/254); for roughly Gaussian
+                // operands (peaks near 3 sigma) one GEMM's output error is
+                // ~1% RMS of the output magnitude, independent of k (error
+                // and signal both grow as sqrt(k) — random signs cancel).
+                // Per-element outliers run a few x RMS and errors compound
+                // over 6 GEMMs/layer x 2 layers x closed-loop steps
+                // (observed max ~0.1 at this scale), so 0.25 against a
+                // 1.0-floored denominator is a safe envelope.
+                for (i, (a, b)) in q_out[s].iter().zip(&f_out[s]).enumerate() {
+                    let rel = (a - b).abs() / b.abs().max(1.0);
+                    assert!(rel < 0.25, "step {step} session {s} idx {i}: i8 {a} vs f32 {b}");
+                }
+                // Int8 fused vs int8 serial: same quantized weights, only
+                // GEMM shapes change — plain reassociation-level agreement.
+                let err = max_rel_err(&qf_out[s], &q_out[s]);
+                assert!(err <= 1e-4, "step {step} session {s}: fused-vs-serial rel err {err}");
+            }
+            f_in = f_out;
+            q_in = q_out;
+            qf_in = qf_out;
+        }
     }
 
     #[test]

@@ -41,10 +41,11 @@
 
 use crate::matmul::{transpose_cm, Trans};
 use pl_autotuner::GemmProblem;
-use pl_kernels::{BlockSpmm, Gemm, GemmShape, GemmTuning, SpmmTuning};
+use pl_kernels::{BlockSpmm, Gemm, GemmInt8, GemmShape, GemmTuning, SpmmTuning};
 use pl_runtime::ThreadPool;
 use pl_tensor::{
-    reuse_blocked, BcscMatrix, BlockedMatrix, DType, GridOrder, InnerLayout, VnniMatrix,
+    quantize_cols_blocked, quantize_weight_a_vnni, reuse_blocked, BcscMatrix, BlockedMatrix, DType,
+    GridOrder, InnerLayout, VnniMatrix,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -72,6 +73,57 @@ fn record_pack_event() {
     PACK_EVENTS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Numeric precision of a prepared plan (and, through
+/// `pl_serve::ServerConfig`, of a whole serving stack).
+///
+/// `F32` is the default and keeps every existing guarantee: serial decode
+/// stays bit-identical to the unbatched baseline. `Int8` trades a bounded
+/// relative error for ~4x less weight traffic per decode step: weights are
+/// quantized **once** at plan build (symmetric int8, one f32 scale per
+/// output channel, VNNI-blocked), activations are quantized on the fly per
+/// step (one scale per column/token), the inner product accumulates in i32
+/// and dequantizes on store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// f32 weights and arithmetic (bit-identity guarantees hold).
+    #[default]
+    F32,
+    /// Pack-once symmetric int8 weights, i32 accumulation, f32 outputs.
+    Int8,
+}
+
+impl Precision {
+    /// The storage dtype of the plan weight — the dtype that scopes tuning
+    /// keys, trace spans and kernel caches.
+    pub fn dtype(self) -> DType {
+        match self {
+            Precision::F32 => DType::F32,
+            Precision::Int8 => DType::I8,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::F32 => write!(f, "f32"),
+            Precision::Int8 => write!(f, "int8"),
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "fp32" => Ok(Precision::F32),
+            "int8" | "i8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}' (expected f32 or int8)")),
+        }
+    }
+}
+
 /// Cap on cached per-width kernels per plan. Steady-state serving hits a
 /// bounded width set (decode `1..=max_batch` plus the prefill ladder —
 /// far below this), but a long-running server also sees arbitrary
@@ -85,6 +137,10 @@ const KERNEL_CACHE_CAP: usize = 64;
 #[derive(Debug, Default)]
 pub struct ActivationBuf {
     slot: Option<BlockedMatrix<f32>>,
+    /// Quantized-activation scratch of the int8 path (unused at f32): the
+    /// i8 twin of the packed activation plus its per-column scales.
+    qslot: Option<BlockedMatrix<i8>>,
+    qscales: Vec<f32>,
 }
 
 impl ActivationBuf {
@@ -94,11 +150,30 @@ impl ActivationBuf {
     }
 }
 
+/// The per-width compiled kernel: f32 and int8 plans build different
+/// kernel types over the same loop-nest machinery.
+enum PlanGemm {
+    F32(Gemm<f32, f32, f32>),
+    Int8(GemmInt8),
+}
+
 struct PlanKernel {
     /// The [`crate::tuning::epoch`] this kernel's spec resolved under.
     epoch: u64,
     shape: GemmShape,
-    gemm: Gemm<f32, f32, f32>,
+    gemm: PlanGemm,
+}
+
+/// The pack-once weight operand of a [`MatmulPlan`], per precision.
+#[derive(Clone)]
+enum PlanWeight {
+    /// Blocked `A` layout, f32.
+    F32(BlockedMatrix<f32>),
+    /// VNNI-blocked quantized `A` plus one dequantization scale per output
+    /// channel (logical row). `v` is the VNNI factor actually used: the
+    /// dtype's factor ([`DType::vnni_factor`]) degraded to the largest
+    /// divisor of `bk` when the K blocking is narrower than the granule.
+    Int8 { q: BlockedMatrix<i8>, scales: Vec<f32>, v: usize },
 }
 
 /// A compiled, pack-once GEMM plan over one weight operand.
@@ -114,7 +189,8 @@ pub struct MatmulPlan {
     k: usize,
     bm: usize,
     bk: usize,
-    weight: BlockedMatrix<f32>,
+    precision: Precision,
+    weight: PlanWeight,
     kernels: RwLock<HashMap<usize, Arc<PlanKernel>>>,
 }
 
@@ -124,19 +200,60 @@ impl MatmulPlan {
     /// touched; every later [`MatmulPlan::execute`] reuses the packed
     /// operand.
     pub fn new(w: &[f32], trans: Trans, m: usize, k: usize) -> Self {
+        Self::with_precision(w, trans, m, k, Precision::F32)
+    }
+
+    /// [`MatmulPlan::new`] with an explicit precision. At
+    /// [`Precision::Int8`] the build quantizes the weight into the
+    /// VNNI-blocked int8 `A` layout with per-output-channel scales — still
+    /// exactly one pack event: weight bytes are touched once at build and
+    /// never on the execute path.
+    pub fn with_precision(w: &[f32], trans: Trans, m: usize, k: usize, p: Precision) -> Self {
         assert_eq!(w.len(), m * k, "weight size mismatch: {} != {m}x{k}", w.len());
         let bm = GemmShape::default_block(m);
         let bk = GemmShape::default_block(k);
-        let mut weight = BlockedMatrix::<f32>::a_layout(m, k, bm, bk).expect("plan weight layout");
-        match trans {
-            Trans::No => weight.pack_from_colmajor(w),
+        let flat: std::borrow::Cow<'_, [f32]> = match trans {
+            Trans::No => std::borrow::Cow::Borrowed(w),
             Trans::Yes => {
                 record_pack_event(); // the transpose touches every weight byte
-                weight.pack_from_colmajor(&transpose_cm(w, k, m));
+                std::borrow::Cow::Owned(transpose_cm(w, k, m))
+            }
+        };
+        let weight = match p {
+            Precision::F32 => {
+                let mut packed =
+                    BlockedMatrix::<f32>::a_layout(m, k, bm, bk).expect("plan weight layout");
+                packed.pack_from_colmajor(&flat);
+                PlanWeight::F32(packed)
+            }
+            Precision::Int8 => {
+                let v = vnni_fit(DType::I8.vnni_factor(), bk);
+                let (q, scales) =
+                    quantize_weight_a_vnni(&flat, m, k, bm, bk, v).expect("plan weight layout");
+                PlanWeight::Int8 { q, scales, v }
+            }
+        };
+        record_pack_event();
+        MatmulPlan { m, k, bm, bk, precision: p, weight, kernels: RwLock::new(HashMap::new()) }
+    }
+
+    /// The precision this plan was built at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes of packed weight operand streamed through memory by one
+    /// execution of this plan (any width): the packed weight data itself
+    /// plus, for quantized plans, the per-channel scale vector. This is
+    /// the counter behind the ~4x decode-traffic claim: an int8 plan
+    /// streams `m*k + 4*m` bytes where the f32 plan streams `4*m*k`.
+    pub fn weight_stream_bytes(&self) -> usize {
+        match &self.weight {
+            PlanWeight::F32(wt) => std::mem::size_of_val(wt.data()),
+            PlanWeight::Int8 { q, scales, .. } => {
+                std::mem::size_of_val(q.data()) + std::mem::size_of_val(scales.as_slice())
             }
         }
-        record_pack_event();
-        MatmulPlan { m, k, bm, bk, weight, kernels: RwLock::new(HashMap::new()) }
     }
 
     /// Output rows (`m`).
@@ -160,7 +277,7 @@ impl MatmulPlan {
             bm: self.bm,
             bn: GemmShape::default_block(n),
             bk: self.bk,
-            dtype: DType::F32,
+            dtype: self.precision.dtype(),
         }
     }
 
@@ -196,11 +313,18 @@ impl MatmulPlan {
             bn: GemmShape::default_block(n),
             bk: self.bk,
         };
-        let gemm = Gemm::<f32, f32, f32>::new(shape, crate::tuning::gemm_tuning_for(&shape))
-            .or_else(|_| {
-                Gemm::<f32, f32, f32>::new(shape, GemmTuning::default_parallel(shape.kb()))
-            })
-            .expect("plan kernel shape");
+        let tuning = crate::tuning::gemm_tuning_for(&shape, self.precision.dtype());
+        let fallback = || GemmTuning::default_parallel(shape.kb());
+        let gemm = match &self.weight {
+            PlanWeight::F32(_) => Gemm::<f32, f32, f32>::new(shape, tuning)
+                .or_else(|_| Gemm::<f32, f32, f32>::new(shape, fallback()))
+                .map(PlanGemm::F32)
+                .expect("plan kernel shape"),
+            PlanWeight::Int8 { v, .. } => GemmInt8::new(shape, tuning, *v)
+                .or_else(|_| GemmInt8::new(shape, fallback(), *v))
+                .map(PlanGemm::Int8)
+                .expect("plan kernel shape"),
+        };
         let kernel = Arc::new(PlanKernel { epoch, shape, gemm });
         let mut cache = self.kernels.write().unwrap();
         if cache.len() < KERNEL_CACHE_CAP || cache.contains_key(&n) {
@@ -248,20 +372,59 @@ impl MatmulPlan {
     ) -> Vec<f32> {
         let n = act.cols();
         // Per-shape wall-clock span: aggregated by (m, n, k) this is the
-        // measured-timing table the autotuning roadmap item consumes.
-        let _span = pl_trace::span("gemm.execute", [self.m as u64, n as u64, self.k as u64]);
+        // measured-timing table the autotuning roadmap item consumes. The
+        // span name carries the plan dtype so f32 and i8 timings of the
+        // same shape stay distinguishable in `TRACE_shapes.json`.
+        let span_name = match self.precision {
+            Precision::F32 => "gemm.execute",
+            Precision::Int8 => "gemm.i8.execute",
+        };
+        let _span = pl_trace::span(span_name, [self.m as u64, n as u64, self.k as u64]);
         let kernel = self.kernel_for(n);
-        let c = reuse_blocked(
-            &mut c_buf.slot,
-            self.m,
-            n,
-            self.bm,
-            kernel.shape.bn,
-            GridOrder::ColBlockMajor,
-            InnerLayout::ColMajor,
-        )
-        .expect("output layout");
-        kernel.gemm.execute(&self.weight, act, c, pool).expect("plan execute");
+        match (&self.weight, &kernel.gemm) {
+            (PlanWeight::F32(wt), PlanGemm::F32(g)) => {
+                let c = reuse_blocked(
+                    &mut c_buf.slot,
+                    self.m,
+                    n,
+                    self.bm,
+                    kernel.shape.bn,
+                    GridOrder::ColBlockMajor,
+                    InnerLayout::ColMajor,
+                )
+                .expect("output layout");
+                g.execute(wt, act, c, pool).expect("plan execute");
+            }
+            (PlanWeight::Int8 { q, scales, .. }, PlanGemm::Int8(g)) => {
+                // Quantize the f32 activations on the fly (per step, per
+                // column) into the i8 scratch; weight bytes stay untouched.
+                let qact = reuse_blocked(
+                    &mut c_buf.qslot,
+                    self.k,
+                    n,
+                    self.bk,
+                    kernel.shape.bn,
+                    GridOrder::ColBlockMajor,
+                    InnerLayout::ColMajor,
+                )
+                .expect("quantized activation layout");
+                c_buf.qscales.resize(n, 0.0);
+                quantize_cols_blocked(act, qact, &mut c_buf.qscales);
+                let c = reuse_blocked(
+                    &mut c_buf.slot,
+                    self.m,
+                    n,
+                    self.bm,
+                    kernel.shape.bn,
+                    GridOrder::ColBlockMajor,
+                    InnerLayout::ColMajor,
+                )
+                .expect("output layout");
+                g.execute(q, scales, qact, &c_buf.qscales, c, pool).expect("plan execute");
+            }
+            _ => unreachable!("plan weight/kernel precision mismatch"),
+        }
+        let c = c_buf.slot.as_ref().expect("c slot");
         let mut out = vec![0.0f32; self.m * n];
         c.unpack_into_colmajor(&mut out);
         out
@@ -285,6 +448,7 @@ impl fmt::Debug for MatmulPlan {
             .field("k", &self.k)
             .field("bm", &self.bm)
             .field("bk", &self.bk)
+            .field("precision", &self.precision)
             .field("warmed_widths", &self.warmed_widths())
             .finish()
     }
@@ -292,17 +456,31 @@ impl fmt::Debug for MatmulPlan {
 
 impl Clone for MatmulPlan {
     fn clone(&self) -> Self {
-        // The packed weight is copied as-is (no re-pack — and no pack
-        // event); kernels are cheap to rebuild, so the clone starts cold.
+        // The packed weight is copied as-is (no re-pack/re-quantize — and
+        // no pack event); kernels are cheap to rebuild, so the clone
+        // starts cold.
         MatmulPlan {
             m: self.m,
             k: self.k,
             bm: self.bm,
             bk: self.bk,
+            precision: self.precision,
             weight: self.weight.clone(),
             kernels: RwLock::new(HashMap::new()),
         }
     }
+}
+
+/// The VNNI factor an int8 plan actually uses: the dtype granule `v`
+/// degraded (by halving) to the largest power of two dividing the K
+/// blocking, so narrow layers (`bk < 4` or odd) still build. Every value
+/// this returns divides `bk`, which `BrgemmI8Desc::validate` requires.
+fn vnni_fit(v: usize, bk: usize) -> usize {
+    let mut f = v.max(1);
+    while f > 1 && !bk.is_multiple_of(f) {
+        f /= 2;
+    }
+    f
 }
 
 /// The `bn` blocking the Block-SpMM bridge picks for an activation width.
@@ -531,6 +709,71 @@ mod tests {
         let before = pack_events();
         let _plan = MatmulPlan::new(&w, Trans::No, m, k);
         assert!(pack_events() > before, "plan build is a pack event");
+    }
+
+    #[test]
+    fn int8_plan_tracks_f32_within_quantization_error() {
+        let pool = ThreadPool::new(2);
+        let (m, n, k) = (32, 8, 48);
+        let mut rng = Xorshift::new(46);
+        let mut w = vec![0.0f32; m * k];
+        let mut x = vec![0.0f32; k * n];
+        fill_uniform(&mut w, &mut rng, -0.5, 0.5);
+        fill_uniform(&mut x, &mut rng, -0.5, 0.5);
+        let fplan = MatmulPlan::new(&w, Trans::No, m, k);
+        let qplan = MatmulPlan::with_precision(&w, Trans::No, m, k, Precision::Int8);
+        assert_eq!(fplan.precision(), Precision::F32);
+        assert_eq!(qplan.precision(), Precision::Int8);
+        assert_eq!(qplan.problem(n).dtype, DType::I8);
+        // The ~4x decode-traffic claim, exactly: i8 data + f32 row scales.
+        assert_eq!(fplan.weight_stream_bytes(), 4 * m * k);
+        assert_eq!(qplan.weight_stream_bytes(), m * k + 4 * m);
+        let want = fplan.execute(&x, n, &pool);
+        let got = qplan.execute(&x, n, &pool);
+        // Two symmetric-int8 roundings (weight + activation) bound the
+        // per-product relative error by ~2/127; the dot product's relative
+        // error stays in the same ballpark (errors don't all align), so 5%
+        // against a 1.0-floored denominator is comfortably conservative.
+        for i in 0..m * n {
+            let rel = (got[i] - want[i]).abs() / want[i].abs().max(1.0);
+            assert!(rel < 0.05, "idx {i}: int8 {} vs f32 {}", got[i], want[i]);
+        }
+        // Quantized execution is deterministic (same cached kernel).
+        assert_eq!(got, qplan.execute(&x, n, &pool));
+        // Clones keep the precision and the quantized bytes.
+        let clone = qplan.clone();
+        assert_eq!(clone.precision(), Precision::Int8);
+        assert_eq!(clone.execute(&x, n, &pool), got);
+    }
+
+    #[test]
+    fn int8_plan_handles_transposed_and_narrow_k() {
+        let pool = ThreadPool::new(2);
+        // k = 6 blocks as bk = 2, forcing the VNNI factor to degrade 4 -> 2.
+        let (m, n, k) = (16, 4, 6);
+        let mut rng = Xorshift::new(47);
+        let mut w = vec![0.0f32; m * k];
+        let mut x = vec![0.0f32; k * n];
+        fill_uniform(&mut w, &mut rng, -0.5, 0.5);
+        fill_uniform(&mut x, &mut rng, -0.5, 0.5);
+        let wt = transpose_cm(&w, m, k);
+        let qplan = MatmulPlan::with_precision(&wt, Trans::Yes, m, k, Precision::Int8);
+        let want = MatmulPlan::new(&w, Trans::No, m, k).execute(&x, n, &pool);
+        let got = qplan.execute(&x, n, &pool);
+        for i in 0..m * n {
+            let rel = (got[i] - want[i]).abs() / want[i].abs().max(1.0);
+            assert!(rel < 0.05, "idx {i}: int8 {} vs f32 {}", got[i], want[i]);
+        }
+    }
+
+    #[test]
+    fn vnni_fit_degrades_to_a_bk_divisor() {
+        assert_eq!(vnni_fit(4, 32), 4);
+        assert_eq!(vnni_fit(4, 48), 4);
+        assert_eq!(vnni_fit(4, 6), 2);
+        assert_eq!(vnni_fit(4, 3), 1);
+        assert_eq!(vnni_fit(4, 1), 1);
+        assert_eq!(vnni_fit(1, 7), 1);
     }
 
     #[test]

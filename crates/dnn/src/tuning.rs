@@ -65,10 +65,13 @@ pub fn is_installed() -> bool {
     REGISTRY.read().unwrap().is_some()
 }
 
-/// The tuning the GEMM bridge should use for `shape`: the DB winner when
-/// the installed registry has the shape, else [`GemmTuning::default_parallel`].
-pub fn gemm_tuning_for(shape: &GemmShape) -> GemmTuning {
-    lookup_gemm(shape).unwrap_or_else(|| GemmTuning::default_parallel(shape.kb()))
+/// The tuning the GEMM bridge should use for `shape` at `dtype`: the DB
+/// winner when the installed registry has the shape, else
+/// [`GemmTuning::default_parallel`]. Keys are dtype-scoped
+/// ([`TuningDb::gemm_key`]), so an f32 winner never leaks onto the int8
+/// kernel (whose cost profile differs) and vice versa.
+pub fn gemm_tuning_for(shape: &GemmShape, dtype: DType) -> GemmTuning {
+    lookup_gemm(shape, dtype).unwrap_or_else(|| GemmTuning::default_parallel(shape.kb()))
 }
 
 /// DB lookup only (no fallback): `Some(tuning)` when the installed
@@ -80,13 +83,13 @@ pub fn gemm_tuning_for(shape: &GemmShape) -> GemmTuning {
 /// blocking ladders are re-derived below for the actual shape, and an
 /// entry infeasible at this width degrades to `None` (then to the
 /// caller's `default_parallel` fallback).
-pub fn lookup_gemm(shape: &GemmShape) -> Option<GemmTuning> {
+pub fn lookup_gemm(shape: &GemmShape, dtype: DType) -> Option<GemmTuning> {
     let guard = REGISTRY.read().unwrap();
     let reg = guard.as_ref()?;
-    let dtype = DType::F32.to_string();
-    let entry = [shape.n, shape.n.next_power_of_two()]
-        .iter()
-        .find_map(|&n| reg.db.get(&TuningDb::gemm_key(&reg.platform, shape.m, n, shape.k, &dtype)));
+    let dtype_key = dtype.to_string();
+    let entry = [shape.n, shape.n.next_power_of_two()].iter().find_map(|&n| {
+        reg.db.get(&TuningDb::gemm_key(&reg.platform, shape.m, n, shape.k, &dtype_key))
+    });
     let spec = entry?.spec.clone();
     // Re-derive the blocking ladders the searcher paired with this spec.
     let problem = GemmProblem {
@@ -96,7 +99,7 @@ pub fn lookup_gemm(shape: &GemmShape) -> Option<GemmTuning> {
         bm: shape.bm,
         bn: shape.bn,
         bk: shape.bk,
-        dtype: DType::F32,
+        dtype,
     };
     let [a_blocks, b_blocks, c_blocks] = blocks_for_spec(&problem, &spec)?;
     Some(GemmTuning { spec, k_step: 1, a_blocks, b_blocks, c_blocks })
@@ -144,8 +147,8 @@ mod tests {
         clear();
         let epoch0 = epoch();
         let shape = GemmShape::with_default_blocks(64, 8, 64);
-        assert!(lookup_gemm(&shape).is_none(), "no registry -> no hit");
-        assert_eq!(gemm_tuning_for(&shape), GemmTuning::default_parallel(shape.kb()));
+        assert!(lookup_gemm(&shape, DType::F32).is_none(), "no registry -> no hit");
+        assert_eq!(gemm_tuning_for(&shape, DType::F32), GemmTuning::default_parallel(shape.kb()));
 
         let mut db = TuningDb::new();
         db.put(
@@ -171,20 +174,22 @@ mod tests {
         assert!(is_installed());
         assert!(epoch() > epoch0, "install advances the registry epoch");
 
-        let t = lookup_gemm(&shape).expect("warmed shape resolves");
+        let t = lookup_gemm(&shape, DType::F32).expect("warmed shape resolves");
         assert_eq!(t.spec, "aBC");
         assert_eq!(t.k_step, 1);
-        assert_eq!(gemm_tuning_for(&shape).spec, "aBC");
+        assert_eq!(gemm_tuning_for(&shape, DType::F32).spec, "aBC");
+        // Same shape at i8 has no entry: precision-scoped keys miss.
+        assert!(lookup_gemm(&shape, DType::I8).is_none(), "f32 winner must not leak to i8");
         // Unknown shape still falls back.
         let other = GemmShape::with_default_blocks(96, 8, 96);
-        assert_eq!(gemm_tuning_for(&other), GemmTuning::default_parallel(other.kb()));
+        assert_eq!(gemm_tuning_for(&other, DType::F32), GemmTuning::default_parallel(other.kb()));
         // A ragged width (n = 6) rounds up to the warmed power of two
         // (n = 8) and reuses its spec, with blocks re-derived for n = 6.
         let ragged = GemmShape::with_default_blocks(64, 6, 64);
-        assert_eq!(lookup_gemm(&ragged).expect("rounds up to n=8").spec, "aBC");
+        assert_eq!(lookup_gemm(&ragged, DType::F32).expect("rounds up to n=8").spec, "aBC");
         // But only one rung up: n = 9 probes 16, which is not warmed.
         let wide = GemmShape::with_default_blocks(64, 9, 64);
-        assert!(lookup_gemm(&wide).is_none());
+        assert!(lookup_gemm(&wide, DType::F32).is_none());
         // The corrupted 48x8x48 entry resolves at lookup time (occurrence
         // counts are fine) but must not panic the matmul bridge — it
         // degrades to the built-in spec and still computes correctly.
@@ -242,6 +247,6 @@ mod tests {
 
         clear();
         assert!(!is_installed());
-        assert!(lookup_gemm(&shape).is_none());
+        assert!(lookup_gemm(&shape, DType::F32).is_none());
     }
 }

@@ -11,7 +11,7 @@ use crate::KernelError;
 use parlooper::{LoopSpecs, SpecError, ThreadedLoop};
 use pl_runtime::ThreadPool;
 use pl_tensor::{BlockedMatrix, Element, InnerLayout};
-use pl_tpp::brgemm::{Brgemm, BrgemmDesc};
+use pl_tpp::brgemm::{Brgemm, BrgemmDesc, BrgemmI8, BrgemmI8Desc};
 use std::sync::Arc;
 
 pub use pl_tensor::blocked::InnerLayout as BInner;
@@ -272,6 +272,155 @@ impl<TA: Element, TB: Element, TC: Element> Gemm<TA, TB, TC> {
     }
 }
 
+/// The quantized GEMM kernel: same PARLOOPER loop nest as [`Gemm`], but the
+/// body invokes the `i8 x i8 -> i32` BRGEMM with dequantize-on-store.
+///
+/// `A` is the pack-once quantized weight in the VNNI-cols layout
+/// ([`BlockedMatrix::a_layout_vnni`]) with one scale per logical row
+/// (output channel); `B` is the per-step quantized activation in the plain
+/// blocked `B` layout with one scale per logical column (token). `C` stays
+/// f32, so downstream consumers (bias, activation, attention) are untouched.
+pub struct GemmInt8 {
+    shape: GemmShape,
+    tuning: GemmTuning,
+    tl: ThreadedLoop,
+    brgemm: Arc<BrgemmI8>,
+    a_vnni: usize,
+}
+
+impl GemmInt8 {
+    /// Builds the kernel; `v` is the VNNI factor of the `A` columns
+    /// (`bk % v == 0`).
+    pub fn new(shape: GemmShape, tuning: GemmTuning, v: usize) -> Result<Self, KernelError> {
+        for (dim, block, name) in
+            [(shape.m, shape.bm, "M"), (shape.n, shape.bn, "N"), (shape.k, shape.bk, "K")]
+        {
+            if block == 0 || dim % block != 0 {
+                return Err(KernelError::BadShape(format!(
+                    "{name}={dim} not divisible by block {block}"
+                )));
+            }
+        }
+        if v == 0 || !shape.bk.is_multiple_of(v) {
+            return Err(KernelError::BadShape(format!(
+                "bk={} not divisible by vnni factor {v}",
+                shape.bk
+            )));
+        }
+        let specs = vec![
+            LoopSpecs::blocked(0, shape.kb(), tuning.k_step, tuning.a_blocks.clone()),
+            LoopSpecs::blocked(0, shape.mb(), 1, tuning.b_blocks.clone()),
+            LoopSpecs::blocked(0, shape.nb(), 1, tuning.c_blocks.clone()),
+        ];
+        let tl = ThreadedLoop::new(&specs, &tuning.spec).map_err(KernelError::Spec)?;
+        let brgemm = BrgemmI8::new(BrgemmI8Desc::blocked(shape.bm, shape.bn, shape.bk, v));
+        Ok(GemmInt8 { shape, tuning, tl, brgemm, a_vnni: v })
+    }
+
+    /// Problem geometry.
+    pub fn shape(&self) -> &GemmShape {
+        &self.shape
+    }
+
+    /// Active tuning.
+    pub fn tuning(&self) -> &GemmTuning {
+        &self.tuning
+    }
+
+    /// `C = dequant(qA x qB)` on the given pool. `row_scales` has one entry
+    /// per logical `A` row, `col_scales` one per logical `B` column.
+    pub fn execute(
+        &self,
+        a: &BlockedMatrix<i8>,
+        row_scales: &[f32],
+        b: &BlockedMatrix<i8>,
+        col_scales: &[f32],
+        c: &mut BlockedMatrix<f32>,
+        pool: &ThreadPool,
+    ) -> Result<(), KernelError> {
+        self.check_operands(a, b, c)?;
+        if row_scales.len() != self.shape.m || col_scales.len() != self.shape.n {
+            return Err(KernelError::BadShape("scale length mismatch".into()));
+        }
+        let sh = self.shape;
+        let (bm, bn, bk) = (sh.bm, sh.bn, sh.bk);
+        let (mb, kb) = (sh.mb(), sh.kb());
+        let k_step = self.tuning.k_step;
+        let stride_a = bm * bk;
+        let stride_b = bn * bk;
+        let block_c = bm * bn;
+        let c_shared = SharedSlice::new(c.data_mut());
+        let a_data = a.data();
+        let b_data = b.data();
+        let brgemm = &self.brgemm;
+
+        self.tl
+            .try_run_on(pool, |ind| {
+                let (ik, im, i_n) = (ind[0], ind[1], ind[2]);
+                let brcount = k_step.min(kb - ik);
+                let c_off = (i_n * mb + im) * block_c;
+                // SAFETY: same disjointness argument as [`Gemm::execute`]:
+                // concurrent iterations differ in (im, in) for any legal
+                // spec, the sequential K loop serializes accumulation.
+                let c_block = unsafe { c_shared.slice_mut(c_off, block_c) };
+                if ik == 0 {
+                    pl_tpp::unary::zero(bm, bn, c_block, bm);
+                }
+                let a_off = (im * kb + ik) * bm * bk;
+                let b_off = (i_n * kb + ik) * bk * bn;
+                brgemm.execute_stride(
+                    &a_data[a_off..],
+                    stride_a,
+                    &b_data[b_off..],
+                    stride_b,
+                    c_block,
+                    brcount,
+                    &row_scales[im * bm..im * bm + bm],
+                    &col_scales[i_n * bn..i_n * bn + bn],
+                );
+            })
+            .map_err(KernelError::Spec)
+    }
+
+    fn check_operands(
+        &self,
+        a: &BlockedMatrix<i8>,
+        b: &BlockedMatrix<i8>,
+        c: &BlockedMatrix<f32>,
+    ) -> Result<(), KernelError> {
+        let sh = &self.shape;
+        let ok = a.rows() == sh.m
+            && a.cols() == sh.k
+            && a.br() == sh.bm
+            && a.bc() == sh.bk
+            && b.rows() == sh.k
+            && b.cols() == sh.n
+            && b.br() == sh.bk
+            && b.bc() == sh.bn
+            && c.rows() == sh.m
+            && c.cols() == sh.n
+            && c.br() == sh.bm
+            && c.bc() == sh.bn;
+        if !ok {
+            return Err(KernelError::BadShape("operand layout mismatch".into()));
+        }
+        if a.inner() != InnerLayout::VnniCols(self.a_vnni) {
+            return Err(KernelError::BadShape(format!(
+                "A inner layout {:?} does not match kernel VnniCols({})",
+                a.inner(),
+                self.a_vnni
+            )));
+        }
+        if b.inner() != InnerLayout::ColMajor {
+            return Err(KernelError::BadShape(format!(
+                "B inner layout {:?} must be ColMajor for the int8 kernel",
+                b.inner()
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Scalar reference GEMM on flat column-major data (f64 accumulate).
 pub fn reference_gemm(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
@@ -420,6 +569,126 @@ mod tests {
         for i in 0..got.len() {
             assert!((got[i] - c_ref[i]).abs() < 1e-3, "{} vs {}", got[i], c_ref[i]);
         }
+    }
+
+    /// Exact integer reference for the quantized kernel: i64 inner product
+    /// over the quantized operands, one f32 dequant multiply per element.
+    fn reference_int8(
+        qa: &BlockedMatrix<i8>,
+        rs: &[f32],
+        qb: &BlockedMatrix<i8>,
+        cs: &[f32],
+    ) -> Vec<f32> {
+        let (m, n, k) = (qa.rows(), qb.cols(), qa.cols());
+        let mut c = vec![0.0f32; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc: i64 = 0;
+                for p in 0..k {
+                    acc += qa.get(i, p) as i64 * qb.get(p, j) as i64;
+                }
+                c[j * m + i] = rs[i] * cs[j] * acc as f32;
+            }
+        }
+        c
+    }
+
+    fn int8_problem(
+        sh: GemmShape,
+        v: usize,
+        seed: u64,
+    ) -> (BlockedMatrix<i8>, Vec<f32>, BlockedMatrix<i8>, Vec<f32>) {
+        let mut rng = Xorshift::new(seed);
+        let mut w_cm = vec![0.0f32; sh.m * sh.k];
+        let mut act_cm = vec![0.0f32; sh.k * sh.n];
+        fill_uniform(&mut w_cm, &mut rng, -0.5, 0.5);
+        fill_uniform(&mut act_cm, &mut rng, -2.0, 2.0);
+        let (qa, rs) =
+            pl_tensor::quantize_weight_a_vnni(&w_cm, sh.m, sh.k, sh.bm, sh.bk, v).unwrap();
+        let mut act = BlockedMatrix::<f32>::b_layout(sh.k, sh.n, sh.bk, sh.bn).unwrap();
+        act.pack_from_colmajor(&act_cm);
+        let mut qb = BlockedMatrix::<i8>::b_layout(sh.k, sh.n, sh.bk, sh.bn).unwrap();
+        let mut cs = vec![0.0f32; sh.n];
+        pl_tensor::quantize_cols_blocked(&act, &mut qb, &mut cs);
+        (qa, rs, qb, cs)
+    }
+
+    #[test]
+    fn int8_single_call_matches_integer_reference_exactly() {
+        // k_step = kb folds the whole reduction into one BRGEMM call, so
+        // the kernel performs the same exact i32 sum as the reference.
+        let pool = ThreadPool::new(2);
+        let sh = GemmShape { m: 32, n: 8, k: 64, bm: 8, bn: 4, bk: 16 };
+        let (qa, rs, qb, cs) = int8_problem(sh, 4, 5);
+        let c_ref = reference_int8(&qa, &rs, &qb, &cs);
+        let gemm = GemmInt8::new(sh, GemmTuning::default_parallel(sh.kb()), 4).unwrap();
+        let mut c = BlockedMatrix::<f32>::c_layout(sh.m, sh.n, sh.bm, sh.bn).unwrap();
+        gemm.execute(&qa, &rs, &qb, &cs, &mut c, &pool).unwrap();
+        assert_eq!(c.unpack_to_colmajor(), c_ref);
+    }
+
+    #[test]
+    fn int8_matches_reference_for_many_specs() {
+        let pool1 = ThreadPool::new(1);
+        let pool4 = ThreadPool::new(4);
+        let sh = GemmShape { m: 32, n: 24, k: 48, bm: 8, bn: 6, bk: 8 };
+        let (qa, rs, qb, cs) = int8_problem(sh, 2, 43);
+        let c_ref = reference_int8(&qa, &rs, &qb, &cs);
+        let cases: Vec<(GemmTuning, &ThreadPool)> = vec![
+            (GemmTuning::simple("abc"), &pool1),
+            (GemmTuning::simple("BCa"), &pool4),
+            (GemmTuning::default_parallel(sh.kb()), &pool4),
+            (
+                GemmTuning {
+                    spec: "bcaBCb".into(),
+                    k_step: 2,
+                    a_blocks: vec![],
+                    b_blocks: vec![4, 2],
+                    c_blocks: vec![2],
+                },
+                &pool4,
+            ),
+        ];
+        for (t, pool) in cases {
+            let spec_str = t.spec.clone();
+            let gemm = GemmInt8::new(sh, t, 2).unwrap();
+            let mut c = BlockedMatrix::<f32>::c_layout(sh.m, sh.n, sh.bm, sh.bn).unwrap();
+            gemm.execute(&qa, &rs, &qb, &cs, &mut c, pool).unwrap();
+            let got = c.unpack_to_colmajor();
+            for i in 0..got.len() {
+                // k_step < kb splits the reduction into f32 partial sums;
+                // each partial is exact, so only the final adds can round.
+                let tol = 1e-5 * c_ref[i].abs().max(1.0);
+                assert!(
+                    (got[i] - c_ref[i]).abs() <= tol,
+                    "spec {spec_str}: idx {i}: {} vs {}",
+                    got[i],
+                    c_ref[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_rejects_wrong_inner_layouts() {
+        let sh = GemmShape { m: 16, n: 8, k: 16, bm: 8, bn: 4, bk: 8 };
+        let gemm = GemmInt8::new(sh, GemmTuning::simple("abc"), 4).unwrap();
+        // Plain (non-VNNI) A must be rejected.
+        let a = BlockedMatrix::<i8>::a_layout(16, 16, 8, 8).unwrap();
+        let b = BlockedMatrix::<i8>::b_layout(16, 8, 8, 4).unwrap();
+        let mut c = BlockedMatrix::<f32>::c_layout(16, 8, 8, 4).unwrap();
+        let pool = ThreadPool::new(1);
+        let rs = vec![1.0f32; 16];
+        let cs = vec![1.0f32; 8];
+        assert!(matches!(
+            gemm.execute(&a, &rs, &b, &cs, &mut c, &pool),
+            Err(KernelError::BadShape(_))
+        ));
+        // Unaligned vnni factor at build time.
+        assert!(matches!(
+            GemmInt8::new(sh, GemmTuning::simple("abc"), 3),
+            Err(KernelError::BadShape(_))
+        ));
     }
 
     #[test]

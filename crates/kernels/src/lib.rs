@@ -21,7 +21,7 @@ pub mod shared;
 pub mod spmm;
 
 pub use conv::{conv_backward_data, conv_backward_weights, ConvForward, ConvTuning};
-pub use gemm::{Gemm, GemmShape, GemmTuning};
+pub use gemm::{Gemm, GemmInt8, GemmShape, GemmTuning};
 pub use mlp::{Activation, FusedFcLayer, Mlp};
 pub use shared::SharedSlice;
 pub use spmm::{BlockSpmm, SpmmTuning};

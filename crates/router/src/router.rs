@@ -532,6 +532,70 @@ mod tests {
     }
 
     #[test]
+    fn int8_router_scopes_tuning_keys_and_trace_spans() {
+        // A sharded int8 deployment: the fleet warms i8-scoped tuning keys
+        // (never f32 ones — the dtype rides in every plan-reported
+        // problem), serves decode traffic whose outputs track a same-seed
+        // f32 model within the quantization budget, and records the
+        // dtype-tagged `gemm.i8.execute` spans instead of `gemm.execute`.
+        use pl_autotuner::TuningDb;
+        let cfg = DecoderConfig::scaled_for_tests();
+        let i8_model =
+            Arc::new(DecoderModel::new_with_precision(cfg, 4242, pl_dnn::Precision::Int8));
+        let r = Router::new(
+            Arc::clone(&i8_model),
+            RouterConfig {
+                shards: 2,
+                total_threads: 4,
+                routing_overhead: 0.02,
+                server: ServerConfig {
+                    kv_capacity: 8,
+                    precision: pl_dnn::Precision::Int8,
+                    ..no_wait()
+                },
+            },
+        )
+        .unwrap();
+        let platform = Platform::zen4();
+        let added = r.warm_tuning(&platform);
+        assert!(added > 0, "int8 warm-up runs the search");
+        {
+            let db = r.shard(0).server().tuning_db();
+            let h = cfg.hidden;
+            let i8_key = TuningDb::gemm_key(platform.name, h, 1, h, "i8");
+            let f32_key = TuningDb::gemm_key(platform.name, h, 1, h, "f32");
+            assert!(db.get(&i8_key).is_some(), "decode shape warmed under the i8 key");
+            assert!(db.get(&f32_key).is_none(), "no f32 keys for an int8 deployment");
+        }
+        let hidden = cfg.hidden;
+        let ids: Vec<_> = (0..4).map(|_| r.create_session(0).unwrap()).collect();
+        let since = pl_trace::now_ns();
+        pl_trace::enable();
+        let rxs: Vec<_> = (0..4)
+            .map(|s| r.submit_step(ids[s], &token(900 + s as u64, hidden)).unwrap())
+            .collect();
+        while r.pump_all() > 0 {}
+        pl_trace::disable();
+        let outs: Vec<Vec<f32>> = rxs.into_iter().map(|rx| rx.recv().unwrap().unwrap()).collect();
+        let summary = r.trace_summary(since);
+        assert!(summary.count_for("gemm.i8.execute") > 0, "i8 plans record i8 spans");
+        assert_eq!(summary.count_for("gemm.execute"), 0, "no f32 spans on the int8 path");
+        // Same seed => the f32 model these weights quantized from; routed
+        // int8 outputs stay within the quantization budget of it (bound:
+        // crates/serve/README.md, "Precision").
+        let f32_model = DecoderModel::new(cfg, 4242);
+        let pool = ThreadPool::new(2);
+        for (s, got) in outs.iter().enumerate() {
+            let mut st = f32_model.new_state(8);
+            let want = f32_model.forward(&mut st, &token(900 + s as u64, hidden), 1, &pool);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                let rel = (a - b).abs() / b.abs().max(1.0);
+                assert!(rel < 0.25, "session {s} idx {i}: i8 {a} vs f32 {b}");
+            }
+        }
+    }
+
+    #[test]
     fn blocking_steps_through_started_shards() {
         let mut r = tiny_router(2, ServerConfig::default());
         r.start();

@@ -40,7 +40,7 @@ use crate::stats::ServerStats;
 use crate::{ServeError, StepResult};
 use parking_lot::Mutex;
 use pl_autotuner::{batch_ladder, warm_gemm_db, warm_spmm_db, Constraints, GemmProblem, TuningDb};
-use pl_dnn::{DecoderModel, DecoderState};
+use pl_dnn::{DecoderModel, DecoderState, Precision};
 use pl_perfmodel::Platform;
 use pl_runtime::ThreadPool;
 use std::collections::HashMap;
@@ -80,6 +80,18 @@ pub struct ServerConfig {
     /// floating-point reassociation tolerance; see `crates/serve/README.md`
     /// for the accuracy contract).
     pub fused: bool,
+    /// Numeric precision the served model's weight plans were built at.
+    /// Defaults to [`Precision::F32`], which keeps every existing
+    /// guarantee (serial decode bit-identical to unbatched decode).
+    /// [`Precision::Int8`] serves a quantized model: ~4x less weight
+    /// traffic per decode step, outputs within a bounded relative error of
+    /// the f32 model (see `crates/serve/README.md`, "Precision"). The
+    /// model handed to [`Server::new`] must have been built at this
+    /// precision ([`DecoderModel::new_with_precision`]) — the constructor
+    /// asserts it, so a config/model mismatch fails at startup, not with
+    /// silently wrong tuning keys. Tuning-DB keys, kernel caches and trace
+    /// spans are all precision-scoped through the plans themselves.
+    pub precision: Precision,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +106,7 @@ impl Default for ServerConfig {
             coalesce_wait: Duration::from_micros(200),
             idle_poll: Duration::from_millis(1),
             fused: false,
+            precision: Precision::F32,
         }
     }
 }
@@ -203,8 +216,17 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server over `model`, executing on `pool`.
+    /// A server over `model`, executing on `pool`. Panics when `model`'s
+    /// precision does not match [`ServerConfig::precision`]: the config is
+    /// what warm-up, routers and benchmarks key on, so a mismatch would
+    /// warm the wrong tuning keys and misreport every precision-scoped
+    /// artifact.
     pub fn new(model: Arc<DecoderModel>, pool: Arc<ThreadPool>, cfg: ServerConfig) -> Self {
+        assert_eq!(
+            model.precision(),
+            cfg.precision,
+            "model precision must match ServerConfig::precision"
+        );
         let inner = Arc::new(ServerInner {
             batcher: DynamicBatcher::new(cfg.tenants, cfg.queue_capacity),
             stats: ServerStats::new(cfg.max_batch),
@@ -1056,6 +1078,72 @@ mod tests {
         assert_eq!(snap.max_batch_observed, n);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.decode_batches, 1);
+    }
+
+    #[test]
+    fn int8_server_serves_within_tolerance_of_f32() {
+        // Same seed: the int8 model is the quantization of the f32 one.
+        // Serve a prefill + decode steps at both precisions; the int8
+        // outputs must track the f32 ones within the quantization budget
+        // (bound derivation in crates/serve/README.md, "Precision"), and
+        // the serial int8 path must stay bit-identical to an unbatched
+        // forward over the same int8 model.
+        let f32_server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        let i8_model = Arc::new(DecoderModel::new_with_precision(
+            DecoderConfig::scaled_for_tests(),
+            77,
+            Precision::Int8,
+        ));
+        let i8_server = Server::new(
+            Arc::clone(&i8_model),
+            Arc::new(ThreadPool::new(4)),
+            ServerConfig {
+                coalesce_wait: Duration::ZERO,
+                precision: Precision::Int8,
+                ..Default::default()
+            },
+        );
+        let hidden = i8_model.config().hidden;
+        let fid = f32_server.create_session(0).unwrap();
+        let qid = i8_server.create_session(0).unwrap();
+        let prompt = token(55, hidden * 3);
+        let yf = f32_server.prefill(fid, &prompt, 3).unwrap();
+        let yq = i8_server.prefill(qid, &prompt, 3).unwrap();
+        for (i, (a, b)) in yq.iter().zip(&yf).enumerate() {
+            let rel = (a - b).abs() / b.abs().max(1.0);
+            assert!(rel < 0.25, "prefill idx {i}: i8 {a} vs f32 {b}");
+        }
+        let x = token(56, hidden);
+        let rxf = f32_server.submit_step(fid, &x).unwrap();
+        let rxq = i8_server.submit_step(qid, &x).unwrap();
+        assert_eq!(f32_server.pump(), 1);
+        assert_eq!(i8_server.pump(), 1);
+        let sf = rxf.recv().unwrap().unwrap();
+        let sq = rxq.recv().unwrap().unwrap();
+        for (i, (a, b)) in sq.iter().zip(&sf).enumerate() {
+            let rel = (a - b).abs() / b.abs().max(1.0);
+            assert!(rel < 0.25, "step idx {i}: i8 {a} vs f32 {b}");
+        }
+        // Serial int8 serving is bit-identical to unbatched int8 decode.
+        let mut st = i8_model.new_state(8);
+        let pool = ThreadPool::new(2);
+        let _ = i8_model.forward(&mut st, &prompt, 3, &pool);
+        let want = i8_model.forward(&mut st, &x, 1, &pool);
+        assert_eq!(sq, want, "serial int8 serving must be bit-identical to unbatched");
+    }
+
+    #[test]
+    fn precision_mismatch_fails_at_construction() {
+        let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 77));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Server::new(
+                model,
+                Arc::new(ThreadPool::new(1)),
+                ServerConfig { precision: Precision::Int8, ..Default::default() },
+            )
+        }));
+        assert!(result.is_err(), "f32 model + int8 config must panic at startup");
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub enum InnerLayout {
     /// VNNI packed with factor `v`: element `(r, c)` at
     /// `(r / v) * bc * v + c * v + r % v`. Rows are the reduction dimension.
     Vnni(usize),
+    /// VNNI packed along the *column* dimension with factor `v`: element
+    /// `(r, c)` at `(c / v) * br * v + r * v + c % v`. Columns are the
+    /// reduction dimension — the `A`-operand twin of [`InnerLayout::Vnni`],
+    /// used by the quantized weight pack where `A = W (M x K)` and `K` runs
+    /// along block columns.
+    VnniCols(usize),
 }
 
 /// A blocked logical matrix. See module docs for the layout.
@@ -55,8 +61,10 @@ impl<T: Element> BlockedMatrix<T> {
     ) -> Result<Self, TensorError> {
         check_block("rows", rows, br)?;
         check_block("cols", cols, bc)?;
-        if let InnerLayout::Vnni(v) = inner {
-            check_block("block-rows (vnni)", br, v)?;
+        match inner {
+            InnerLayout::Vnni(v) => check_block("block-rows (vnni)", br, v)?,
+            InnerLayout::VnniCols(v) => check_block("block-cols (vnni)", bc, v)?,
+            InnerLayout::ColMajor => {}
         }
         Ok(BlockedMatrix { data: AlignedVec::zeroed(rows * cols), rows, cols, br, bc, grid, inner })
     }
@@ -80,6 +88,19 @@ impl<T: Element> BlockedMatrix<T> {
         v: usize,
     ) -> Result<Self, TensorError> {
         Self::new(k, n, bk, bn, GridOrder::ColBlockMajor, InnerLayout::Vnni(v))
+    }
+
+    /// GEMM `A` operand in VNNI-packed blocks (quantized weight path):
+    /// `M x K` blocked `bm x bk`, grid `[Mb][Kb]`, `v` consecutive `K`
+    /// elements of each row contiguous within a block.
+    pub fn a_layout_vnni(
+        m: usize,
+        k: usize,
+        bm: usize,
+        bk: usize,
+        v: usize,
+    ) -> Result<Self, TensorError> {
+        Self::new(m, k, bm, bk, GridOrder::RowBlockMajor, InnerLayout::VnniCols(v))
     }
 
     /// GEMM `C` operand: `M x N` blocked `bm x bn`, grid `[Nb][Mb]`.
@@ -168,6 +189,7 @@ impl<T: Element> BlockedMatrix<T> {
         match self.inner {
             InnerLayout::ColMajor => ci * self.br + ri,
             InnerLayout::Vnni(v) => (ri / v) * self.bc * v + ci * v + ri % v,
+            InnerLayout::VnniCols(v) => (ci / v) * self.br * v + ri * v + ci % v,
         }
     }
 
@@ -413,6 +435,34 @@ mod tests {
         assert!(BlockedMatrix::<f32>::a_layout(10, 10, 3, 2).is_err());
         assert!(BlockedMatrix::<f32>::a_layout(0, 10, 1, 2).is_err());
         assert!(BlockedMatrix::<Bf16>::b_layout_vnni(8, 8, 3, 2, 2).is_err());
+        // VnniCols requires the block *column* extent divisible by v.
+        assert!(BlockedMatrix::<i8>::a_layout_vnni(8, 6, 4, 3, 4).is_err());
+    }
+
+    #[test]
+    fn vnni_cols_inner_layout_offsets() {
+        // bm=2, bk=4, v=2: (r,c) at (c/2)*bm*2 + r*2 + c%2.
+        let a = BlockedMatrix::<i8>::from_fn(
+            2,
+            4,
+            2,
+            4,
+            GridOrder::RowBlockMajor,
+            InnerLayout::VnniCols(2),
+            |r, c| (r * 10 + c) as f32,
+        )
+        .unwrap();
+        let raw: Vec<f32> = a.data().iter().map(|x| x.to_f32()).collect();
+        // Expected order: (0,0),(0,1),(1,0),(1,1),(0,2),(0,3),(1,2),(1,3)
+        assert_eq!(raw, vec![0., 1., 10., 11., 2., 3., 12., 13.]);
+    }
+
+    #[test]
+    fn vnni_cols_roundtrip_i8() {
+        let src: Vec<f32> = (0..16 * 32).map(|i| (i % 17) as f32 - 8.0).collect();
+        let mut a = BlockedMatrix::<i8>::a_layout_vnni(16, 32, 8, 8, 4).unwrap();
+        a.pack_from_colmajor(&src);
+        assert_eq!(a.unpack_to_colmajor(), src);
     }
 
     #[test]

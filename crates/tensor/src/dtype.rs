@@ -17,6 +17,8 @@ pub enum DType {
     F64,
     /// bfloat16: 1 sign, 8 exponent, 7 mantissa bits.
     Bf16,
+    /// Signed 8-bit integer (quantized storage; i32 accumulation).
+    I8,
 }
 
 impl DType {
@@ -26,15 +28,23 @@ impl DType {
             DType::F32 => 4,
             DType::F64 => 8,
             DType::Bf16 => 2,
+            DType::I8 => 1,
         }
     }
 
-    /// The VNNI packing factor hardware requires for this dtype
-    /// (`v = 4 / size_of`): 1 for F32, 2 for BF16.
+    /// The VNNI packing factor hardware requires for this dtype.
+    ///
+    /// VNNI instructions consume a fixed 4-byte granule of the reduction
+    /// dimension per lane, so sub-word types pack `v = 4 / size_of` elements
+    /// per granule: 2 for BF16 (`VDPBF16PS`), 4 for I8 (`VPDPBUSD`). Types of
+    /// 4 or more bytes (F32, F64) are consumed one element at a time and need
+    /// no repacking, so `v = 1` — *not* `4 / size_of`, which would be 0 for
+    /// F64. The rule is `max(4 / size_of, 1)`.
     pub const fn vnni_factor(self) -> usize {
         match self {
             DType::F32 | DType::F64 => 1,
             DType::Bf16 => 2,
+            DType::I8 => 4,
         }
     }
 }
@@ -45,6 +55,7 @@ impl fmt::Display for DType {
             DType::F32 => write!(f, "f32"),
             DType::F64 => write!(f, "f64"),
             DType::Bf16 => write!(f, "bf16"),
+            DType::I8 => write!(f, "i8"),
         }
     }
 }
@@ -90,6 +101,25 @@ impl Element for f64 {
     #[inline(always)]
     fn from_f32(v: f32) -> Self {
         v as f64
+    }
+}
+
+impl Element for i8 {
+    const DTYPE: DType = DType::I8;
+
+    #[inline(always)]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+
+    /// Round-to-nearest, saturating to the symmetric range `[-127, 127]`.
+    ///
+    /// The symmetric range (no `-128`) keeps quantization sign-symmetric and
+    /// matches the convention of VNNI int8 kernels, where `|q| <= 127` also
+    /// guarantees the `i8 x i8` product never overflows an i16 lane pair.
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        v.round().clamp(-127.0, 127.0) as i8
     }
 }
 
@@ -217,6 +247,36 @@ mod tests {
         assert_eq!(DType::Bf16.size_of(), 2);
         assert_eq!(DType::F32.vnni_factor(), 1);
         assert_eq!(DType::Bf16.vnni_factor(), 2);
+    }
+
+    #[test]
+    fn vnni_factor_rule_over_all_variants() {
+        // The real rule is `v = max(4 / size_of, 1)`: sub-word types fill a
+        // 4-byte reduction granule, wider types don't repack. Naively
+        // `4 / size_of` would give 0 for F64.
+        for d in [DType::F32, DType::F64, DType::Bf16, DType::I8] {
+            let expect = (4 / d.size_of()).max(1);
+            assert_eq!(d.vnni_factor(), expect, "dtype {d}");
+            assert!(d.vnni_factor() >= 1, "dtype {d} must never be 0");
+            if d.size_of() < 4 {
+                // Sub-word types exactly fill the granule.
+                assert_eq!(d.vnni_factor() * d.size_of(), 4, "dtype {d}");
+            }
+        }
+        assert_eq!(DType::F64.vnni_factor(), 1);
+        assert_eq!(DType::I8.vnni_factor(), 4);
+    }
+
+    #[test]
+    fn i8_element_saturating_round() {
+        assert_eq!(i8::from_f32(0.4), 0);
+        assert_eq!(i8::from_f32(0.6), 1);
+        assert_eq!(i8::from_f32(-0.6), -1);
+        assert_eq!(i8::from_f32(300.0), 127);
+        assert_eq!(i8::from_f32(-300.0), -127);
+        assert_eq!(i8::from_f32(f32::NAN), 0);
+        assert_eq!(i8::from_f32(126.5), 127);
+        assert_eq!((-5i8).to_f32(), -5.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod buffer;
 pub mod conv;
 pub mod dtype;
 pub mod fill;
+pub mod quant;
 pub mod vnni;
 
 pub use bcsc::BcscMatrix;
@@ -35,6 +36,7 @@ pub use buffer::AlignedVec;
 pub use conv::{ActTensor, ConvShape, ConvWeights};
 pub use dtype::{Bf16, DType, Element};
 pub use fill::{fill_normal, fill_uniform, max_rel_err, Xorshift};
+pub use quant::{quantize_cols_blocked, quantize_weight_a_vnni, symmetric_scale};
 pub use vnni::VnniMatrix;
 
 /// Errors produced by layout constructors and converters.

@@ -1,0 +1,161 @@
+//! Symmetric int8 quantization for the low-precision GEMM path.
+//!
+//! The quantized decode path follows the paper's precision-aware kernel
+//! design (§II-C): weights are quantized **once** at plan build into the
+//! VNNI-blocked `A` layout with one f32 scale per output channel (logical
+//! row of `W`), and activations are quantized per step with one f32 scale
+//! per logical column (one column = one token/session). Both sides use the
+//! symmetric range `[-127, 127]`, so
+//!
+//! ```text
+//! C[r, j] ~= scale_w[r] * scale_a[j] * sum_p qW[r, p] * qA[p, j]
+//! ```
+//!
+//! with the inner sum accumulated exactly in i32 (`127 * 127 * k` stays far
+//! below `i32::MAX` for any realistic `k`).
+
+use crate::blocked::BlockedMatrix;
+use crate::dtype::Element;
+use crate::TensorError;
+
+/// Scale for a symmetric int8 quantizer covering `max_abs`: `max_abs / 127`,
+/// or 1.0 for an all-zero range (any scale reproduces zeros exactly).
+#[inline]
+pub fn symmetric_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes a flat column-major `m x k` weight matrix into the VNNI-blocked
+/// GEMM `A` layout ([`BlockedMatrix::a_layout_vnni`]) with per-output-channel
+/// scales.
+///
+/// Returns `(q, scales)` where `scales[r]` reconstructs row `r` as
+/// `w[r, c] ~= scales[r] * q[r, c]`. This is the pack-once half of the
+/// quantized prepared-op path: it runs at plan build, never per step.
+pub fn quantize_weight_a_vnni(
+    src: &[f32],
+    m: usize,
+    k: usize,
+    bm: usize,
+    bk: usize,
+    v: usize,
+) -> Result<(BlockedMatrix<i8>, Vec<f32>), TensorError> {
+    assert_eq!(src.len(), m * k, "weight size mismatch");
+    let mut q = BlockedMatrix::<i8>::a_layout_vnni(m, k, bm, bk, v)?;
+    let mut scales = vec![0.0f32; m];
+    for (r, s) in scales.iter_mut().enumerate() {
+        let mut max_abs = 0.0f32;
+        for c in 0..k {
+            max_abs = max_abs.max(src[c * m + r].abs());
+        }
+        *s = symmetric_scale(max_abs);
+    }
+    for c in 0..k {
+        for r in 0..m {
+            q.set(r, c, i8::from_f32(src[c * m + r] / scales[r]));
+        }
+    }
+    Ok((q, scales))
+}
+
+/// Quantizes an f32 blocked activation into an i8 blocked twin with one
+/// scale per logical column — the on-the-fly half of the quantized path,
+/// run once per step per distinct activation.
+///
+/// `dst` must have the same logical extents as `src` (blocking may differ);
+/// `scales` must hold one slot per column.
+pub fn quantize_cols_blocked(
+    src: &BlockedMatrix<f32>,
+    dst: &mut BlockedMatrix<i8>,
+    scales: &mut [f32],
+) {
+    assert_eq!((src.rows(), src.cols()), (dst.rows(), dst.cols()), "activation shape mismatch");
+    assert_eq!(scales.len(), src.cols(), "one scale per column");
+    for (c, slot) in scales.iter_mut().enumerate() {
+        let mut max_abs = 0.0f32;
+        for r in 0..src.rows() {
+            max_abs = max_abs.max(src.get(r, c).abs());
+        }
+        let s = symmetric_scale(max_abs);
+        *slot = s;
+        for r in 0..src.rows() {
+            dst.set(r, c, i8::from_f32(src.get(r, c) / s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill::{fill_normal, Xorshift};
+    use crate::{GridOrder, InnerLayout};
+
+    #[test]
+    fn weight_quantization_error_bounded_per_channel() {
+        let (m, k) = (16, 32);
+        let mut rng = Xorshift::new(7);
+        let mut w = vec![0.0f32; m * k];
+        fill_normal(&mut w, &mut rng, 0.0, 1.0);
+        // Give rows wildly different magnitudes: per-channel scales must adapt.
+        for r in 0..m {
+            let gain = 10.0f32.powi(r as i32 % 5 - 2);
+            for c in 0..k {
+                w[c * m + r] *= gain;
+            }
+        }
+        let (q, scales) = quantize_weight_a_vnni(&w, m, k, 8, 8, 4).unwrap();
+        assert_eq!(q.inner(), InnerLayout::VnniCols(4));
+        assert_eq!(q.grid(), GridOrder::RowBlockMajor);
+        for r in 0..m {
+            for c in 0..k {
+                let deq = scales[r] * q.get(r, c) as f32;
+                let err = (deq - w[c * m + r]).abs();
+                // Round-to-nearest: at most half a quantization step.
+                assert!(err <= 0.5 * scales[r] + 1e-6, "r={r} c={c} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_gets_unit_scale() {
+        let (m, k) = (4, 8);
+        let mut w = vec![1.0f32; m * k];
+        for c in 0..k {
+            w[c * m + 2] = 0.0;
+        }
+        let (q, scales) = quantize_weight_a_vnni(&w, m, k, 4, 4, 4).unwrap();
+        assert_eq!(scales[2], 1.0);
+        for c in 0..k {
+            assert_eq!(q.get(2, c), 0);
+        }
+    }
+
+    #[test]
+    fn column_quantization_tracks_per_column_range() {
+        let (k, n) = (16, 4);
+        let mut src = BlockedMatrix::<f32>::b_layout(k, n, 8, 2).unwrap();
+        let mut flat = vec![0.0f32; k * n];
+        let mut rng = Xorshift::new(11);
+        fill_normal(&mut flat, &mut rng, 0.0, 2.0);
+        for (j, col_gain) in [1.0f32, 100.0, 0.01, 3.0].iter().enumerate() {
+            for r in 0..k {
+                flat[j * k + r] *= col_gain;
+            }
+        }
+        src.pack_from_colmajor(&flat);
+        let mut dst = BlockedMatrix::<i8>::b_layout(k, n, 8, 2).unwrap();
+        let mut scales = vec![0.0f32; n];
+        quantize_cols_blocked(&src, &mut dst, &mut scales);
+        for c in 0..n {
+            for r in 0..k {
+                let deq = scales[c] * dst.get(r, c) as f32;
+                let err = (deq - flat[c * k + r]).abs();
+                assert!(err <= 0.5 * scales[c] + 1e-6, "r={r} c={c} err={err}");
+            }
+        }
+    }
+}

@@ -206,8 +206,151 @@ fn type_tag<TA: Element, TB: Element, TC: Element>() -> u64 {
         pl_tensor::DType::F32 => 1u64,
         pl_tensor::DType::F64 => 2,
         pl_tensor::DType::Bf16 => 3,
+        pl_tensor::DType::I8 => 4,
     };
     (1 << 48) | (t(TA::DTYPE) << 16) | (t(TB::DTYPE) << 8) | t(TC::DTYPE)
+}
+
+/// Descriptor for the quantized `i8 x i8 -> i32` BRGEMM.
+///
+/// Unlike the [`Element`]-generic kernels (which widen everything through
+/// f32), the int8 kernel accumulates the inner product **exactly in i32**
+/// and dequantizes on store: `C[i, j] (+)= row_scale[i] * col_scale[j] *
+/// sum_p qA[i, p] * qB[p, j]`. The `A` operand (the pack-once quantized
+/// weight) is VNNI-packed along its *columns* — the reduction dimension for
+/// `A` — with factor `a_vnni` ([`pl_tensor::InnerLayout::VnniCols`]); `B`
+/// (the per-step quantized activation) is flat column-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BrgemmI8Desc {
+    /// Rows of `C` (and of every `A_i`).
+    pub m: usize,
+    /// Columns of `C` (and of every `B_i`).
+    pub n: usize,
+    /// Inner-product extent of one block pair.
+    pub k: usize,
+    /// Row count of the VNNI-cols `A` layout (>= m): element `(i, p)` lives
+    /// at `(p / v) * lda * v + i * v + p % v`.
+    pub lda: usize,
+    /// Leading dimension of flat column-major `B_i` (>= k).
+    pub ldb: usize,
+    /// Leading dimension of `C` (>= m).
+    pub ldc: usize,
+    /// `beta == 1` (accumulate into f32 `C`) versus `beta == 0` (overwrite).
+    pub beta_one: bool,
+    /// VNNI factor of the `A` columns; `k % a_vnni == 0`.
+    pub a_vnni: usize,
+}
+
+impl BrgemmI8Desc {
+    /// Tight-leading-dimension descriptor with `beta = 1`.
+    pub fn blocked(m: usize, n: usize, k: usize, v: usize) -> Self {
+        BrgemmI8Desc { m, n, k, lda: m, ldb: k, ldc: m, beta_one: true, a_vnni: v }
+    }
+
+    fn validate(&self) {
+        assert!(self.m > 0 && self.n > 0 && self.k > 0, "empty BRGEMM shape");
+        assert!(self.lda >= self.m, "lda {} < m {}", self.lda, self.m);
+        assert!(self.ldb >= self.k, "ldb {} < k {}", self.ldb, self.k);
+        assert!(self.ldc >= self.m, "ldc {} < m {}", self.ldc, self.m);
+        assert!(
+            self.a_vnni > 0 && self.k.is_multiple_of(self.a_vnni),
+            "k {} not divisible by vnni {}",
+            self.k,
+            self.a_vnni
+        );
+    }
+
+    fn key_words(&self) -> [u64; 8] {
+        [
+            self.m as u64,
+            self.n as u64,
+            self.k as u64,
+            self.lda as u64,
+            self.ldb as u64,
+            self.ldc as u64,
+            self.beta_one as u64,
+            self.a_vnni as u64,
+        ]
+    }
+}
+
+/// A constructed (and cached) int8 BRGEMM kernel handle.
+pub struct BrgemmI8 {
+    desc: BrgemmI8Desc,
+}
+
+impl BrgemmI8 {
+    /// Builds (or fetches from the kernel cache) the kernel for `desc`.
+    pub fn new(desc: BrgemmI8Desc) -> Arc<Self> {
+        desc.validate();
+        // Int8 BRGEMM lives in tag-space 2 (disjoint from the generic
+        // kernels: its descriptor has different field semantics).
+        let cached =
+            cache::get_or_jit(cache::hash_key(2 << 48, &desc.key_words()), || Self { desc });
+        assert_eq!(cached.desc, desc, "kernel cache collision");
+        cached
+    }
+
+    /// The descriptor this kernel was specialized for.
+    pub fn desc(&self) -> &BrgemmI8Desc {
+        &self.desc
+    }
+
+    /// Stride-addressed batch reduction with dequantize-on-store.
+    ///
+    /// `row_scales[i]` is the quantization scale of `A` row `i` (per output
+    /// channel), `col_scales[j]` of `B` column `j` (per token). The i32
+    /// accumulator is exact while `k * brcount <= i32::MAX / 127^2`
+    /// (~133k reduction elements) — far beyond any block shape in use.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_stride(
+        &self,
+        a: &[i8],
+        stride_a: usize,
+        b: &[i8],
+        stride_b: usize,
+        c: &mut [f32],
+        brcount: usize,
+        row_scales: &[f32],
+        col_scales: &[f32],
+    ) {
+        let BrgemmI8Desc { m, n, k, lda, ldb, ldc, beta_one, a_vnni: v } = self.desc;
+        debug_assert!(row_scales.len() >= m, "row scales shorter than m");
+        debug_assert!(col_scales.len() >= n, "col scales shorter than n");
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = NR.min(n - j0);
+            let mut i0 = 0;
+            while i0 < m {
+                let mr = MR.min(m - i0);
+                let mut acc = [[0i32; MR]; NR];
+                for blk in 0..brcount {
+                    let ab = &a[blk * stride_a..];
+                    let bb = &b[blk * stride_b..];
+                    for p in 0..k {
+                        let abase = (p / v) * lda * v + p % v;
+                        for (jj, accj) in acc.iter_mut().enumerate().take(nr) {
+                            let bv = bb[(j0 + jj) * ldb + p] as i32;
+                            for (ii, dst) in accj.iter_mut().enumerate().take(mr) {
+                                let av = ab[abase + (i0 + ii) * v] as i32;
+                                *dst += av * bv;
+                            }
+                        }
+                    }
+                }
+                for (jj, accj) in acc.iter().enumerate().take(nr) {
+                    let cs = col_scales[j0 + jj];
+                    for (ii, &sum) in accj.iter().enumerate().take(mr) {
+                        let deq = row_scales[i0 + ii] * cs * sum as f32;
+                        let idx = (j0 + jj) * ldc + i0 + ii;
+                        c[idx] = if beta_one { c[idx] + deq } else { deq };
+                    }
+                }
+                i0 += MR;
+            }
+            j0 += NR;
+        }
+    }
 }
 
 /// "Code generation": pick the monomorphized kernel for this descriptor.
@@ -580,6 +723,101 @@ mod tests {
             // same shape, different types must not collide in the cache
             ..desc
         });
+    }
+
+    /// i64 reference for the quantized kernel: exact integer inner product,
+    /// one f32 dequant multiply per element — the same arithmetic the
+    /// kernel must perform, so results compare bitwise.
+    fn reference_i8(
+        m: usize,
+        n: usize,
+        k: usize,
+        a_blocks: &[Vec<i8>], // column-major m x k
+        b_blocks: &[Vec<i8>], // column-major k x n
+        rs: &[f32],
+        cs: &[f32],
+    ) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc: i64 = 0;
+                for (ab, bb) in a_blocks.iter().zip(b_blocks) {
+                    for p in 0..k {
+                        acc += ab[p * m + i] as i64 * bb[j * k + p] as i64;
+                    }
+                }
+                c[j * m + i] = rs[i] * cs[j] * acc as f32;
+            }
+        }
+        c
+    }
+
+    fn pack_a_vnni_cols(src: &[i8], m: usize, k: usize, v: usize) -> Vec<i8> {
+        let mut out = vec![0i8; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                out[(p / v) * m * v + i * v + p % v] = src[p * m + i];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn i8_kernel_matches_integer_reference() {
+        for &(m, n, k, br, v) in &[
+            (8, 4, 8, 1, 4),
+            (16, 8, 32, 2, 4),
+            (7, 5, 8, 2, 4),
+            (9, 6, 12, 3, 2),
+            (8, 1, 16, 1, 4),
+        ] {
+            let mut rng = Xorshift::new((m * 13 + n * 5 + k + br) as u64);
+            let gen = |rng: &mut Xorshift, len: usize| -> Vec<i8> {
+                (0..len).map(|_| ((rng.next_f32() - 0.5) * 254.0) as i8).collect()
+            };
+            let a_blocks: Vec<Vec<i8>> = (0..br).map(|_| gen(&mut rng, m * k)).collect();
+            let b_blocks: Vec<Vec<i8>> = (0..br).map(|_| gen(&mut rng, k * n)).collect();
+            let rs: Vec<f32> = (0..m).map(|i| 0.01 + i as f32 * 0.003).collect();
+            let cs: Vec<f32> = (0..n).map(|j| 0.02 + j as f32 * 0.005).collect();
+            let c_ref = reference_i8(m, n, k, &a_blocks, &b_blocks, &rs, &cs);
+
+            let a_flat: Vec<i8> =
+                a_blocks.iter().flat_map(|blk| pack_a_vnni_cols(blk, m, k, v)).collect();
+            let b_flat: Vec<i8> = b_blocks.iter().flatten().copied().collect();
+            let mut c = vec![0.0f32; m * n];
+            let desc = BrgemmI8Desc { beta_one: false, ..BrgemmI8Desc::blocked(m, n, k, v) };
+            let kernel = BrgemmI8::new(desc);
+            kernel.execute_stride(&a_flat, m * k, &b_flat, k * n, &mut c, br, &rs, &cs);
+            assert_eq!(c, c_ref, "m={m} n={n} k={k} br={br} v={v}");
+        }
+    }
+
+    #[test]
+    fn i8_kernel_beta_one_accumulates() {
+        let (m, n, k, v) = (8, 4, 8, 4);
+        let a = pack_a_vnni_cols(&vec![1i8; m * k], m, k, v);
+        let b = vec![1i8; k * n];
+        let rs = vec![0.5f32; m];
+        let cs = vec![2.0f32; n];
+        let mut c = vec![10.0f32; m * n];
+        let kernel = BrgemmI8::new(BrgemmI8Desc::blocked(m, n, k, v));
+        kernel.execute_stride(&a, 0, &b, 0, &mut c, 1, &rs, &cs);
+        // 10 + 0.5 * 2.0 * (1*1 summed over k=8) = 18.
+        assert!(c.iter().all(|&x| x == 18.0), "{c:?}");
+    }
+
+    #[test]
+    fn i8_kernel_handles_are_cached() {
+        let desc = BrgemmI8Desc::blocked(24, 8, 24, 4);
+        let k1 = BrgemmI8::new(desc);
+        let k2 = BrgemmI8::new(desc);
+        assert!(Arc::ptr_eq(&k1, &k2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by vnni")]
+    fn i8_kernel_rejects_unaligned_k() {
+        let _ = BrgemmI8::new(BrgemmI8Desc::blocked(8, 8, 6, 4));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod spmm;
 pub mod transform;
 pub mod unary;
 
-pub use brgemm::{Brgemm, BrgemmDesc, BrgemmVariant};
+pub use brgemm::{Brgemm, BrgemmDesc, BrgemmI8, BrgemmI8Desc, BrgemmVariant};
 pub use spmm::BcscSpmm;
 
 /// Convenience re-export: every TPP works over these element types.

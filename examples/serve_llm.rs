@@ -21,7 +21,20 @@
 //! * `--fused` (or `PL_SERVE_FUSED=1`): per layer, the B sessions'
 //!   projections run as one `hidden x B` GEMM
 //!   (`DecoderModel::step_batch_fused`) — the check is tolerance-based
-//!   (<= 1e-5 relative error) and the fused GEMM shapes are printed.
+//!   (<= 1e-5 relative error at f32) and the fused GEMM shapes are
+//!   printed.
+//!
+//! Two precisions (`--precision f32|int8`, or `PL_SERVE_PRECISION`):
+//! with `int8` the model holds VNNI-packed int8 weights and serves
+//! through the quantized i32-accumulation path. The baseline replay uses
+//! the *same* quantized model, so the serial check stays bit-identical
+//! and the fused check tightens around the quantized serial path
+//! (<= 1e-4: per-column activation quantization is batch-invariant). A
+//! further cross-precision replay checks the served int8 streams against
+//! a same-seed **f32** model within the quantization-error envelope
+//! (<= 0.25 floored relative error, the bound derived in
+//! `pl_dnn::llm`'s int8 test), open-loop on the served stream so the
+//! bound is per-forward rather than compounding.
 //!
 //! With `--trace` (or `PL_SERVE_TRACE=1`) the `pl-trace` flight recorder
 //! runs for the serving phase: the captured events are validated in
@@ -29,9 +42,10 @@
 //! dumped to `trace_serve_llm.json` in Chrome `trace_event` format —
 //! open it in `chrome://tracing` or `ui.perfetto.dev`.
 //!
-//! Run: `cargo run --release --example serve_llm [-- --fused] [-- --trace]`
+//! Run: `cargo run --release --example serve_llm [-- --fused] [-- --trace]
+//! [-- --precision int8]`
 
-use pl_dnn::{Decoder, DecoderConfig, DecoderModel};
+use pl_dnn::{Decoder, DecoderConfig, DecoderModel, Precision};
 use pl_perfmodel::Platform;
 use pl_runtime::{default_threads, ThreadPool};
 use pl_serve::{Server, ServerConfig};
@@ -45,6 +59,15 @@ const PROMPT: usize = 4;
 const STEPS: usize = 24;
 const KV: usize = 64;
 const FUSED_TOL: f32 = 1e-5;
+/// Fused-vs-serial tolerance on the quantized path: per-column activation
+/// quantization is batch-invariant and i32 accumulation is exact, so the
+/// fused int8 step tracks the serial int8 step to float rounding in the
+/// f32 epilogue only — looser than f32's 1e-5 but still tight.
+const FUSED_TOL_I8: f32 = 1e-4;
+/// Cross-precision envelope: served int8 outputs vs a same-seed f32
+/// model, per forward (open-loop on the served stream). The bound and
+/// its derivation live with `pl_dnn::llm`'s int8 equivalence test.
+const INT8_VS_F32_TOL: f32 = 0.25;
 /// Chunk cap for the continuous-batching path: the short session prompts
 /// (4 tokens) stay single-chunk (bit-identical), the long prompt splits.
 const PREFILL_CHUNK: usize = 4;
@@ -61,18 +84,46 @@ fn last_token(y: &[f32], hidden: usize) -> Vec<f32> {
     y[y.len() - hidden..].to_vec()
 }
 
+/// Relative error with the denominator floored at 1.0 — the metric the
+/// int8 equivalence tests use: activations here are O(1), and a flat
+/// floor keeps near-zero elements from turning quantization noise into
+/// unbounded ratios.
+fn rel_err_floored(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0)).fold(0.0, f32::max)
+}
+
+const SEED: u64 = 2024;
+
 fn main() {
-    let fused = std::env::args().any(|a| a == "--fused")
+    let args: Vec<String> = std::env::args().collect();
+    let fused = args.iter().any(|a| a == "--fused")
         || std::env::var("PL_SERVE_FUSED").is_ok_and(|v| v == "1");
-    let trace = std::env::args().any(|a| a == "--trace")
+    let trace = args.iter().any(|a| a == "--trace")
         || std::env::var("PL_SERVE_TRACE").is_ok_and(|v| v == "1");
+    let mut precision = Precision::F32;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--precision=") {
+            precision = v.parse().expect("--precision takes f32|int8");
+        } else if a == "--precision" {
+            let v = args.get(i + 1).expect("--precision takes f32|int8");
+            precision = v.parse().expect("--precision takes f32|int8");
+        }
+    }
+    if let Ok(v) = std::env::var("PL_SERVE_PRECISION") {
+        precision = v.parse().expect("PL_SERVE_PRECISION takes f32|int8");
+    }
+    let fused_tol = match precision {
+        Precision::F32 => FUSED_TOL,
+        Precision::Int8 => FUSED_TOL_I8,
+    };
     let cfg = DecoderConfig::scaled_for_tests();
     let hidden = cfg.hidden;
-    let model = Arc::new(DecoderModel::new(cfg, 2024));
+    let model = Arc::new(DecoderModel::new_with_precision(cfg, SEED, precision));
     let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
     println!(
-        "pl-serve demo [{} mode]: {SESSIONS} sessions / {TENANTS} tenants, {} threads, \
-         {PROMPT}-token prompts + {STEPS} decode steps each",
+        "pl-serve demo [{} mode, {precision}]: {SESSIONS} sessions / {TENANTS} tenants, \
+         {} threads, {PROMPT}-token prompts + {STEPS} decode steps each",
         if fused { "fused" } else { "serial" },
         pool.nthreads()
     );
@@ -87,6 +138,7 @@ fn main() {
             prefill_chunk: PREFILL_CHUNK,
             coalesce_wait: Duration::from_millis(2),
             fused,
+            precision,
             ..Default::default()
         },
     );
@@ -114,7 +166,10 @@ fn main() {
         pl_trace::enable();
     }
     let t0 = Instant::now();
-    let mut served: Vec<Vec<Vec<f32>>> = Vec::new();
+    // Per session: the served prefill's last token (the first decode
+    // input — the cross-precision replay below needs it) and the served
+    // decode stream.
+    let mut served: Vec<(Vec<f32>, Vec<Vec<f32>>)> = Vec::new();
     let mut long_served: Vec<f32> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -123,7 +178,8 @@ fn main() {
             handles.push(scope.spawn(move || {
                 let id = server.create_session(s % TENANTS).expect("session admitted");
                 let y = server.prefill(id, &prompt_for(s, hidden), PROMPT).unwrap();
-                let mut x = last_token(&y, hidden);
+                let x0 = last_token(&y, hidden);
+                let mut x = x0.clone();
                 let mut outs = Vec::with_capacity(STEPS);
                 for _ in 0..STEPS {
                     let y = server.step(id, &x).unwrap();
@@ -131,7 +187,7 @@ fn main() {
                     outs.push(y);
                 }
                 server.close_session(id).unwrap();
-                outs
+                (x0, outs)
             }));
         }
         let long_handle = {
@@ -158,6 +214,10 @@ fn main() {
     let serve_s = t0.elapsed().as_secs_f64();
     let snap = server.stats().snapshot();
     server.shutdown();
+    // Sampled here, before the baselines: the cross-precision replay
+    // constructs a fresh f32 model, and model construction is *supposed*
+    // to pack (once). Only the serving phase must be pack-free.
+    let packs_after_traffic = pl_dnn::prepared::pack_events();
     let trace_events = trace.then(|| {
         pl_trace::disable();
         pl_trace::snapshot_since(trace_since)
@@ -167,16 +227,16 @@ fn main() {
     let t1 = Instant::now();
     let mut mismatches = 0usize;
     let mut worst_rel = 0.0f32;
-    for (s, served_session) in served.iter().enumerate() {
+    for (s, (_, served_steps)) in served.iter().enumerate() {
         let mut d = Decoder::from_model(Arc::clone(&model), KV);
         let y = d.prefill(&prompt_for(s, hidden), PROMPT, &pool);
         let mut x = last_token(&y, hidden);
-        for (t, served_y) in served_session.iter().enumerate() {
+        for (t, served_y) in served_steps.iter().enumerate() {
             let y = d.step(&x, &pool);
             if fused {
                 let err = max_rel_err(&y, served_y);
                 worst_rel = worst_rel.max(err);
-                if err > FUSED_TOL {
+                if err > fused_tol {
                     eprintln!("TOLERANCE EXCEEDED: session {s} step {t}: rel err {err}");
                     mismatches += 1;
                 }
@@ -189,6 +249,36 @@ fn main() {
                     mismatches += 1;
                 }
                 x = y;
+            }
+        }
+    }
+    // --- Cross-precision: the served int8 streams vs a same-seed f32
+    // model. Same seed means the int8 model's weights are the exact
+    // quantization of this model's, so every divergence is quantization
+    // error. Replayed open-loop (each step's input pinned to the served
+    // stream) the error is per-forward and the envelope bound applies.
+    let mut worst_xprec = 0.0f32;
+    if precision == Precision::Int8 {
+        let f32_model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), SEED));
+        for (s, (x0, served_steps)) in served.iter().enumerate() {
+            let mut d = Decoder::from_model(Arc::clone(&f32_model), KV);
+            let y = d.prefill(&prompt_for(s, hidden), PROMPT, &pool);
+            let err = rel_err_floored(&last_token(&y, hidden), x0);
+            worst_xprec = worst_xprec.max(err);
+            if err > INT8_VS_F32_TOL {
+                eprintln!("INT8 ENVELOPE EXCEEDED: session {s} prefill: rel err {err}");
+                mismatches += 1;
+            }
+            let mut x = x0.clone();
+            for (t, served_y) in served_steps.iter().enumerate() {
+                let y = d.step(&x, &pool);
+                let err = rel_err_floored(&y, served_y);
+                worst_xprec = worst_xprec.max(err);
+                if err > INT8_VS_F32_TOL {
+                    eprintln!("INT8 ENVELOPE EXCEEDED: session {s} step {t}: rel err {err}");
+                    mismatches += 1;
+                }
+                x = served_y.clone();
             }
         }
     }
@@ -206,7 +296,7 @@ fn main() {
     let mut st = model.new_state(KV);
     let whole_base = model.forward(&mut st, &long_prompt, LONG_PROMPT, &pool);
     let long_err = max_rel_err(&long_served, &whole_base);
-    if long_err > FUSED_TOL {
+    if long_err > fused_tol {
         eprintln!("TOLERANCE EXCEEDED: chunked vs whole-prompt prefill rel err {long_err}");
         mismatches += 1;
     }
@@ -261,8 +351,14 @@ fn main() {
         }
         let summary = pl_trace::TraceSummary::from_events(&events);
         assert_eq!(summary.unmatched, 0, "orphan End events in the trace");
-        assert!(summary.count_for("gemm.execute") > 0, "no GEMM spans recorded");
-        assert!(summary.total_ns_for("gemm.execute") > 0, "GEMM spans all zero-length");
+        // Plans tag their execute span with the weight dtype, so the
+        // span name to expect follows the serving precision.
+        let gemm_span = match precision {
+            Precision::F32 => "gemm.execute",
+            Precision::Int8 => "gemm.i8.execute",
+        };
+        assert!(summary.count_for(gemm_span) > 0, "no {gemm_span} spans recorded");
+        assert!(summary.total_ns_for(gemm_span) > 0, "GEMM spans all zero-length");
         assert!(summary.count_for("batch.execute") > 0, "no batch execute spans recorded");
         assert_eq!(
             summary.count_for("step.queue_wait"),
@@ -273,8 +369,8 @@ fn main() {
         println!("recorder lanes       {:>10}", balance.len());
         println!(
             "gemm spans           {:>10} ({:.2} ms total)",
-            summary.count_for("gemm.execute"),
-            summary.total_ns_for("gemm.execute") as f64 / 1e6
+            summary.count_for(gemm_span),
+            summary.total_ns_for(gemm_span) as f64 / 1e6
         );
         println!(
             "decode phases (ms)   ln {:.2} / qkv {:.2} / attn {:.2} / ffn {:.2}",
@@ -296,16 +392,21 @@ fn main() {
     }
 
     assert_eq!(
-        pl_dnn::prepared::pack_events(),
-        packs_before_traffic,
+        packs_after_traffic, packs_before_traffic,
         "steady-state serving packed weight bytes (prepared-op discipline violated)"
     );
     assert_eq!(
         mismatches,
         0,
         "batched outputs must match the baseline ({})",
-        if fused { "<= 1e-5 relative" } else { "bit-identical" }
+        if fused { "within tolerance" } else { "bit-identical" }
     );
+    if precision == Precision::Int8 {
+        println!(
+            "int8 vs same-seed f32 model: worst per-forward rel err {worst_xprec:.3} \
+             (envelope {INT8_VS_F32_TOL})"
+        );
+    }
     assert!(
         snap.max_batch_observed > 1,
         "batcher never coalesced: max batch {}",
@@ -327,7 +428,7 @@ fn main() {
         println!(
             "\nOK: {SESSIONS} concurrent sessions + 1 interleaved long prefill \
              ({} chunks, {} mixed batches), max batch {}, fused outputs within \
-             {FUSED_TOL} of the sequential baseline (worst rel err {worst_rel:.2e})",
+             {fused_tol} of the sequential baseline (worst rel err {worst_rel:.2e})",
             LONG_PROMPT / PREFILL_CHUNK,
             snap.mixed_batches,
             snap.max_batch_observed

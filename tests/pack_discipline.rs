@@ -14,7 +14,7 @@
 use pl_dnn::matmul::{matmul, Trans};
 use pl_dnn::prepared::pack_events;
 use pl_dnn::resnet::FcHead;
-use pl_dnn::{Decoder, DecoderConfig, DecoderModel};
+use pl_dnn::{Decoder, DecoderConfig, DecoderModel, Precision};
 use pl_runtime::ThreadPool;
 use pl_tensor::{fill_uniform, Xorshift};
 use std::sync::{Arc, Mutex};
@@ -68,6 +68,50 @@ fn decoder_step_paths_pack_no_weight_bytes() {
         pack_events(),
         after_build,
         "decode paths packed weight bytes after model construction"
+    );
+}
+
+#[test]
+fn int8_decoder_quantizes_and_packs_weights_only_at_construction() {
+    let _guard = SERIAL.lock().unwrap();
+    let pool = ThreadPool::new(4);
+    let cfg = DecoderConfig::scaled_for_tests();
+    let model = Arc::new(DecoderModel::new_with_precision(cfg, 9, Precision::Int8));
+    let h = cfg.hidden;
+
+    // The quantized pack (VNNI blocking + per-row scales) is part of plan
+    // construction — one pack event per weight plan, same as f32. From
+    // here on the decode paths may quantize *activations* every step, but
+    // weight bytes must never be touched again: no re-pack, no
+    // re-quantization.
+    let after_build = pack_events();
+
+    // Prefill + serial decode.
+    let mut d = Decoder::from_model(Arc::clone(&model), 32);
+    let mut prompt = vec![0.0f32; h * 4];
+    fill_uniform(&mut prompt, &mut Xorshift::new(10), -0.5, 0.5);
+    let y = d.prefill(&prompt, 4, &pool);
+    let mut x = y[y.len() - h..].to_vec();
+    for _ in 0..4 {
+        x = d.step(&x, &pool);
+    }
+
+    // Serial then fused batched decode over the same sessions.
+    let mut states: Vec<_> = (0..3).map(|_| model.new_state(16)).collect();
+    let tokens: Vec<Vec<f32>> = (0..3).map(|s| token(h, 20 + s)).collect();
+    let batch: Vec<(&mut pl_dnn::DecoderState, &[f32])> =
+        states.iter_mut().zip(&tokens).map(|(st, x)| (st, x.as_slice())).collect();
+    let _ = model.step_batch(batch, &pool);
+    let batch: Vec<(&mut pl_dnn::DecoderState, &[f32])> =
+        states.iter_mut().zip(&tokens).map(|(st, x)| (st, x.as_slice())).collect();
+    let _ = model.step_batch_fused(batch, &pool);
+
+    model.warm_plans(&[1, 3, 8]);
+
+    assert_eq!(
+        pack_events(),
+        after_build,
+        "int8 decode paths packed or re-quantized weight bytes after model construction"
     );
 }
 

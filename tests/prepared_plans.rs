@@ -91,7 +91,10 @@ fn plan_built_before_snapshot_install_still_executes_correctly() {
 
     // The pre-built plan picks the snapshot up on its next execution.
     let shape = GemmShape::with_default_blocks(m, n, k);
-    assert_eq!(tuning::lookup_gemm(&shape).expect("warmed shape resolves").spec, "aBC");
+    assert_eq!(
+        tuning::lookup_gemm(&shape, pl_tensor::DType::F32).expect("warmed shape resolves").spec,
+        "aBC"
+    );
     let after = plan.execute(&x, n, &pool);
     assert_eq!(before, after, "snapshot install changed values");
     for i in 0..m * n {
