@@ -60,6 +60,15 @@ impl TuningDb {
         self.entries.is_empty()
     }
 
+    /// All entries as `(key, entry)` pairs, sorted by key — the stable
+    /// iteration order consumers (persisted-DB writers, retune reports)
+    /// need for reproducible output.
+    pub fn entries_sorted(&self) -> Vec<(&str, &DbEntry)> {
+        let mut out: Vec<_> = self.entries.iter().map(|(k, e)| (k.as_str(), e)).collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
     /// Saves as `key\tspec\tscore` lines (sorted for reproducible diffs).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let mut keys: Vec<_> = self.entries.keys().collect();
@@ -126,6 +135,18 @@ mod tests {
             TuningDb::gemm_key("Zen4", 8, 8, 8, "f32"),
             TuningDb::spmm_key("Zen4", 8, 8, 8, "f32")
         );
+    }
+
+    #[test]
+    fn entries_sorted_is_key_ordered() {
+        let mut db = TuningDb::new();
+        db.put("z/last", DbEntry { spec: "abc".into(), score: 1.0 });
+        db.put("a/first", DbEntry { spec: "bca".into(), score: 2.0 });
+        db.put("m/mid", DbEntry { spec: "cab".into(), score: 3.0 });
+        let entries = db.entries_sorted();
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["a/first", "m/mid", "z/last"]);
+        assert_eq!(entries[0].1.spec, "bca");
     }
 
     #[test]

@@ -122,7 +122,7 @@ fn tune_modeled_filtered(
     feasible: impl Fn(&str) -> bool,
 ) -> TuneResult {
     let t0 = Instant::now();
-    let mut evaluated = Vec::new();
+    let mut candidates: Vec<(String, [Vec<usize>; 3])> = Vec::new();
     for spec in generate(3, constraints) {
         if !feasible(&spec) {
             continue;
@@ -130,13 +130,18 @@ fn tune_modeled_filtered(
         let Some(blocks) = blocks_for_spec(problem, &spec) else {
             continue;
         };
-        let k_step = 1;
-        let model = problem.model_spec(&spec, blocks.clone(), k_step);
-        let Ok(pred) = model.predict(platform, threads) else {
-            continue;
-        };
-        evaluated.push(Candidate { spec, blocks, score: pred.gflops });
+        candidates.push((spec, blocks));
     }
+    let template = problem.model_spec("abc", [Vec::new(), Vec::new(), Vec::new()], 1);
+    let ranked = pl_perfmodel::rank_gemm_candidates(&template, &candidates, platform, threads);
+    let evaluated = ranked
+        .into_iter()
+        .map(|(i, pred)| Candidate {
+            spec: candidates[i].0.clone(),
+            blocks: candidates[i].1.clone(),
+            score: pred.gflops,
+        })
+        .collect();
     finish(evaluated, t0)
 }
 
@@ -153,6 +158,47 @@ pub fn tune_gemm_measured(
         let Some(blocks) = blocks_for_spec(problem, &spec) else {
             continue;
         };
+        if let Some(score) = run(&spec, &blocks) {
+            evaluated.push(Candidate { spec, blocks, score });
+        }
+    }
+    finish(evaluated, t0)
+}
+
+/// Ranked measured tuning — the retune loop's search driver. The
+/// analytical model ranks the full constraint-generated candidate space
+/// (via [`pl_perfmodel::rank_gemm_candidates`]); only the `top_k`
+/// survivors are handed to the caller's measurement function, plus any
+/// `extra_specs` (typically the incumbent spec, so a planted or stale
+/// winner is re-scored against the challengers rather than surviving by
+/// default). The returned [`TuneResult`] is sorted by *measured* score;
+/// candidates whose measurement returns `None` (kernel build failure,
+/// budget exhausted) are dropped.
+pub fn tune_gemm_ranked_measured(
+    problem: &GemmProblem,
+    constraints: &Constraints,
+    platform: &Platform,
+    threads: usize,
+    top_k: usize,
+    extra_specs: &[String],
+    mut run: impl FnMut(&str, &[Vec<usize>; 3]) -> Option<f64>,
+) -> TuneResult {
+    let t0 = Instant::now();
+    let ranked = tune_gemm_modeled(problem, constraints, platform, threads).evaluated;
+    let mut to_measure: Vec<(String, [Vec<usize>; 3])> = Vec::new();
+    for cand in ranked.into_iter().take(top_k) {
+        to_measure.push((cand.spec, cand.blocks));
+    }
+    for spec in extra_specs {
+        if to_measure.iter().any(|(s, _)| s == spec) {
+            continue;
+        }
+        if let Some(blocks) = blocks_for_spec(problem, spec) {
+            to_measure.push((spec.clone(), blocks));
+        }
+    }
+    let mut evaluated = Vec::new();
+    for (spec, blocks) in to_measure {
         if let Some(score) = run(&spec, &blocks) {
             evaluated.push(Candidate { spec, blocks, score });
         }
@@ -272,6 +318,52 @@ mod tests {
         });
         assert_eq!(r.best.spec, "cab");
         assert_eq!(r.best.score, 100.0);
+    }
+
+    #[test]
+    fn ranked_measured_limits_measurements_and_keeps_incumbent() {
+        let c = Constraints::gemm(0, 1, 1, 300);
+        let mut measured = Vec::new();
+        let r = tune_gemm_ranked_measured(
+            &problem(),
+            &c,
+            &Platform::zen4(),
+            8,
+            4,
+            &["abc".to_string()],
+            |spec, _| {
+                measured.push(spec.to_string());
+                // The sequential incumbent "wins" the measurement: measured
+                // score overrides the model ranking.
+                Some(if spec == "abc" { 1000.0 } else { 10.0 })
+            },
+        );
+        // top_k model picks + the incumbent (which the model would never
+        // rank into the top 4 — it is sequential).
+        assert_eq!(measured.len(), 5, "measured {measured:?}");
+        assert!(measured.contains(&"abc".to_string()));
+        assert_eq!(r.best.spec, "abc");
+        assert_eq!(r.evaluated.len(), 5);
+    }
+
+    #[test]
+    fn ranked_measured_dedups_incumbent_already_in_top_k() {
+        let c = Constraints::gemm(0, 1, 1, 300);
+        let model_best = tune_gemm_modeled(&problem(), &c, &Platform::zen4(), 8).best.spec.clone();
+        let mut count = 0usize;
+        tune_gemm_ranked_measured(
+            &problem(),
+            &c,
+            &Platform::zen4(),
+            8,
+            3,
+            &[model_best],
+            |_, _| {
+                count += 1;
+                Some(1.0)
+            },
+        );
+        assert_eq!(count, 3, "incumbent inside top_k must not be measured twice");
     }
 
     #[test]

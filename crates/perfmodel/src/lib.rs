@@ -19,7 +19,9 @@ pub mod roofline;
 pub mod scaling;
 
 pub use cachesim::{CacheHierarchy, HitLevel, SliceId};
-pub use model::{predict, Access, BodyModel, ConvModelSpec, GemmModelSpec, Prediction};
+pub use model::{
+    predict, rank_gemm_candidates, Access, BodyModel, ConvModelSpec, GemmModelSpec, Prediction,
+};
 pub use platform::{CacheLevel, CoreClass, Platform};
 pub use roofline::WorkItem;
 pub use scaling::ScalingModel;

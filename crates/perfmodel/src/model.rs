@@ -186,6 +186,31 @@ impl GemmModelSpec {
     }
 }
 
+/// Ranks candidate `(spec, blocks)` pairs for one GEMM problem by
+/// predicted GFLOPS, best first — the model-as-*ranker* API (PolyDL's
+/// usage of analytical models: the model orders the candidate space, a
+/// measured pass decides among the survivors). `template` fixes the
+/// problem (sizes, blockings, `k_step`, dtype); each candidate overrides
+/// only `spec`/`blocks`. Candidates the model rejects (infeasible nest)
+/// are dropped. Returns `(index into candidates, prediction)` pairs.
+pub fn rank_gemm_candidates(
+    template: &GemmModelSpec,
+    candidates: &[(String, [Vec<usize>; 3])],
+    platform: &Platform,
+    threads: usize,
+) -> Vec<(usize, Prediction)> {
+    let mut ranked = Vec::new();
+    for (i, (spec, blocks)) in candidates.iter().enumerate() {
+        let model =
+            GemmModelSpec { spec: spec.clone(), blocks: blocks.clone(), ..template.clone() };
+        if let Ok(pred) = model.predict(platform, threads) {
+            ranked.push((i, pred));
+        }
+    }
+    ranked.sort_by(|a, b| b.1.gflops.total_cmp(&a.1.gflops));
+    ranked
+}
+
 /// A direct-convolution problem in model space — mirrors
 /// `pl_kernels::ConvForward` (7 logical loops, offset-based BRGEMM body).
 #[derive(Debug, Clone)]
@@ -362,6 +387,22 @@ mod tests {
             bf16_pred.gflops,
             f32_pred.gflops
         );
+    }
+
+    #[test]
+    fn ranker_orders_candidates_and_drops_infeasible() {
+        let p = Platform::zen4();
+        let template = spec("abc", 512, 1);
+        let candidates = vec![
+            ("abc".to_string(), [vec![], vec![], vec![]]),
+            ("aBC".to_string(), [vec![], vec![], vec![]]),
+            ("azq".to_string(), [vec![], vec![], vec![]]), // rejected by the nest builder
+        ];
+        let ranked = rank_gemm_candidates(&template, &candidates, &p, 16);
+        assert_eq!(ranked.len(), 2, "infeasible spec must be dropped");
+        // Best-first, and the parallel spec must outrank the sequential one.
+        assert_eq!(ranked[0].0, 1);
+        assert!(ranked[0].1.gflops >= ranked[1].1.gflops);
     }
 
     #[test]

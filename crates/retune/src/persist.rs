@@ -1,0 +1,256 @@
+//! Disk persistence for the **measured** tuning database, keyed by a
+//! host/topology fingerprint: warm-up on a known host is a file load
+//! instead of a search, and a file written on a different host (or by a
+//! different format version) is rejected up front — measured numbers do
+//! not transfer across machines the way modeled ones do.
+//!
+//! Format (text, diff-friendly like the raw `TuningDb` TSV it wraps):
+//!
+//! ```text
+//! #pl-retune-db v1
+//! #fingerprint <os>/<arch>/<platform>/<threads>t
+//! gemm/zen4/32x8x32/f32\taBC\t123.4
+//! ...
+//! ```
+//!
+//! Every load failure degrades — corrupt files, wrong versions and
+//! foreign fingerprints all fall back to a fresh modeled warm-up with a
+//! logged warning, never a panic ([`warm_or_load`]).
+
+use pl_autotuner::{DbEntry, TuningDb};
+use pl_perfmodel::Platform;
+use pl_serve::Server;
+use std::io::Write;
+use std::path::Path;
+
+/// Current persisted-format version; bump on layout changes.
+pub const PERSIST_VERSION: u32 = 1;
+
+const MAGIC: &str = "#pl-retune-db";
+const FP_PREFIX: &str = "#fingerprint ";
+
+/// The identity a measured DB is valid for: OS, ISA, the perfmodel
+/// platform it was measured as, and the thread count measurements ran
+/// at. Same binary on a different core count re-measures.
+pub fn host_fingerprint(platform_name: &str, threads: usize) -> String {
+    format!("{}/{}/{}/{}t", std::env::consts::OS, std::env::consts::ARCH, platform_name, threads)
+}
+
+/// Why a persisted DB could not be used. Every variant is recoverable:
+/// callers fall back to modeled warm-up.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file could not be read (missing, unreadable).
+    Io(std::io::Error),
+    /// The file is not a pl-retune DB or its header is damaged.
+    Malformed(String),
+    /// The file's format version is not [`PERSIST_VERSION`].
+    VersionMismatch {
+        /// Version found in the file.
+        found: String,
+    },
+    /// The file was measured on a different host/topology.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the file.
+        file: String,
+        /// This host's fingerprint.
+        host: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Malformed(why) => write!(f, "malformed: {why}"),
+            PersistError::VersionMismatch { found } => {
+                write!(f, "version mismatch: file has {found:?}, expected v{PERSIST_VERSION}")
+            }
+            PersistError::FingerprintMismatch { file, host } => {
+                write!(f, "fingerprint mismatch: file measured on {file:?}, this host is {host:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Saves `db` with the version + fingerprint header, atomically (tmp +
+/// rename, so a crashed writer never leaves a torn file where the loader
+/// looks). Entries come out key-sorted — reproducible diffs.
+pub fn save_measured_db(path: &Path, fingerprint: &str, db: &TuningDb) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        writeln!(f, "{MAGIC} v{PERSIST_VERSION}")?;
+        writeln!(f, "{FP_PREFIX}{fingerprint}")?;
+        for (key, entry) in db.entries_sorted() {
+            writeln!(f, "{key}\t{}\t{}", entry.spec, entry.score)?;
+        }
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a persisted measured DB, validating the version and that it was
+/// measured on *this* host (`expect_fingerprint`). Body lines that fail
+/// to parse are skipped (same tolerance as `TuningDb::load`) — a
+/// partially damaged body degrades to the entries that survive, while a
+/// damaged *header* rejects the whole file.
+pub fn load_measured_db(path: &Path, expect_fingerprint: &str) -> Result<TuningDb, PersistError> {
+    let text = std::fs::read_to_string(path).map_err(PersistError::Io)?;
+    let mut lines = text.lines();
+    let head = lines.next().unwrap_or("");
+    let Some(version) = head.strip_prefix(MAGIC).map(str::trim) else {
+        return Err(PersistError::Malformed(format!("bad magic line {head:?}")));
+    };
+    if version != format!("v{PERSIST_VERSION}") {
+        return Err(PersistError::VersionMismatch { found: version.to_string() });
+    }
+    let fp_line = lines.next().unwrap_or("");
+    let Some(file_fp) = fp_line.strip_prefix(FP_PREFIX) else {
+        return Err(PersistError::Malformed(format!("bad fingerprint line {fp_line:?}")));
+    };
+    if file_fp != expect_fingerprint {
+        return Err(PersistError::FingerprintMismatch {
+            file: file_fp.to_string(),
+            host: expect_fingerprint.to_string(),
+        });
+    }
+    let mut db = TuningDb::new();
+    for line in lines {
+        let mut parts = line.split('\t');
+        let (Some(k), Some(spec), Some(score)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let Ok(score) = score.parse::<f64>() else { continue };
+        db.put(k, DbEntry { spec: spec.to_string(), score });
+    }
+    Ok(db)
+}
+
+/// Where a server's warm tuning state came from.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WarmSource {
+    /// The persisted measured DB was valid for this host and adopted
+    /// (entries loaded).
+    Loaded(usize),
+    /// No usable persisted DB — fresh modeled warm-up ran (entries
+    /// added). The contained string says why the file was not used
+    /// (empty when the file simply does not exist).
+    Warmed(usize, String),
+}
+
+/// The warm-or-load startup path: adopt the persisted measured DB when
+/// it exists and matches this host, otherwise run the modeled
+/// [`Server::warm_tuning`] search. **Never panics on a bad file** — a
+/// truncated, garbage, version-mismatched or foreign-host file logs a
+/// warning to stderr and degrades to the fresh search.
+pub fn warm_or_load(
+    server: &Server,
+    platform: &Platform,
+    threads: usize,
+    path: &Path,
+) -> WarmSource {
+    let fp = host_fingerprint(platform.name, threads);
+    match load_measured_db(path, &fp) {
+        Ok(db) => {
+            let n = server.adopt_tuning(platform.name, &db);
+            WarmSource::Loaded(n)
+        }
+        Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            let added = server.warm_tuning(platform, threads);
+            WarmSource::Warmed(added, String::new())
+        }
+        Err(e) => {
+            eprintln!(
+                "pl-retune: ignoring persisted tuning DB {}: {e}; falling back to modeled warm-up",
+                path.display()
+            );
+            let added = server.warm_tuning(platform, threads);
+            WarmSource::Warmed(added, e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pl_retune_persist_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_db() -> TuningDb {
+        let mut db = TuningDb::new();
+        db.put("gemm/zen4/32x8x32/f32", DbEntry { spec: "aBC".into(), score: 12.5 });
+        db.put("gemm/zen4/64x8x32/f32", DbEntry { spec: "BCa".into(), score: 20.0 });
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_under_matching_fingerprint() {
+        let path = tmp("roundtrip.db");
+        let fp = host_fingerprint("zen4", 4);
+        save_measured_db(&path, &fp, &sample_db()).unwrap();
+        let loaded = load_measured_db(&path, &fp).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get("gemm/zen4/32x8x32/f32").unwrap().spec, "aBC");
+        assert!((loaded.get("gemm/zen4/64x8x32/f32").unwrap().score - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected() {
+        let path = tmp("foreign.db");
+        save_measured_db(&path, "otheros/otherarch/spr/56t", &sample_db()).unwrap();
+        let err = load_measured_db(&path, &host_fingerprint("zen4", 4)).unwrap_err();
+        assert!(matches!(err, PersistError::FingerprintMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = tmp("version.db");
+        std::fs::write(&path, "#pl-retune-db v999\n#fingerprint x\n").unwrap();
+        let err = load_measured_db(&path, "x").unwrap_err();
+        assert!(matches!(err, PersistError::VersionMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn garbage_and_truncated_files_error_instead_of_panicking() {
+        let garbage = tmp("garbage.db");
+        std::fs::write(&garbage, "\x00\x01binary junk\nnot a header").unwrap();
+        assert!(matches!(
+            load_measured_db(&garbage, "fp").unwrap_err(),
+            PersistError::Malformed(_)
+        ));
+        // Truncated mid-header: magic line only.
+        let trunc = tmp("trunc.db");
+        std::fs::write(&trunc, format!("{MAGIC} v{PERSIST_VERSION}\n")).unwrap();
+        assert!(matches!(load_measured_db(&trunc, "fp").unwrap_err(), PersistError::Malformed(_)));
+        // Missing file is Io.
+        assert!(matches!(
+            load_measured_db(&tmp("never-written.db"), "fp").unwrap_err(),
+            PersistError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn damaged_body_lines_degrade_to_surviving_entries() {
+        let path = tmp("body.db");
+        let fp = "fp";
+        let text = format!(
+            "{MAGIC} v{PERSIST_VERSION}\n{FP_PREFIX}{fp}\nk1\taBC\t1.5\ngarbage without tabs\nk2\tspec\tNaN-ish-not-a-number-x\n"
+        );
+        std::fs::write(&path, text).unwrap();
+        let db = load_measured_db(&path, fp).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get("k1").unwrap().spec, "aBC");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_platform_and_threads() {
+        assert_ne!(host_fingerprint("zen4", 4), host_fingerprint("zen4", 8));
+        assert_ne!(host_fingerprint("zen4", 4), host_fingerprint("spr", 4));
+    }
+}

@@ -139,6 +139,30 @@ impl Router {
         added
     }
 
+    /// Fleet-wide adoption of a retuned snapshot: shard 0 installs `db`
+    /// into the process registry and re-warms the shared model's plans
+    /// ([`pl_serve::Server::adopt_tuning`] — one epoch bump, one kernel
+    /// rebuild), then the peers copy the snapshot into their local slots.
+    /// This is the retune loop's install path: measure on one shard,
+    /// adopt everywhere. Returns the number of entries adopted.
+    pub fn adopt_tuning(&self, platform_name: &str, db: &TuningDb) -> usize {
+        let adopted = self.shards[0].server().adopt_tuning(platform_name, db);
+        for shard in &self.shards[1..] {
+            shard.server().set_tuning_db(db);
+        }
+        adopted
+    }
+
+    /// Installs a measured fused-vs-serial decision table on **every**
+    /// shard ([`pl_serve::Server::install_mode_policy`]): the table was
+    /// measured on one shard but the fleet runs the same model on the
+    /// same host, so the decision transfers.
+    pub fn install_mode_policy(&self, table: &pl_serve::BatchModeTable) {
+        for shard in &self.shards {
+            shard.server().install_mode_policy(table.clone());
+        }
+    }
+
     /// Current placement loads (the inputs to [`placement_order`]).
     pub fn loads(&self) -> Vec<ShardLoad> {
         self.shards

@@ -38,6 +38,7 @@
 //!   actually executed.
 
 pub mod batcher;
+pub mod policy;
 pub mod prefill;
 pub mod queue;
 pub mod server;
@@ -45,6 +46,7 @@ pub mod session;
 pub mod stats;
 
 pub use batcher::{ChunkItem, DynamicBatcher, StepRequest, WorkItem};
+pub use policy::BatchModeTable;
 pub use prefill::PrefillJob;
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,102 @@
+//! Measured serve-level policies: decisions the analytical model cannot
+//! make because they depend on this host's actual gather/fuse economics.
+//!
+//! The committed `BENCH_serve.json` carried a fused row *slower* than its
+//! serial twin at the same `{batch, shards}` with nothing able to react —
+//! `ServerConfig::fused` is a static flag. [`BatchModeTable`] replaces the
+//! flag with a per-batch-width decision built from measured serial vs
+//! fused steps/s (the retune loop in `pl_retune` produces it); a server
+//! with no installed table behaves exactly as before.
+
+/// A per-batch-width fused-vs-serial decision table, built from measured
+/// throughput pairs. Widths are looked up by nearest measured width at or
+/// below the request (falling back to the smallest measured width), so a
+/// table measured at the ladder `{1, 2, 4, 8}` covers ragged batches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchModeTable {
+    /// `(width, fused, serial_steps_per_s, fused_steps_per_s)`, sorted by
+    /// width.
+    rows: Vec<(usize, bool, f64, f64)>,
+}
+
+impl BatchModeTable {
+    /// Builds the table from `(width, serial_steps_per_s,
+    /// fused_steps_per_s)` measurements: a width decides *fused* exactly
+    /// when the measured fused throughput beats serial. Zero/negative
+    /// throughputs count as "not measured" on that side (the other side
+    /// wins); rows measured on neither side are dropped.
+    pub fn from_measurements(measured: &[(usize, f64, f64)]) -> Self {
+        let mut rows: Vec<(usize, bool, f64, f64)> = measured
+            .iter()
+            .filter(|(_, s, f)| *s > 0.0 || *f > 0.0)
+            .map(|&(w, s, f)| (w, f > s, s, f))
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        rows.dedup_by_key(|r| r.0);
+        BatchModeTable { rows }
+    }
+
+    /// The decision for a batch of `width` decode lanes: the row at the
+    /// largest measured width `<= width`, else the smallest measured row.
+    /// `None` when the table is empty (caller falls back to the static
+    /// `ServerConfig::fused` flag).
+    pub fn fused_for(&self, width: usize) -> Option<bool> {
+        let below = self.rows.iter().rev().find(|r| r.0 <= width);
+        below.or_else(|| self.rows.first()).map(|r| r.1)
+    }
+
+    /// Whether any width was measured.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The decision rows: `(width, fused, serial_steps_per_s,
+    /// fused_steps_per_s)`, ascending by width.
+    pub fn rows(&self) -> &[(usize, bool, f64, f64)] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_follow_the_measurements() {
+        let t = BatchModeTable::from_measurements(&[
+            (1, 100.0, 80.0), // serial wins
+            (4, 90.0, 120.0), // fused wins
+            (8, 101.0, 78.0), // the committed regression shape: serial wins
+        ]);
+        assert_eq!(t.fused_for(1), Some(false));
+        assert_eq!(t.fused_for(4), Some(true));
+        assert_eq!(t.fused_for(8), Some(false));
+    }
+
+    #[test]
+    fn ragged_widths_round_down_and_underflow_rounds_up() {
+        let t = BatchModeTable::from_measurements(&[(2, 50.0, 100.0), (8, 100.0, 50.0)]);
+        // 5 lanes -> nearest measured width below is 2 (fused).
+        assert_eq!(t.fused_for(5), Some(true));
+        assert_eq!(t.fused_for(100), Some(false));
+        // Below the smallest measured width: use the smallest row.
+        assert_eq!(t.fused_for(1), Some(true));
+    }
+
+    #[test]
+    fn empty_and_unmeasured_rows() {
+        assert_eq!(BatchModeTable::default().fused_for(4), None);
+        assert_eq!(BatchModeTable::from_measurements(&[]).fused_for(1), None);
+        // A side measured at 0.0 never wins; a row dead on both sides is
+        // dropped entirely.
+        let t = BatchModeTable::from_measurements(&[(1, 0.0, 10.0), (2, 0.0, 0.0)]);
+        assert_eq!(t.fused_for(1), Some(true));
+        assert_eq!(t.rows().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_widths_keep_one_row() {
+        let t = BatchModeTable::from_measurements(&[(4, 10.0, 20.0), (4, 20.0, 10.0)]);
+        assert_eq!(t.rows().len(), 1);
+    }
+}

@@ -34,17 +34,18 @@
 //! re-inserted the session as an untracked zombie.
 
 use crate::batcher::{ChunkItem, DynamicBatcher, StepRequest, WorkItem};
+use crate::policy::BatchModeTable;
 use crate::prefill::PrefillJob;
 use crate::session::{Session, SessionId, TenantId};
 use crate::stats::ServerStats;
 use crate::{ServeError, StepResult};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use pl_autotuner::{batch_ladder, warm_gemm_db, warm_spmm_db, Constraints, GemmProblem, TuningDb};
 use pl_dnn::{DecoderModel, DecoderState, Precision};
 use pl_perfmodel::Platform;
 use pl_runtime::ThreadPool;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -161,6 +162,18 @@ struct ServerInner {
     /// the blocking wrappers pump on the calling thread when it is not.
     running: AtomicBool,
     tuning: Mutex<TuningDb>,
+    /// The measured per-batch-width fused-vs-serial decision table
+    /// ([`crate::policy::BatchModeTable`]), installed by a retune cycle.
+    /// `None` (the default) falls back to the static
+    /// [`ServerConfig::fused`] flag — existing behavior and guarantees
+    /// are untouched until a measurement says otherwise.
+    mode_policy: RwLock<Option<BatchModeTable>>,
+    /// Live prefill-chunk bound in tokens — initialized from
+    /// [`ServerConfig::prefill_chunk`], adjustable at runtime
+    /// ([`Server::set_prefill_chunk`]) so a retune cycle can shrink
+    /// chunks under decode load without restarting the server. Read once
+    /// per prefill submission; in-flight jobs keep their chunking.
+    prefill_chunk: AtomicUsize,
     /// Accepted work items (decode steps *and* prefill chunks) not yet
     /// retired — incremented before an item is published to the batcher,
     /// decremented at reply delivery ([`ServerInner::deliver`]); a
@@ -230,6 +243,8 @@ impl Server {
         let inner = Arc::new(ServerInner {
             batcher: DynamicBatcher::new(cfg.tenants, cfg.queue_capacity),
             stats: ServerStats::new(cfg.max_batch),
+            mode_policy: RwLock::new(None),
+            prefill_chunk: AtomicUsize::new(cfg.prefill_chunk.max(1)),
             model,
             pool,
             cfg,
@@ -409,6 +424,67 @@ impl Server {
         db.len()
     }
 
+    /// Installs a measured per-batch-width fused-vs-serial decision table
+    /// (see [`BatchModeTable`]). Takes effect on the **next** batch —
+    /// batches already executing finish under the old decision, so there
+    /// is no downtime and no torn batch. Pass an empty table to revert to
+    /// the static [`ServerConfig::fused`] flag.
+    pub fn install_mode_policy(&self, table: BatchModeTable) {
+        let mut slot = self.inner.mode_policy.write();
+        *slot = if table.is_empty() { None } else { Some(table) };
+    }
+
+    /// The installed measured mode policy, if any.
+    pub fn mode_policy(&self) -> Option<BatchModeTable> {
+        self.inner.mode_policy.read().clone()
+    }
+
+    /// Adjusts the live prefill-chunk bound (tokens, clamped to ≥ 1).
+    /// Prefills submitted after this call chunk at the new bound;
+    /// in-flight jobs keep the chunking they were admitted with.
+    pub fn set_prefill_chunk(&self, tokens: usize) {
+        self.inner.prefill_chunk.store(tokens.max(1), Ordering::Release);
+    }
+
+    /// The live prefill-chunk bound (tokens).
+    pub fn prefill_chunk(&self) -> usize {
+        self.inner.prefill_chunk.load(Ordering::Acquire)
+    }
+
+    /// The GEMM problems that dominated traffic so far, hottest first —
+    /// the retune loop's harvest hook. Weights come from
+    /// [`ServerStats::fused_gemm_shapes`] (the per-shape execution counts
+    /// the fused path records, covering every ragged width that actually
+    /// ran); a server that only ever ran the serial path has no shape
+    /// histogram, so its decode traffic is attributed to the width-1
+    /// problems weighted by completed steps (what serial decode executes
+    /// per lane). Shapes are matched back against the model's own
+    /// prepared-plan problems ([`DecoderModel::plan_problems`]), so every
+    /// returned problem carries the **exact blocking** its kernel runs
+    /// at, precision included — measurable as-is.
+    pub fn hot_gemm_problems(&self) -> Vec<(GemmProblem, u64)> {
+        let mut catalog = self.decode_gemm_problems();
+        catalog.extend(self.prefill_gemm_problems());
+        let mut out: Vec<(GemmProblem, u64)> = Vec::new();
+        let shapes = self.inner.stats.fused_gemm_shapes();
+        if shapes.is_empty() {
+            let steps = self.inner.stats.completed.load(Ordering::Relaxed);
+            if steps > 0 {
+                for p in catalog.iter().filter(|p| p.n == 1) {
+                    out.push((*p, steps));
+                }
+            }
+        } else {
+            for ((m, n, k), count) in shapes {
+                if let Some(p) = catalog.iter().find(|p| p.m == m && p.n == n && p.k == k) {
+                    out.push((*p, count));
+                }
+            }
+        }
+        out.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+        out
+    }
+
     /// Admits a new session for `tenant`. Rejects when the session cap is
     /// reached or the tenant id is out of range.
     pub fn create_session(&self, tenant: TenantId) -> Result<SessionId, ServeError> {
@@ -500,7 +576,7 @@ impl Server {
             hidden,
             x.to_vec(),
             tokens,
-            self.inner.cfg.prefill_chunk,
+            self.inner.prefill_chunk.load(Ordering::Acquire),
         );
         let item = WorkItem::PrefillChunk(ChunkItem { job, chunk: 0, enqueued: Instant::now() });
         self.publish(&tickets, item)?;
@@ -808,12 +884,20 @@ impl Server {
         let size = ready.len();
         let decode_lanes = size - usize::from(has_chunk);
 
-        // Phase 2 — execute, no lock held.
-        let execute_span = pl_trace::span(
-            "batch.execute",
-            [size as u64, decode_lanes as u64, u64::from(inner.cfg.fused)],
-        );
-        let outputs: Vec<Vec<f32>> = if inner.cfg.fused {
+        // Phase 2 — execute, no lock held. The fused-vs-serial decision
+        // comes from the installed measured policy when one exists (the
+        // retune loop's per-batch-width table), else the static config
+        // flag — so a server that never retunes behaves exactly as
+        // before.
+        let fused = inner
+            .mode_policy
+            .read()
+            .as_ref()
+            .and_then(|t| t.fused_for(decode_lanes.max(1)))
+            .unwrap_or(inner.cfg.fused);
+        let execute_span =
+            pl_trace::span("batch.execute", [size as u64, decode_lanes as u64, u64::from(fused)]);
+        let outputs: Vec<Vec<f32>> = if fused {
             // Fused decode lanes share one `hidden x B` GEMM per layer
             // projection; the prefill chunk (if any) runs as its own
             // forward in the same pump iteration.
@@ -1903,5 +1987,109 @@ mod tests {
         let pool = ThreadPool::new(2);
         let mut st = server.model().new_state(32);
         assert_eq!(y, server.model().forward_chunked(&mut st, &prompt, 8, 4, &pool));
+    }
+
+    #[test]
+    fn mode_policy_overrides_configured_mode_per_width() {
+        // Config says serial, but a measured table that prefers fused at
+        // width >= 1 must flip the batch to the fused path — and removing
+        // the policy (empty table) must fall back to the config again.
+        let server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        assert!(server.mode_policy().is_none());
+        let hidden = server.model().config().hidden;
+        let run_batch_of = |n: usize| {
+            let ids: Vec<SessionId> = (0..n).map(|_| server.create_session(0).unwrap()).collect();
+            let rxs: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| server.submit_step(id, &token(900 + s as u64, hidden)).unwrap())
+                .collect();
+            assert_eq!(server.pump(), n);
+            for rx in rxs {
+                rx.recv().unwrap().unwrap();
+            }
+            for id in ids {
+                server.close_session(id).unwrap();
+            }
+        };
+        server.install_mode_policy(BatchModeTable::from_measurements(&[(1, 0.0, 1.0)]));
+        assert!(server.mode_policy().is_some());
+        run_batch_of(4);
+        assert_eq!(server.stats().snapshot().fused_batches, 1, "policy must force fused");
+        server.install_mode_policy(BatchModeTable::from_measurements(&[]));
+        assert!(server.mode_policy().is_none(), "empty table reverts to config");
+        run_batch_of(4);
+        assert_eq!(server.stats().snapshot().fused_batches, 1, "config mode is serial again");
+    }
+
+    #[test]
+    fn prefill_chunk_is_a_live_knob() {
+        let server = tiny_server(ServerConfig {
+            prefill_chunk: 4,
+            kv_capacity: 32,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        assert_eq!(server.prefill_chunk(), 4);
+        server.set_prefill_chunk(8);
+        assert_eq!(server.prefill_chunk(), 8);
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let rx = server.submit_prefill(id, &token(77, hidden * 8), 8).unwrap();
+        assert_eq!(server.pump(), 1, "8 tokens fit a single 8-token chunk");
+        assert_eq!(server.in_flight(), 0);
+        rx.recv().unwrap().unwrap();
+        assert_eq!(server.stats().snapshot().prefill_chunks, 1);
+        server.set_prefill_chunk(0);
+        assert_eq!(server.prefill_chunk(), 1, "chunk size clamps to at least one token");
+    }
+
+    #[test]
+    fn hot_gemm_problems_weights_serial_decode_by_completed_steps() {
+        let server =
+            tiny_server(ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        assert!(server.hot_gemm_problems().is_empty(), "no traffic, no hot shapes");
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        for s in 0..3 {
+            let rx = server.submit_step(id, &token(40 + s, hidden)).unwrap();
+            server.pump();
+            rx.recv().unwrap().unwrap();
+        }
+        let hot = server.hot_gemm_problems();
+        assert!(!hot.is_empty());
+        for (p, w) in &hot {
+            assert_eq!(p.n, 1, "serial decode traffic is width-1: {p:?}");
+            assert_eq!(*w, 3, "weight is the completed-step count");
+        }
+    }
+
+    #[test]
+    fn hot_gemm_problems_harvests_fused_shape_histogram() {
+        let server = tiny_server(ServerConfig {
+            fused: true,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let n = 4;
+        let ids: Vec<SessionId> = (0..n).map(|_| server.create_session(0).unwrap()).collect();
+        let rxs: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(s, &id)| server.submit_step(id, &token(60 + s as u64, hidden)).unwrap())
+            .collect();
+        assert_eq!(server.pump(), n);
+        for rx in rxs {
+            rx.recv().unwrap().unwrap();
+        }
+        let hot = server.hot_gemm_problems();
+        assert!(!hot.is_empty());
+        assert!(hot.iter().all(|(p, _)| p.n == n), "fused harvest carries the batch width");
+        assert!(hot.windows(2).all(|w| w[0].1 >= w[1].1), "sorted hottest-first");
+        // The 4-per-layer hidden x hidden shape outweighs the FFN shapes.
+        let layers = server.model().config().layers as u64;
+        assert_eq!(hot[0].1, 4 * layers);
     }
 }
