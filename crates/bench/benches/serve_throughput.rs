@@ -109,7 +109,12 @@ const MIXED_KV: usize = 128;
 /// interleaving with the decode lanes). Reported decode p99 is the
 /// queue-to-reply latency of the decode steps only; both rows land in the
 /// trajectory artifact.
-fn mixed_workload(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>, artifact: &mut BenchArtifact) {
+fn mixed_workload(
+    model: &Arc<DecoderModel>,
+    pool: &Arc<ThreadPool>,
+    fp: &str,
+    artifact: &mut BenchArtifact,
+) {
     header(
         &format!(
             "mixed workload: {SESSIONS} closed-loop decode sessions + one \
@@ -178,6 +183,7 @@ fn mixed_workload(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>, artifact: &
             shards: 1,
             steps_per_s: snap.tokens_per_s,
             p99_us: snap.p99_us as f64,
+            fingerprint: fp.into(),
         });
     }
     println!();
@@ -234,6 +240,7 @@ fn int8_sweep(
     i8_model: &Arc<DecoderModel>,
     pool: &Arc<ThreadPool>,
     f32_ref: &[(usize, bool, f64)],
+    fp: &str,
     artifact: &mut BenchArtifact,
 ) {
     header(
@@ -250,6 +257,7 @@ fn int8_sweep(
                 shards: 1,
                 steps_per_s: sps,
                 p99_us: p99 as f64,
+                fingerprint: fp.into(),
             });
             measured.push((batch, fused, sps));
         }
@@ -290,7 +298,12 @@ const ROUTER_SESSIONS: usize = 16;
 /// shared [`measure_router_steps_per_s`] harness. Measured steps/s is
 /// printed next to the `ScalingModel` projection — the paper's Table I
 /// methodology applied to serving shards instead of training nodes.
-fn router_scaling(model: &Arc<DecoderModel>, total_threads: usize, artifact: &mut BenchArtifact) {
+fn router_scaling(
+    model: &Arc<DecoderModel>,
+    total_threads: usize,
+    fp: &str,
+    artifact: &mut BenchArtifact,
+) {
     for &fused in &[false, true] {
         let mode = router_mode_name(fused);
         let load = RouterLoad {
@@ -329,6 +342,7 @@ fn router_scaling(model: &Arc<DecoderModel>, total_threads: usize, artifact: &mu
                 shards,
                 steps_per_s: m.steps_per_s,
                 p99_us: m.p99_us as f64,
+                fingerprint: fp.into(),
             });
         }
     }
@@ -340,7 +354,12 @@ fn router_scaling(model: &Arc<DecoderModel>, total_threads: usize, artifact: &mu
 /// would-be span) vs **on** (every span recorded into the per-thread
 /// rings). The off row must sit within noise of the on-row-free sweep
 /// above; the on row prices full recording.
-fn trace_overhead(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>, artifact: &mut BenchArtifact) {
+fn trace_overhead(
+    model: &Arc<DecoderModel>,
+    pool: &Arc<ThreadPool>,
+    fp: &str,
+    artifact: &mut BenchArtifact,
+) {
     header(
         &format!("pl-trace overhead (fused, max_batch={SESSIONS}) [measured]"),
         &["max_batch", "mode", "steps/s", "mean batch", "max batch", "p50 us", "p99 us"],
@@ -368,6 +387,7 @@ fn trace_overhead(model: &Arc<DecoderModel>, pool: &Arc<ThreadPool>, artifact: &
             shards: 1,
             steps_per_s: sps,
             p99_us: p99 as f64,
+            fingerprint: fp.into(),
         });
     }
 }
@@ -484,6 +504,7 @@ fn trace_diagnose(model: &Arc<DecoderModel>, i8_model: &Arc<DecoderModel>, pool:
 fn retune_closed_loop(
     model: &Arc<DecoderModel>,
     pool: &Arc<ThreadPool>,
+    fp: &str,
     artifact: &mut BenchArtifact,
 ) {
     let threads = pool.nthreads();
@@ -584,6 +605,7 @@ fn retune_closed_loop(
         shards: 1,
         steps_per_s: pre_serial,
         p99_us: 0.0,
+        fingerprint: fp.into(),
     });
     artifact.upsert(BenchRow {
         mode: "post-retune".into(),
@@ -591,6 +613,7 @@ fn retune_closed_loop(
         shards: 1,
         steps_per_s: post_decided,
         p99_us: 0.0,
+        fingerprint: fp.into(),
     });
 
     let mut tune = TuneArtifact {
@@ -636,6 +659,12 @@ fn main() {
         Precision::Int8,
     ));
     let pool = Arc::new(ThreadPool::new(default_threads().min(8)));
+    // Stamp every row this run writes with the measuring host's
+    // fingerprint — the same string the retune evidence DB keys on — so
+    // the trajectory file can hold numbers from several machines without
+    // them overwriting each other.
+    let threads = pool.nthreads();
+    let fp = host_fingerprint(Platform::generic_host(threads).name, threads);
     let mut artifact = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
     pack_amortization(&pool);
     header(
@@ -658,6 +687,7 @@ fn main() {
             shards: 1,
             steps_per_s: sps,
             p99_us: p99 as f64,
+            fingerprint: fp.clone(),
         });
         let (sps, p99) = drive(max_batch, true, &model, &pool);
         fused_at_max = sps;
@@ -668,17 +698,18 @@ fn main() {
             shards: 1,
             steps_per_s: sps,
             p99_us: p99 as f64,
+            fingerprint: fp.clone(),
         });
     }
     println!(
         "\nfused/serial speedup at max_batch=8: {:.2}x",
         fused_at_max / serial_at_max.max(1e-9)
     );
-    int8_sweep(&model, &i8_model, &pool, &f32_ref, &mut artifact);
-    mixed_workload(&model, &pool, &mut artifact);
-    router_scaling(&model, pool.nthreads(), &mut artifact);
-    retune_closed_loop(&model, &pool, &mut artifact);
-    trace_overhead(&model, &pool, &mut artifact);
+    int8_sweep(&model, &i8_model, &pool, &f32_ref, &fp, &mut artifact);
+    mixed_workload(&model, &pool, &fp, &mut artifact);
+    router_scaling(&model, pool.nthreads(), &fp, &mut artifact);
+    retune_closed_loop(&model, &pool, &fp, &mut artifact);
+    trace_overhead(&model, &pool, &fp, &mut artifact);
     if trace_mode {
         trace_diagnose(&model, &i8_model, &pool);
     }

@@ -2,11 +2,14 @@
 //!
 //! Bench harnesses and demos append their measured rows here so the perf
 //! trajectory is tracked in-repo from PR to PR, keyed by
-//! `{mode, batch, shards}`. Hand-rolled JSON both ways (this environment
-//! has no serialization crates): the writer emits one canonical shape and
-//! the reader parses exactly that shape, tolerating a missing or foreign
-//! file by starting fresh.
+//! `{mode, batch, shards, fingerprint}`. Hand-rolled JSON both ways (this
+//! environment has no serialization crates): the writer emits one
+//! canonical shape and the reader parses exactly that shape, tolerating a
+//! missing or foreign file by starting fresh. Field scanning lives in
+//! [`crate::json`], shared with the other artifact readers.
 
+use crate::json::{field_num, field_str, split_objects};
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Resolves `file` against the workspace root — the nearest ancestor of
@@ -56,27 +59,150 @@ pub struct BenchRow {
     /// Measured decode p99 queue-to-reply latency in µs (0 when the run
     /// did not measure latency — throughput-only rows).
     pub p99_us: f64,
+    /// Host/topology fingerprint of the measuring machine, the same
+    /// `os/arch/platform/threads` string `TUNE_db.json` entries carry
+    /// (see `pl_retune::host_fingerprint`). Part of the row key: numbers
+    /// from different hosts coexist instead of overwriting each other.
+    /// Empty on rows written before the column existed.
+    pub fingerprint: String,
 }
 
 impl BenchRow {
-    fn key(&self) -> (String, usize, usize) {
-        (self.mode.clone(), self.batch, self.shards)
+    fn key(&self) -> (String, usize, usize, String) {
+        (self.mode.clone(), self.batch, self.shards, self.fingerprint.clone())
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"mode\":\"{}\",\"batch\":{},\"shards\":{},\"steps_per_s\":{:.3},\"p99_us\":{:.1}}}",
+            "{{\"mode\":\"{}\",\"batch\":{},\"shards\":{},\"steps_per_s\":{:.3},\"p99_us\":{:.1},\"fingerprint\":\"{}\"}}",
             escape(&self.mode),
             self.batch,
             self.shards,
             self.steps_per_s,
-            self.p99_us
+            self.p99_us,
+            escape(&self.fingerprint)
         )
     }
 }
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A fused row measuring *slower* than its serial twin — the condition
+/// the perf trajectory must flag, since fused batching exists to win.
+/// Carries the pair so tooling can rank by severity; `Display` renders
+/// the human warning line the bench harnesses print.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The losing fused mode (`fused`, `fused-i8`, `router-fused`, …).
+    pub fused_mode: String,
+    /// The winning serial twin it was paired with.
+    pub serial_mode: String,
+    /// Shared `max_batch` of the pair.
+    pub batch: usize,
+    /// Shared shard count of the pair.
+    pub shards: usize,
+    /// Shared host fingerprint of the pair (empty on legacy rows).
+    pub fingerprint: String,
+    /// Fused throughput.
+    pub fused_steps_per_s: f64,
+    /// Serial throughput.
+    pub serial_steps_per_s: f64,
+}
+
+impl Regression {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"fused_mode\":\"{}\",\"serial_mode\":\"{}\",\"batch\":{},\"shards\":{},\"fingerprint\":\"{}\",\"fused_steps_per_s\":{:.3},\"serial_steps_per_s\":{:.3}}}",
+            escape(&self.fused_mode),
+            escape(&self.serial_mode),
+            self.batch,
+            self.shards,
+            escape(&self.fingerprint),
+            self.fused_steps_per_s,
+            self.serial_steps_per_s
+        )
+    }
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warning: {} ({:.1} steps/s) < {} ({:.1} steps/s) at {{batch={}, shards={}}} — \
+             fused batching is not paying for its gather at this size",
+            self.fused_mode,
+            self.fused_steps_per_s,
+            self.serial_mode,
+            self.serial_steps_per_s,
+            self.batch,
+            self.shards
+        )
+    }
+}
+
+/// One row's throughput movement between two artifacts, matched by the
+/// full `{mode, batch, shards, fingerprint}` key. `Display` renders a
+/// one-line delta suitable for a PR comment or CI log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// Execution mode of the matched pair.
+    pub mode: String,
+    /// Shared `max_batch`.
+    pub batch: usize,
+    /// Shared shard count.
+    pub shards: usize,
+    /// Shared host fingerprint.
+    pub fingerprint: String,
+    /// Throughput in the baseline artifact.
+    pub base_steps_per_s: f64,
+    /// Throughput in the new artifact.
+    pub new_steps_per_s: f64,
+    /// `(new - base) / base * 100`; 0 when the baseline is 0.
+    pub delta_pct: f64,
+}
+
+impl fmt::Display for RowDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {{batch={}, shards={}}}: {:.1} -> {:.1} steps/s ({:+.1}%)",
+            self.mode,
+            self.batch,
+            self.shards,
+            self.base_steps_per_s,
+            self.new_steps_per_s,
+            self.delta_pct
+        )
+    }
+}
+
+/// Diffs two artifacts row-by-row: one [`RowDelta`] per key present in
+/// **both**, in `new`'s row order. Rows only one side has (a bench that
+/// gained or lost a mode, a different host's fingerprint) are skipped —
+/// there is no movement to report without both endpoints.
+pub fn compare(base: &BenchArtifact, new: &BenchArtifact) -> Vec<RowDelta> {
+    new.rows()
+        .iter()
+        .filter_map(|n| {
+            let b = base.rows().iter().find(|b| b.key() == n.key())?;
+            let delta_pct = if b.steps_per_s == 0.0 {
+                0.0
+            } else {
+                (n.steps_per_s - b.steps_per_s) / b.steps_per_s * 100.0
+            };
+            Some(RowDelta {
+                mode: n.mode.clone(),
+                batch: n.batch,
+                shards: n.shards,
+                fingerprint: n.fingerprint.clone(),
+                base_steps_per_s: b.steps_per_s,
+                new_steps_per_s: n.steps_per_s,
+                delta_pct,
+            })
+        })
+        .collect()
 }
 
 /// The artifact: a keyed set of [`BenchRow`]s with JSON persistence.
@@ -102,8 +228,8 @@ impl BenchArtifact {
     }
 
     /// Inserts `row`, replacing any existing row with the same
-    /// `{mode, batch, shards}` key — re-running a bench updates its rows
-    /// in place instead of appending duplicates.
+    /// `{mode, batch, shards, fingerprint}` key — re-running a bench
+    /// updates its rows in place instead of appending duplicates.
     pub fn upsert(&mut self, row: BenchRow) {
         match self.rows.iter_mut().find(|r| r.key() == row.key()) {
             Some(existing) => *existing = row,
@@ -111,19 +237,28 @@ impl BenchArtifact {
         }
     }
 
-    /// Renders the canonical JSON document.
+    /// Renders the canonical JSON document. The `regressions` block is
+    /// *derived* from the rows at render time (never stored), so it can
+    /// never drift stale against the numbers; it is emitted before
+    /// `rows` because the reader locates the row array by scanning from
+    /// the `"rows"` tag to the document's last `]`.
     pub fn to_json(&self) -> String {
+        let regressions: Vec<String> =
+            fused_regressions(&self.rows).iter().map(Regression::to_json).collect();
         let rows: Vec<String> = self.rows.iter().map(BenchRow::to_json).collect();
-        format!("{{\n  \"bench\": \"serve_throughput\",\n  \"rows\": [\n    {}\n  ]\n}}\n", {
+        format!(
+            "{{\n  \"bench\": \"serve_throughput\",\n  \"regressions\": [\n    {}\n  ],\n  \"rows\": [\n    {}\n  ]\n}}\n",
+            regressions.join(",\n    "),
             rows.join(",\n    ")
-        })
+        )
     }
 
     /// Parses a document produced by [`BenchArtifact::to_json`]. Returns
     /// `None` when the text lacks the document shape; a **row** that
     /// fails to parse is skipped rather than poisoning the document — a
     /// truncated tail (e.g. a previous writer died mid-save) must not
-    /// wipe the rows that survived.
+    /// wipe the rows that survived. The `regressions` block is derived
+    /// data and is deliberately not read back.
     pub fn from_json(text: &str) -> Option<Self> {
         let rows_start = text.find("\"rows\"")?;
         let open = text[rows_start..].find('[')? + rows_start;
@@ -142,6 +277,8 @@ impl BenchArtifact {
                     steps_per_s: field_num(obj, "steps_per_s")?,
                     // Older artifacts predate the latency column.
                     p99_us: field_num(obj, "p99_us").unwrap_or(0.0),
+                    // …and the host fingerprint column.
+                    fingerprint: field_str(obj, "fingerprint").unwrap_or_default(),
                 })
             })();
             if let Some(row) = parsed {
@@ -171,97 +308,40 @@ impl BenchArtifact {
 }
 
 /// Scans `rows` for serial/fused mode pairs at the same
-/// `{batch, shards}` and returns one warning line per pair where the
-/// fused row is *slower* than its serial twin. Pairing is by mode-name
-/// substitution (`serial` → `fused`), so `serial`/`fused`,
+/// `{batch, shards, fingerprint}` and returns one [`Regression`] per
+/// pair where the fused row is *slower* than its serial twin. Pairing is
+/// by mode-name substitution (`serial` → `fused`), so `serial`/`fused`,
 /// `serial-i8`/`fused-i8` and `router-serial`/`router-fused` all
-/// participate. Fused execution exists to raise decode arithmetic
-/// intensity; a fused row losing to serial at the same batch means the
-/// gather/pack overhead outweighs the GEMM win at that size, which the
-/// trajectory should flag rather than silently record.
-pub fn fused_regressions(rows: &[BenchRow]) -> Vec<String> {
+/// participate; rows from different hosts never pair. Fused execution
+/// exists to raise decode arithmetic intensity; a fused row losing to
+/// serial at the same batch means the gather/pack overhead outweighs the
+/// GEMM win at that size, which the trajectory should flag rather than
+/// silently record.
+pub fn fused_regressions(rows: &[BenchRow]) -> Vec<Regression> {
     let mut out = Vec::new();
     for serial in rows.iter().filter(|r| r.mode.contains("serial")) {
         let fused_mode = serial.mode.replace("serial", "fused");
-        let Some(fused) = rows
-            .iter()
-            .find(|r| r.mode == fused_mode && r.batch == serial.batch && r.shards == serial.shards)
-        else {
+        let Some(fused) = rows.iter().find(|r| {
+            r.mode == fused_mode
+                && r.batch == serial.batch
+                && r.shards == serial.shards
+                && r.fingerprint == serial.fingerprint
+        }) else {
             continue;
         };
         if fused.steps_per_s < serial.steps_per_s {
-            out.push(format!(
-                "warning: {} ({:.1} steps/s) < {} ({:.1} steps/s) at {{batch={}, shards={}}} — \
-                 fused batching is not paying for its gather at this size",
-                fused.mode,
-                fused.steps_per_s,
-                serial.mode,
-                serial.steps_per_s,
-                serial.batch,
-                serial.shards
-            ));
+            out.push(Regression {
+                fused_mode: fused.mode.clone(),
+                serial_mode: serial.mode.clone(),
+                batch: serial.batch,
+                shards: serial.shards,
+                fingerprint: serial.fingerprint.clone(),
+                fused_steps_per_s: fused.steps_per_s,
+                serial_steps_per_s: serial.steps_per_s,
+            });
         }
     }
     out
-}
-
-/// Splits `body` into the interiors of its top-level `{...}` objects,
-/// string-aware: braces inside quoted values (e.g. a mode named
-/// `"router{2}"`) do not terminate an object.
-fn split_objects(body: &str) -> Vec<&str> {
-    let mut objects = Vec::new();
-    let mut start = None;
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, c) in body.char_indices() {
-        if in_string {
-            match (escaped, c) {
-                (true, _) => escaped = false,
-                (false, '\\') => escaped = true,
-                (false, '"') => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' if start.is_none() => start = Some(i + 1),
-            '}' => {
-                if let Some(s) = start.take() {
-                    objects.push(&body[s..i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    objects
-}
-
-fn field_str(obj: &str, name: &str) -> Option<String> {
-    let tag = format!("\"{name}\"");
-    let at = obj.find(&tag)? + tag.len();
-    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
-    let rest = rest.strip_prefix('"')?;
-    // Scan to the first *unescaped* quote, unescaping as we go.
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    loop {
-        match chars.next()? {
-            '"' => return Some(out),
-            '\\' => out.push(chars.next()?),
-            c => out.push(c),
-        }
-    }
-}
-
-fn field_num(obj: &str, name: &str) -> Option<f64> {
-    let tag = format!("\"{name}\"");
-    let at = obj.find(&tag)? + tag.len();
-    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 #[cfg(test)]
@@ -269,7 +349,14 @@ mod tests {
     use super::*;
 
     fn row(mode: &str, batch: usize, shards: usize, sps: f64) -> BenchRow {
-        BenchRow { mode: mode.into(), batch, shards, steps_per_s: sps, p99_us: 0.0 }
+        BenchRow {
+            mode: mode.into(),
+            batch,
+            shards,
+            steps_per_s: sps,
+            p99_us: 0.0,
+            fingerprint: String::new(),
+        }
     }
 
     #[test]
@@ -284,6 +371,7 @@ mod tests {
             shards: 1,
             steps_per_s: 5000.0,
             p99_us: 512.5,
+            fingerprint: "linux/x86_64/generic/8t".into(),
         });
         let parsed = BenchArtifact::from_json(&a.to_json()).expect("own output parses");
         assert_eq!(parsed.rows().len(), 4);
@@ -291,16 +379,18 @@ mod tests {
         assert_eq!(parsed.rows()[2].shards, 2);
         assert!((parsed.rows()[0].steps_per_s - 9442.125).abs() < 1e-9);
         assert!((parsed.rows()[3].p99_us - 512.5).abs() < 1e-9, "latency column round-trips");
+        assert_eq!(parsed.rows()[3].fingerprint, "linux/x86_64/generic/8t");
     }
 
     #[test]
-    fn rows_without_latency_column_parse_with_zero() {
-        // Pre-latency-column artifacts must still load.
+    fn rows_without_latency_or_fingerprint_parse_with_defaults() {
+        // Pre-latency-column, pre-fingerprint artifacts must still load.
         let legacy = "{\n  \"bench\": \"serve_throughput\",\n  \"rows\": [\n    \
                       {\"mode\":\"serial\",\"batch\":8,\"shards\":1,\"steps_per_s\":100.000}\n  ]\n}\n";
         let parsed = BenchArtifact::from_json(legacy).expect("legacy shape parses");
         assert_eq!(parsed.rows().len(), 1);
         assert_eq!(parsed.rows()[0].p99_us, 0.0);
+        assert_eq!(parsed.rows()[0].fingerprint, "");
     }
 
     #[test]
@@ -312,6 +402,11 @@ mod tests {
         assert_eq!(a.rows().len(), 2);
         assert!((a.rows()[0].steps_per_s - 120.0).abs() < 1e-9);
         assert_eq!(a.rows_at_shards(2).len(), 1);
+        // A different host fingerprint is a different key: coexists.
+        let mut other = row("serial", 8, 1, 90.0);
+        other.fingerprint = "linux/x86_64/spr/16t".into();
+        a.upsert(other);
+        assert_eq!(a.rows().len(), 3, "same shape from another host keeps its own row");
     }
 
     #[test]
@@ -361,17 +456,67 @@ mod tests {
             // no router-fused twin at shards=2: unpaired rows are skipped
             row("mixed-chunked", 8, 1, 1.0), // non-serial modes never pair
         ];
-        let warnings = fused_regressions(&rows);
-        assert_eq!(warnings.len(), 2, "exactly the two slower fused rows warn: {warnings:?}");
-        assert!(warnings[0].contains("fused") && warnings[0].contains("batch=8"));
-        assert!(warnings[1].contains("fused-i8"));
+        let regs = fused_regressions(&rows);
+        assert_eq!(regs.len(), 2, "exactly the two slower fused rows warn: {regs:?}");
+        assert_eq!(regs[0].fused_mode, "fused");
+        assert_eq!(regs[0].serial_mode, "serial");
+        assert_eq!((regs[0].batch, regs[0].shards), (8, 1));
+        assert!((regs[0].fused_steps_per_s - 6440.0).abs() < 1e-9);
+        assert_eq!(regs[1].fused_mode, "fused-i8");
+        let line = regs[0].to_string();
+        assert!(line.contains("warning:") && line.contains("batch=8"), "line: {line}");
     }
 
     #[test]
-    fn fused_regressions_pairs_within_batch_and_shards() {
+    fn fused_regressions_pair_within_batch_shards_and_fingerprint() {
         // A fused row at a different batch must not pair with this serial row.
         let rows = vec![row("serial", 8, 1, 100.0), row("fused", 4, 1, 50.0)];
         assert!(fused_regressions(&rows).is_empty());
+        // Neither may a fused row measured on a different host.
+        let mut foreign = row("fused", 8, 1, 50.0);
+        foreign.fingerprint = "linux/x86_64/spr/16t".into();
+        let rows = vec![row("serial", 8, 1, 100.0), foreign];
+        assert!(fused_regressions(&rows).is_empty(), "cross-host pairs are meaningless");
+    }
+
+    #[test]
+    fn regressions_block_is_emitted_and_does_not_poison_rows() {
+        let mut a = BenchArtifact::new();
+        a.upsert(row("serial", 8, 1, 100.0));
+        a.upsert(row("fused", 8, 1, 50.0)); // regression: block is non-empty
+        let text = a.to_json();
+        let reg_at = text.find("\"regressions\"").expect("block present");
+        let rows_at = text.find("\"rows\"").expect("rows present");
+        assert!(reg_at < rows_at, "derived block must precede rows for the reader");
+        assert!(text.contains("\"fused_mode\":\"fused\""));
+        assert!(text.contains("\"serial_steps_per_s\":100.000"));
+        let parsed = BenchArtifact::from_json(&text).expect("parses with block present");
+        assert_eq!(parsed.rows().len(), 2, "regression objects are not mistaken for rows");
+        assert_eq!(fused_regressions(parsed.rows()).len(), 1, "block re-derives after reload");
+    }
+
+    #[test]
+    fn compare_reports_deltas_for_shared_keys_only() {
+        let mut base = BenchArtifact::new();
+        base.upsert(row("serial", 8, 1, 100.0));
+        base.upsert(row("fused", 8, 1, 200.0));
+        base.upsert(row("retired-mode", 8, 1, 1.0)); // gone in new
+        let mut new = BenchArtifact::new();
+        new.upsert(row("serial", 8, 1, 110.0));
+        new.upsert(row("fused", 8, 1, 150.0));
+        new.upsert(row("brand-new", 8, 1, 5.0)); // absent in base
+        let deltas = compare(&base, &new);
+        assert_eq!(deltas.len(), 2, "unmatched rows on either side are skipped");
+        assert!((deltas[0].delta_pct - 10.0).abs() < 1e-9);
+        assert!((deltas[1].delta_pct - -25.0).abs() < 1e-9);
+        let line = deltas[0].to_string();
+        assert!(line.contains("+10.0%") && line.contains("serial"), "line: {line}");
+        // Same key, different fingerprint: no match.
+        let mut other_host = BenchArtifact::new();
+        let mut r = row("serial", 8, 1, 110.0);
+        r.fingerprint = "linux/x86_64/spr/16t".into();
+        other_host.upsert(r);
+        assert!(compare(&base, &other_host).is_empty());
     }
 
     #[test]

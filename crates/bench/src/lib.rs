@@ -19,9 +19,12 @@
 pub mod artifact;
 pub mod baseline;
 pub mod driver;
+pub mod json;
 pub mod trace_artifact;
 
-pub use artifact::{fused_regressions, workspace_path, BenchArtifact, BenchRow};
+pub use artifact::{
+    compare, fused_regressions, workspace_path, BenchArtifact, BenchRow, Regression, RowDelta,
+};
 pub use driver::{
     measure_router_steps_per_s, router_mode_name, RouterLoad, RouterMeasurement, ROUTING_OVERHEAD,
     SERVE_ARTIFACT,

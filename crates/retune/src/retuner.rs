@@ -98,6 +98,33 @@ impl RetuneReport {
     pub fn changed(&self) -> bool {
         self.specs_changed > 0
     }
+
+    /// Folds this cycle into `metrics` (the serving registry the cycle
+    /// ran against): cycles, epoch bumps, specs changed, shapes
+    /// measured/skipped, and wall-clock budget spent. Counters only —
+    /// retune activity is cumulative, and scrape-side `rate()` recovers
+    /// per-cycle behavior. The router path publishes into shard 0's
+    /// registry alone so a fleet-wide [`pl_serve::MetricsSnapshot`]
+    /// merge counts each cycle once, not once per shard.
+    pub fn publish(&self, metrics: &pl_serve::MetricsRegistry) {
+        metrics.help("pl_retune_cycles_total", "Retune cycles run");
+        metrics.help("pl_retune_epoch_bumps_total", "Registry epoch advances from retuning");
+        metrics.help("pl_retune_specs_changed_total", "Kernel specs replaced by retuning");
+        metrics.help("pl_retune_shapes_measured_total", "Hot shapes measured by retune cycles");
+        metrics
+            .help("pl_retune_shapes_skipped_total", "Hot shapes skipped (budget/cut/unmeasurable)");
+        metrics.help("pl_retune_budget_spent_ms_total", "Wall-clock spent in retune cycles (ms)");
+        metrics.counter("pl_retune_cycles_total", &[]).inc();
+        metrics
+            .counter("pl_retune_epoch_bumps_total", &[])
+            .add(self.epoch_after.saturating_sub(self.epoch_before));
+        metrics.counter("pl_retune_specs_changed_total", &[]).add(self.specs_changed as u64);
+        metrics.counter("pl_retune_shapes_measured_total", &[]).add(self.outcomes.len() as u64);
+        metrics.counter("pl_retune_shapes_skipped_total", &[]).add(self.shapes_skipped as u64);
+        metrics
+            .counter("pl_retune_budget_spent_ms_total", &[])
+            .add((self.cycle_seconds * 1000.0) as u64);
+    }
 }
 
 /// The retuning service: holds the platform identity measurements are
@@ -142,7 +169,7 @@ impl Retuner {
         } else {
             server.set_tuning_db(&db);
         }
-        RetuneReport {
+        let report = RetuneReport {
             outcomes,
             hot_shapes,
             shapes_skipped: skipped,
@@ -150,7 +177,9 @@ impl Retuner {
             epoch_before,
             epoch_after: pl_dnn::tuning::epoch(),
             cycle_seconds: t0.elapsed().as_secs_f64(),
-        }
+        };
+        report.publish(server.metrics());
+        report
     }
 
     /// Fleet-wide retune: harvest hot shapes from **every** shard
@@ -184,7 +213,7 @@ impl Retuner {
                 shard.server().set_tuning_db(&db);
             }
         }
-        RetuneReport {
+        let report = RetuneReport {
             outcomes,
             hot_shapes,
             shapes_skipped: skipped,
@@ -192,7 +221,11 @@ impl Retuner {
             epoch_before,
             epoch_after: pl_dnn::tuning::epoch(),
             cycle_seconds: t0.elapsed().as_secs_f64(),
-        }
+        };
+        // Shard 0 only: a fleet-wide snapshot merge must count each
+        // cycle once, not once per shard.
+        report.publish(router.shard(0).server().metrics());
+        report
     }
 
     /// The measuring core: for each hot problem (bounded by `max_shapes`

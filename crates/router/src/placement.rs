@@ -6,6 +6,16 @@
 //! *affine* — it never migrates, because its KV cache lives in the
 //! shard's memory and moving it would cost more than any rebalancing
 //! could win at decode timescales.
+//!
+//! Health feeds placement: a shard whose [`Health`] is not
+//! [`Health::Healthy`] — degraded (SLO burn over threshold), draining
+//! (operator intent) or stalled (watchdog) — is excluded from the
+//! candidate list. Existing sessions keep stepping on their shard either
+//! way; health only gates **new** placements. The degraded state itself
+//! carries hysteresis (`pl_metrics::HealthTracker`), so a shard hovering
+//! at the burn threshold does not flap in and out of this list.
+
+use pl_metrics::Health;
 
 /// One shard's load sample at placement time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,8 +26,13 @@ pub struct ShardLoad {
     pub live_sessions: usize,
     /// Decode steps queued but not yet executed.
     pub queue_depth: usize,
-    /// Draining shards are never placement candidates.
+    /// Draining shards are never placement candidates. (Redundant with
+    /// `health == Health::Draining` — kept as the explicit operator-intent
+    /// bit the drain module owns.)
     pub draining: bool,
+    /// Health state derived from the shard's SLO windows and watchdog;
+    /// only [`Health::Healthy`] shards take new sessions.
+    pub health: Health,
 }
 
 impl ShardLoad {
@@ -27,20 +42,25 @@ impl ShardLoad {
     pub fn score(&self) -> usize {
         self.live_sessions + self.queue_depth
     }
+
+    /// Whether this shard accepts new sessions.
+    pub fn placeable(&self) -> bool {
+        !self.draining && self.health.placeable()
+    }
 }
 
-/// Placement-ordered candidate list: non-draining shards sorted by
-/// ascending [`ShardLoad::score`], ties broken by lowest shard index (so
-/// placement is deterministic and the first shards fill first at equal
-/// load). The router tries candidates in order until one admits the
-/// session.
+/// Placement-ordered candidate list: placeable (healthy, non-draining)
+/// shards sorted by ascending [`ShardLoad::score`], ties broken by
+/// lowest shard index (so placement is deterministic and the first
+/// shards fill first at equal load). The router tries candidates in
+/// order until one admits the session.
 pub fn placement_order(loads: &[ShardLoad]) -> Vec<usize> {
-    let mut candidates: Vec<&ShardLoad> = loads.iter().filter(|l| !l.draining).collect();
+    let mut candidates: Vec<&ShardLoad> = loads.iter().filter(|l| l.placeable()).collect();
     candidates.sort_by_key(|l| (l.score(), l.shard));
     candidates.into_iter().map(|l| l.shard).collect()
 }
 
-/// The least-loaded non-draining shard, if any.
+/// The least-loaded placeable shard, if any.
 pub fn least_loaded(loads: &[ShardLoad]) -> Option<usize> {
     placement_order(loads).first().copied()
 }
@@ -50,7 +70,13 @@ mod tests {
     use super::*;
 
     fn load(shard: usize, live: usize, queued: usize, draining: bool) -> ShardLoad {
-        ShardLoad { shard, live_sessions: live, queue_depth: queued, draining }
+        ShardLoad {
+            shard,
+            live_sessions: live,
+            queue_depth: queued,
+            draining,
+            health: if draining { Health::Draining } else { Health::Healthy },
+        }
     }
 
     #[test]
@@ -77,6 +103,24 @@ mod tests {
         let all_draining = [load(0, 0, 0, true), load(1, 0, 0, true)];
         assert_eq!(least_loaded(&all_draining), None);
         assert_eq!(least_loaded(&[]), None);
+    }
+
+    #[test]
+    fn unhealthy_shards_are_excluded() {
+        for bad in [Health::Degraded, Health::Stalled] {
+            let mut idle = load(0, 0, 0, false);
+            idle.health = bad;
+            let loads = [idle, load(1, 5, 2, false)];
+            assert_eq!(least_loaded(&loads), Some(1), "idle-but-{bad} shard skipped");
+            assert_eq!(placement_order(&loads), vec![1]);
+        }
+        // Every shard unhealthy: no candidates, admission must fail
+        // loudly rather than place onto a degraded shard.
+        let mut a = load(0, 0, 0, false);
+        a.health = Health::Degraded;
+        let mut b = load(1, 0, 0, false);
+        b.health = Health::Stalled;
+        assert_eq!(least_loaded(&[a, b]), None);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use parking_lot::Mutex;
 use pl_autotuner::TuningDb;
 use pl_dnn::DecoderModel;
 use pl_perfmodel::Platform;
-use pl_serve::{ServeError, ServerConfig, SessionId, StatsSnapshot, StepResult, TenantId};
+use pl_serve::{
+    Health, MetricsSnapshot, ServeError, ServerConfig, SessionId, StatsSnapshot, StepResult,
+    TenantId,
+};
 use pl_trace::TraceSummary;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -163,22 +166,61 @@ impl Router {
         }
     }
 
-    /// Current placement loads (the inputs to [`placement_order`]).
+    /// Current placement loads (the inputs to [`placement_order`]),
+    /// health included: each shard's server evaluates its own SLO burn
+    /// and stall watchdog ([`pl_serve::Server::health`]); a draining
+    /// shard reports [`Health::Draining`] regardless (administrative
+    /// intent overrides the measured state for placement purposes).
     pub fn loads(&self) -> Vec<ShardLoad> {
         self.shards
             .iter()
-            .map(|s| ShardLoad {
-                shard: s.index(),
-                live_sessions: s.server().session_count(),
-                queue_depth: s.server().pending(),
-                draining: s.is_draining(),
+            .map(|s| {
+                let draining = s.is_draining();
+                ShardLoad {
+                    shard: s.index(),
+                    live_sessions: s.server().session_count(),
+                    queue_depth: s.server().pending(),
+                    draining,
+                    health: if draining { Health::Draining } else { s.server().health() },
+                }
             })
             .collect()
     }
 
-    /// Admits a new session: least-loaded non-draining shard first, then
-    /// the next candidates if it is full ([`placement_order`]). The
-    /// session is *affine* to the chosen shard for its whole life.
+    /// The current health of every shard (index = shard), with the
+    /// draining overlay applied — the fleet view `pl_shard_health`
+    /// exports.
+    pub fn shard_health(&self) -> Vec<Health> {
+        self.loads().into_iter().map(|l| l.health).collect()
+    }
+
+    /// Fleet-wide metrics: every shard's snapshot stamped with its
+    /// `shard` label, then merged (counters and histogram buckets sum;
+    /// the `pl_shard_health` gauge stays per-shard thanks to the label,
+    /// and carries the draining overlay). Render with
+    /// [`pl_metrics::render_prometheus`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let healths = self.shard_health();
+        let mut fleet = MetricsSnapshot::default();
+        for (shard, health) in self.shards.iter().zip(healths) {
+            let snap = shard.server().metrics_snapshot();
+            let idx = shard.index().to_string();
+            let mut snap = snap.with_label("shard", &idx);
+            // Overlay draining onto the exported health gauge — the
+            // server itself cannot know the router marked it.
+            let key = ("pl_shard_health".to_string(), vec![("shard".to_string(), idx)]);
+            snap.gauges.insert(key, health.as_f64());
+            fleet.merge(&snap);
+        }
+        fleet
+    }
+
+    /// Admits a new session: least-loaded placeable shard first, then
+    /// the next candidates if it is full ([`placement_order`]) — shards
+    /// that are draining, degraded (SLO burn through the hysteresis
+    /// band) or stalled (watchdog) take no new sessions, while their
+    /// existing sessions keep stepping untouched. The session is
+    /// *affine* to the chosen shard for its whole life.
     pub fn create_session(&self, tenant: TenantId) -> Result<RouterSessionId, RouterError> {
         if tenant >= self.cfg.server.tenants {
             return Err(RouterError::Serve(ServeError::UnknownTenant(tenant)));
@@ -645,6 +687,70 @@ mod tests {
             r.create_session(0),
             Err(RouterError::Serve(ServeError::ShuttingDown)) | Err(RouterError::NoShardAvailable)
         ));
+    }
+
+    #[test]
+    fn degraded_shard_excluded_until_burn_recovers() {
+        let r = tiny_router(2, no_wait());
+        let model = Arc::clone(r.shard(0).server().model());
+        let hidden = model.config().hidden;
+        let s0 = r.create_session(0).unwrap();
+        let s1 = r.create_session(0).unwrap();
+        assert_eq!(r.placement_of(s0), Some(0));
+        assert_eq!(r.placement_of(s1), Some(1));
+        // Inject SLO violations on shard 0: every observation blows the
+        // target, so the burn rate saturates at 100x the error budget
+        // and the health tracker latches Degraded.
+        let slo = r.shard(0).server().slo();
+        for _ in 0..200 {
+            slo.record(9_999_999);
+        }
+        assert_eq!(r.shard_health(), vec![Health::Degraded, Health::Healthy]);
+        // New sessions skip the degraded shard even though both shards
+        // hold one session (and shard 1 only grows more loaded)...
+        for i in 0..3 {
+            let id = r.create_session(0).unwrap();
+            assert_eq!(r.placement_of(id), Some(1), "new session {i} hit the degraded shard");
+        }
+        // ...while the existing shard-0 session keeps stepping,
+        // bit-identical to unbatched decode over the same weights.
+        let mut outs = Vec::new();
+        let mut x = token(77, hidden);
+        for _ in 0..3 {
+            let rx = r.submit_step(s0, &x).unwrap();
+            while r.pump_all() == 0 {}
+            x = rx.recv().unwrap().unwrap();
+            outs.push(x.clone());
+        }
+        let pool = ThreadPool::new(2);
+        let mut st = model.new_state(16);
+        let mut want = token(77, hidden);
+        for (t, got) in outs.iter().enumerate() {
+            want = model.forward(&mut st, &want, 1, &pool);
+            assert_eq!(got, &want, "degraded-shard step {t} diverged");
+        }
+        // Hysteresis: dilute the violations with in-target traffic until
+        // burn sits inside the (exit, enter) band — the shard must STAY
+        // out of placement, not flap back at the first dip below enter.
+        while slo.burn_rate() >= 1.0 {
+            for _ in 0..500 {
+                slo.record(10);
+            }
+        }
+        let burn = slo.burn_rate();
+        assert!((0.5..1.0).contains(&burn), "burn {burn} should sit inside the band");
+        assert_eq!(r.shard_health()[0], Health::Degraded, "in-band burn keeps the latch");
+        assert_eq!(r.placement_of(r.create_session(0).unwrap()), Some(1));
+        // Recovery: only once burn falls through the exit threshold does
+        // the shard rejoin the candidate list (and, holding 1 session to
+        // shard 1's 5, it is immediately the least-loaded pick).
+        while slo.burn_rate() > 0.5 {
+            for _ in 0..2000 {
+                slo.record(10);
+            }
+        }
+        assert_eq!(r.shard_health(), vec![Health::Healthy, Health::Healthy]);
+        assert_eq!(r.placement_of(r.create_session(0).unwrap()), Some(0));
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub use session::{Session, SessionId, TenantId};
 pub use stats::{
     quantile_from_buckets, CountHistogram, LatencyHistogram, ServerStats, StatsSnapshot,
 };
+// The health/SLO vocabulary servers speak — re-exported so consumers
+// (router, examples) need not depend on pl_metrics directly.
+pub use pl_metrics::{Health, MetricsRegistry, MetricsSnapshot, SloWindow, Watchdog};
 
 /// What a decode step resolves to.
 pub type StepResult = Result<Vec<f32>, ServeError>;

@@ -42,6 +42,10 @@ use crate::{ServeError, StepResult};
 use parking_lot::{Mutex, RwLock};
 use pl_autotuner::{batch_ladder, warm_gemm_db, warm_spmm_db, Constraints, GemmProblem, TuningDb};
 use pl_dnn::{DecoderModel, DecoderState, Precision};
+use pl_metrics::{
+    Counter, Health, HealthTracker, Histogram, MetricsRegistry, MetricsSnapshot, SloWindow,
+    Watchdog,
+};
 use pl_perfmodel::Platform;
 use pl_runtime::ThreadPool;
 use std::collections::HashMap;
@@ -93,6 +97,15 @@ pub struct ServerConfig {
     /// silently wrong tuning keys. Tuning-DB keys, kernel caches and trace
     /// spans are all precision-scoped through the plans themselves.
     pub precision: Precision,
+    /// SLO target for decode step latency (µs): the p99 objective the
+    /// per-tenant and shard-wide [`SloWindow`]s track violations
+    /// against. Feeds the burn-rate gauges and [`Server::health`].
+    pub slo_p99_us: u64,
+    /// Rolling SLO window length in seconds.
+    pub slo_window_s: u64,
+    /// Stall-watchdog deadline: with work pending and no batch collected
+    /// for this long, [`Server::health`] reports [`Health::Stalled`].
+    pub watchdog_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -108,8 +121,24 @@ impl Default for ServerConfig {
             idle_poll: Duration::from_millis(1),
             fused: false,
             precision: Precision::F32,
+            slo_p99_us: 50_000,
+            slo_window_s: 60,
+            watchdog_deadline: Duration::from_secs(1),
         }
     }
+}
+
+/// Pre-created per-tenant metric handles: the hot path records through
+/// these (atomics only — the registry lock is never taken after
+/// construction).
+struct TenantMetrics {
+    steps: Counter,
+    prefill_chunks: Counter,
+    rejected: Counter,
+    queue_wait: Histogram,
+    execute: Histogram,
+    burn: pl_metrics::Gauge,
+    slo: SloWindow,
 }
 
 /// A session-table slot: either the live session, or the marker left
@@ -183,6 +212,19 @@ struct ServerInner {
     /// table and across chunk boundaries of one prefill. This is the
     /// quiescence signal drains rely on.
     in_flight: AtomicU64,
+    /// The labeled metrics registry (Prometheus/JSON exposition).
+    metrics: MetricsRegistry,
+    /// Per-tenant handle sets, indexed by tenant id.
+    tenant_metrics: Vec<TenantMetrics>,
+    /// Batches-executed counter mirrored into the registry.
+    batches_total: Counter,
+    /// Shard-wide SLO window over decode step latency — what
+    /// [`Server::health`] derives its burn rate from.
+    slo: SloWindow,
+    /// Degraded/healthy state machine with hysteresis.
+    health: HealthTracker,
+    /// Stalled-pump detector over `(pending, batches)`.
+    watchdog: Watchdog,
 }
 
 impl ServerInner {
@@ -240,11 +282,45 @@ impl Server {
             cfg.precision,
             "model precision must match ServerConfig::precision"
         );
+        let metrics = MetricsRegistry::new();
+        metrics.help("pl_steps_total", "Decode steps delivered, per tenant");
+        metrics.help("pl_prefill_chunks_total", "Prefill chunks executed, per tenant");
+        metrics.help("pl_rejected_backpressure_total", "Submissions bounced on a full ring");
+        metrics.help("pl_queue_wait_us", "Submit-to-collect latency (log2 buckets, µs)");
+        metrics.help("pl_execute_us", "Collect-to-reply latency (log2 buckets, µs)");
+        metrics.help("pl_batches_total", "Batches executed");
+        metrics.help("pl_slo_burn_rate", "Windowed SLO violation fraction over the error budget");
+        metrics.help("pl_sessions_live", "Live sessions");
+        metrics.help("pl_pending", "Work items queued but not executing");
+        metrics.help("pl_in_flight", "Accepted work not yet delivered");
+        metrics.help("pl_shard_health", "0 healthy, 1 degraded, 2 draining, 3 stalled");
+        let tenant_metrics = (0..cfg.tenants)
+            .map(|t| {
+                let tenant = t.to_string();
+                let labels: [(&str, &str); 1] = [("tenant", tenant.as_str())];
+                TenantMetrics {
+                    steps: metrics.counter("pl_steps_total", &labels),
+                    prefill_chunks: metrics.counter("pl_prefill_chunks_total", &labels),
+                    rejected: metrics.counter("pl_rejected_backpressure_total", &labels),
+                    queue_wait: metrics.histogram("pl_queue_wait_us", &labels),
+                    execute: metrics.histogram("pl_execute_us", &labels),
+                    burn: metrics.gauge("pl_slo_burn_rate", &labels),
+                    slo: SloWindow::new(cfg.slo_p99_us, cfg.slo_window_s),
+                }
+            })
+            .collect();
+        let batches_total = metrics.counter("pl_batches_total", &[]);
         let inner = Arc::new(ServerInner {
             batcher: DynamicBatcher::new(cfg.tenants, cfg.queue_capacity),
             stats: ServerStats::new(cfg.max_batch),
             mode_policy: RwLock::new(None),
             prefill_chunk: AtomicUsize::new(cfg.prefill_chunk.max(1)),
+            slo: SloWindow::new(cfg.slo_p99_us, cfg.slo_window_s),
+            health: HealthTracker::default(),
+            watchdog: Watchdog::new(cfg.watchdog_deadline),
+            metrics,
+            tenant_metrics,
+            batches_total,
             model,
             pool,
             cfg,
@@ -262,6 +338,62 @@ impl Server {
     /// The metrics surface.
     pub fn stats(&self) -> &ServerStats {
         &self.inner.stats
+    }
+
+    /// The labeled metrics registry — per-tenant counters and latency
+    /// histograms accumulate here; scrape through
+    /// [`Server::metrics_snapshot`] +
+    /// [`pl_metrics::render_prometheus`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The shard-wide SLO window over decode step latency. Public so
+    /// operators (and tests) can inspect the burn rate — or inject
+    /// observations via [`SloWindow::record`] to drive
+    /// [`Server::health`] deterministically.
+    pub fn slo(&self) -> &SloWindow {
+        &self.inner.slo
+    }
+
+    /// Per-tenant SLO window (`None` for an out-of-range tenant).
+    pub fn tenant_slo(&self, tenant: TenantId) -> Option<&SloWindow> {
+        self.inner.tenant_metrics.get(tenant).map(|tm| &tm.slo)
+    }
+
+    /// Current health of this server: feeds one `(pending, batches)`
+    /// observation to the stall watchdog, folds the shard-wide SLO burn
+    /// rate through the hysteresis tracker, and reports
+    /// `Healthy | Degraded | Stalled` (a router overlays `Draining` on
+    /// top — administrative intent lives above the server). Degraded
+    /// entry/exit uses the [`pl_metrics::HealthTracker`] hysteresis band
+    /// so a shard hovering at the threshold does not flap in and out of
+    /// placement.
+    pub fn health(&self) -> Health {
+        let stalled = self
+            .inner
+            .watchdog
+            .check(self.pending() as u64, self.inner.stats.batches.load(Ordering::Relaxed));
+        self.inner.health.evaluate(self.inner.slo.burn_rate(), stalled)
+    }
+
+    /// Point-in-time metrics snapshot: samples the liveness gauges
+    /// (sessions, queue depths, per-tenant burn rates, shard health) and
+    /// returns a copy of every series. Render with
+    /// [`pl_metrics::render_prometheus`] or
+    /// [`pl_metrics::snapshot_to_json`]; merge shard snapshots with
+    /// [`MetricsSnapshot::merge`] after
+    /// [`MetricsSnapshot::with_label`]-stamping them.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let m = &self.inner.metrics;
+        m.gauge("pl_sessions_live", &[]).set(self.session_count() as f64);
+        m.gauge("pl_pending", &[]).set(self.pending() as f64);
+        m.gauge("pl_in_flight", &[]).set(self.in_flight() as f64);
+        for tm in &self.inner.tenant_metrics {
+            tm.burn.set(tm.slo.burn_rate());
+        }
+        m.gauge("pl_shard_health", &[]).set(self.health().as_f64());
+        m.snapshot()
     }
 
     /// The shared model.
@@ -641,6 +773,9 @@ impl Server {
                 tickets.fetch_sub(1, Ordering::AcqRel);
                 self.inner.in_flight.fetch_sub(1, Ordering::AcqRel);
                 self.inner.stats.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+                if let Some(tm) = self.inner.tenant_metrics.get(item.tenant()) {
+                    tm.rejected.inc();
+                }
                 Err(ServeError::Backpressure { tenant: item.tenant() })
             }
         }
@@ -963,6 +1098,7 @@ impl Server {
         // Phase 3 — check-in and delivery.
         let _deliver_span = pl_trace::span("batch.deliver", [size as u64, 0, 0]);
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+        inner.batches_total.inc();
         inner.stats.batch_sizes.record(size);
         if decode_lanes > 0 {
             inner.stats.decode_batches.fetch_add(1, Ordering::Relaxed);
@@ -984,9 +1120,20 @@ impl Server {
                     // boundary: ring wait vs batch compute.
                     let us = req.enqueued.elapsed().as_micros() as u64;
                     let queue_wait = collected.saturating_duration_since(req.enqueued);
+                    let execute_us = collected.elapsed().as_micros() as u64;
                     inner.stats.step_latency.record_us(us);
                     inner.stats.queue_wait_latency.record_us(queue_wait.as_micros() as u64);
-                    inner.stats.execute_latency.record_us(collected.elapsed().as_micros() as u64);
+                    inner.stats.execute_latency.record_us(execute_us);
+                    // Per-tenant accounting + SLO tracking (pre-created
+                    // handles: atomics and one short mutex, no registry
+                    // lock).
+                    if let Some(tm) = inner.tenant_metrics.get(req.tenant) {
+                        tm.steps.inc();
+                        tm.queue_wait.observe(queue_wait.as_micros() as u64);
+                        tm.execute.observe(execute_us);
+                        tm.slo.record(us);
+                    }
+                    inner.slo.record(us);
                     if pl_trace::enabled() {
                         // The per-item submit→collect span, placed on the
                         // trace timebase so it lines up under this batch's
@@ -1005,6 +1152,9 @@ impl Server {
                         .stats
                         .prefill_chunk_latency
                         .record_us(c.enqueued.elapsed().as_micros() as u64);
+                    if let Some(tm) = inner.tenant_metrics.get(c.job.tenant()) {
+                        tm.prefill_chunks.inc();
+                    }
                     if pl_trace::enabled() {
                         let q_ns =
                             collected.saturating_duration_since(c.enqueued).as_nanos() as u64;
@@ -2091,5 +2241,118 @@ mod tests {
         // The 4-per-layer hidden x hidden shape outweighs the FFN shapes.
         let layers = server.model().config().layers as u64;
         assert_eq!(hot[0].1, 4 * layers);
+    }
+
+    #[test]
+    fn watchdog_detects_stalled_pump_but_never_fires_idle() {
+        // A huge SLO target isolates the watchdog: the deliberate stall
+        // below would otherwise also blow the burn rate and the test
+        // could not tell Stalled from Degraded recovery.
+        let server = tiny_server(ServerConfig {
+            coalesce_wait: Duration::ZERO,
+            slo_p99_us: 60_000_000,
+            watchdog_deadline: Duration::from_millis(50),
+            ..Default::default()
+        });
+        // Idle-but-empty: nothing pending, so no amount of inactivity
+        // counts as a stall.
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(server.health(), Health::Healthy, "idle server must not stall");
+        // Deliberately stall a manual pump: submit a step, never pump.
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let rx = server.submit_step(id, &token(9, hidden)).unwrap();
+        assert_eq!(server.health(), Health::Healthy, "first pending observation arms");
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(server.health(), Health::Stalled, "pending work, no batch for the deadline");
+        // Progress clears the stall: one pump retires the backlog.
+        assert_eq!(server.pump(), 1);
+        rx.recv().unwrap().unwrap();
+        assert_eq!(server.health(), Health::Healthy, "progress + empty queue recovers");
+    }
+
+    #[test]
+    fn per_tenant_metrics_account_steps_chunks_and_rejections() {
+        let server = tiny_server(ServerConfig {
+            tenants: 2,
+            queue_capacity: 2,
+            prefill_chunk: 4,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let a = server.create_session(0).unwrap();
+        let b = server.create_session(1).unwrap();
+        // Tenant 0: two steps fill the ring, the third bounces.
+        let rx0 = server.submit_step(a, &token(1, hidden)).unwrap();
+        let rx1 = server.submit_step(a, &token(2, hidden)).unwrap();
+        assert!(matches!(
+            server.submit_step(a, &token(3, hidden)),
+            Err(ServeError::Backpressure { tenant: 0 })
+        ));
+        while server.pump() > 0 {}
+        rx0.recv().unwrap().unwrap();
+        rx1.recv().unwrap().unwrap();
+        // Tenant 1: an 8-token prompt through 4-token chunks = 2 chunks.
+        let rxp = server.submit_prefill(b, &token(4, hidden * 8), 8).unwrap();
+        while server.pump() > 0 {}
+        rxp.recv().unwrap().unwrap();
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter_value("pl_steps_total", &[("tenant", "0")]), 2);
+        assert_eq!(snap.counter_value("pl_steps_total", &[("tenant", "1")]), 0);
+        assert_eq!(snap.counter_value("pl_prefill_chunks_total", &[("tenant", "1")]), 2);
+        assert_eq!(snap.counter_value("pl_prefill_chunks_total", &[("tenant", "0")]), 0);
+        assert_eq!(snap.counter_value("pl_rejected_backpressure_total", &[("tenant", "0")]), 1);
+        assert!(snap.counter_value("pl_batches_total", &[]) >= 2);
+        let qw = snap.histogram_series("pl_queue_wait_us", &[("tenant", "0")]).unwrap();
+        assert_eq!(qw.count, 2, "one queue-wait observation per delivered step");
+        let ex = snap.histogram_series("pl_execute_us", &[("tenant", "0")]).unwrap();
+        assert_eq!(ex.count, 2);
+        assert_eq!(snap.gauge_value("pl_sessions_live", &[]), Some(2.0));
+        assert_eq!(snap.gauge_value("pl_pending", &[]), Some(0.0));
+        // SLO windows are per-tenant too: tenant 0 saw the traffic.
+        assert_eq!(server.tenant_slo(0).unwrap().observations(), 2);
+        assert_eq!(server.tenant_slo(1).unwrap().observations(), 0);
+        assert!(server.tenant_slo(2).is_none());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        let server = tiny_server(ServerConfig {
+            tenants: 2,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        for t in 0..2 {
+            let id = server.create_session(t).unwrap();
+            let rx = server.submit_step(id, &token(20 + t as u64, hidden)).unwrap();
+            while server.pump() > 0 {}
+            rx.recv().unwrap().unwrap();
+        }
+        let text = pl_metrics::render_prometheus(&server.metrics_snapshot());
+        // The in-repo conformance parser: family/type/label/bucket
+        // well-formedness, monotone cumulative buckets, no orphan TYPEs.
+        let report = pl_metrics::parse_prometheus(&text)
+            .unwrap_or_else(|e| panic!("non-conformant exposition: {e}\n{text}"));
+        for fam in [
+            "pl_steps_total",
+            "pl_prefill_chunks_total",
+            "pl_rejected_backpressure_total",
+            "pl_queue_wait_us",
+            "pl_execute_us",
+            "pl_batches_total",
+            "pl_slo_burn_rate",
+            "pl_sessions_live",
+            "pl_pending",
+            "pl_in_flight",
+            "pl_shard_health",
+        ] {
+            assert!(report.families.contains_key(fam), "family {fam} missing from exposition");
+        }
+        assert!(report.histogram_series >= 4, "2 tenants x 2 latency histograms");
+        assert!(text.contains("pl_steps_total{tenant=\"0\"} 1"));
+        assert!(text.contains("pl_queue_wait_us_bucket{"));
+        assert!(text.contains("le=\"+Inf\""));
     }
 }

@@ -32,37 +32,22 @@ impl Default for LatencyHistogram {
 }
 
 /// Element-wise sum of `other` into `mine`, growing `mine` as needed —
-/// the bucket-histogram half of [`StatsSnapshot::merge`], shared by every
-/// latency histogram a snapshot carries so the resize-then-add logic
-/// exists once.
+/// the bucket-histogram half of [`StatsSnapshot::merge`], delegating to
+/// the workspace-wide implementation in [`pl_metrics::merge_buckets`].
 fn merge_buckets(mine: &mut Vec<u64>, other: &[u64]) {
-    if mine.len() < other.len() {
-        mine.resize(other.len(), 0);
-    }
-    for (i, &c) in other.iter().enumerate() {
-        mine[i] += c;
-    }
+    pl_metrics::merge_buckets(mine, other);
 }
 
 /// Quantile estimate from raw log2 bucket counts: the upper edge of the
 /// bucket containing rank `ceil(q * n)`. This is the pure fold behind
 /// [`LatencyHistogram::quantile_us`], shared with [`StatsSnapshot::merge`]
 /// so cross-shard aggregation recomputes quantiles from summed buckets
-/// instead of (incorrectly) averaging per-shard quantiles.
+/// instead of (incorrectly) averaging per-shard quantiles. The single
+/// implementation (also behind `pl_trace`'s nanosecond histograms) lives
+/// in [`pl_metrics::quantile_from_buckets`]; this re-export keeps the
+/// serving-layer API stable.
 pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> u64 {
-    let n: u64 = buckets.iter().sum();
-    if n == 0 {
-        return 0;
-    }
-    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-    let mut seen = 0u64;
-    for (i, &b) in buckets.iter().enumerate() {
-        seen += b;
-        if seen >= rank {
-            return 1u64 << i; // upper edge of bucket i
-        }
-    }
-    1u64 << buckets.len().saturating_sub(1)
+    pl_metrics::quantile_from_buckets(buckets, q)
 }
 
 impl LatencyHistogram {
@@ -76,7 +61,7 @@ impl LatencyHistogram {
     }
 
     fn bucket_of(us: u64) -> usize {
-        ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        pl_metrics::bucket_of(us, LATENCY_BUCKETS)
     }
 
     /// Point-in-time copy of the raw bucket counts (index i = bucket i).

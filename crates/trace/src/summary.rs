@@ -20,26 +20,14 @@ type OpenFrame<'a> = (&'a str, [u64; 3], u64);
 pub const DURATION_BUCKETS: usize = 48;
 
 /// Quantile estimate from raw log2 bucket counts: the upper edge of the
-/// bucket containing rank `ceil(q * n)` — the same fold `pl_serve` uses
-/// for latency buckets, over nanoseconds here.
+/// bucket containing rank `ceil(q * n)` — the shared fold in
+/// [`pl_metrics::quantile_from_buckets`], over nanoseconds here.
 pub fn quantile_from_buckets_ns(buckets: &[u64], q: f64) -> u64 {
-    let n: u64 = buckets.iter().sum();
-    if n == 0 {
-        return 0;
-    }
-    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-    let mut seen = 0u64;
-    for (i, &b) in buckets.iter().enumerate() {
-        seen += b;
-        if seen >= rank {
-            return 1u64 << i;
-        }
-    }
-    1u64 << buckets.len().saturating_sub(1)
+    pl_metrics::quantile_from_buckets(buckets, q)
 }
 
 fn bucket_of_ns(ns: u64) -> usize {
-    ((64 - ns.leading_zeros()) as usize).min(DURATION_BUCKETS - 1)
+    pl_metrics::bucket_of(ns, DURATION_BUCKETS)
 }
 
 /// Duration statistics for one `(name, args)` key.
@@ -83,12 +71,7 @@ impl DurationStat {
         self.total_ns += other.total_ns;
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
-        if self.buckets.len() < other.buckets.len() {
-            self.buckets.resize(other.buckets.len(), 0);
-        }
-        for (i, &c) in other.buckets.iter().enumerate() {
-            self.buckets[i] += c;
-        }
+        pl_metrics::merge_buckets(&mut self.buckets, &other.buckets);
     }
 
     /// Mean duration in nanoseconds (0 when empty).

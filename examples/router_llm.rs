@@ -214,6 +214,9 @@ fn main() {
         "shards", "steps/s", "measured x", "projected x", "p99 us"
     );
     let mode = router_mode_name(fused);
+    // Same host fingerprint the retune evidence DB keys on: rows from
+    // different machines coexist in the artifact instead of clobbering.
+    let fp = pl_retune::host_fingerprint(Platform::generic_host(total_threads).name, total_threads);
     let mut artifact = BenchArtifact::load(&pl_bench::workspace_path(SERVE_ARTIFACT));
     let projection = pl_router::serving_scaling_model(ROUTING_OVERHEAD);
     let load = RouterLoad {
@@ -247,6 +250,7 @@ fn main() {
             shards: n,
             steps_per_s: m.steps_per_s,
             p99_us: m.p99_us as f64,
+            fingerprint: fp.clone(),
         });
         if n == shards && shards == 1 {
             break;

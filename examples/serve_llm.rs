@@ -42,8 +42,14 @@
 //! dumped to `trace_serve_llm.json` in Chrome `trace_event` format —
 //! open it in `chrome://tracing` or `ui.perfetto.dev`.
 //!
+//! With `--metrics` (or `PL_SERVE_METRICS=1`) the server's pl-metrics
+//! plane is exercised: the labeled snapshot is rendered to Prometheus
+//! text exposition, validated in process by the in-repo conformance
+//! parser (`pl_metrics::parse_prometheus`), cross-checked against the
+//! `ServerStats` counters, and dumped to `metrics_serve_llm.prom`.
+//!
 //! Run: `cargo run --release --example serve_llm [-- --fused] [-- --trace]
-//! [-- --precision int8]`
+//! [-- --metrics] [-- --precision int8]`
 
 use pl_dnn::{Decoder, DecoderConfig, DecoderModel, Precision};
 use pl_perfmodel::Platform;
@@ -101,6 +107,8 @@ fn main() {
         || std::env::var("PL_SERVE_FUSED").is_ok_and(|v| v == "1");
     let trace = args.iter().any(|a| a == "--trace")
         || std::env::var("PL_SERVE_TRACE").is_ok_and(|v| v == "1");
+    let metrics = args.iter().any(|a| a == "--metrics")
+        || std::env::var("PL_SERVE_METRICS").is_ok_and(|v| v == "1");
     let mut precision = Precision::F32;
     for (i, a) in args.iter().enumerate() {
         if let Some(v) = a.strip_prefix("--precision=") {
@@ -213,6 +221,10 @@ fn main() {
     });
     let serve_s = t0.elapsed().as_secs_f64();
     let snap = server.stats().snapshot();
+    // Snapshot the metrics plane while the server is live — the gauges
+    // (`pl_sessions_live`, `pl_pending`, `pl_shard_health`) are sampled
+    // at snapshot time, and the health view needs a running watchdog.
+    let metrics_snap = metrics.then(|| (server.metrics_snapshot(), server.health()));
     server.shutdown();
     // Sampled here, before the baselines: the cross-precision replay
     // constructs a fresh f32 model, and model construction is *supposed*
@@ -389,6 +401,52 @@ fn main() {
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
         println!("OK: trace balanced on every lane, GEMM spans nonzero");
+    }
+
+    // --- Metrics plane: conformance-check and dump the exposition. -------
+    if let Some((msnap, health)) = metrics_snap {
+        println!("\n=== pl-metrics exposition ===");
+        let text = pl_metrics::render_prometheus(&msnap);
+        let report = pl_metrics::parse_prometheus(&text)
+            .expect("rendered exposition must pass the conformance parser");
+        for (family, kind) in [
+            ("pl_steps_total", "counter"),
+            ("pl_prefill_chunks_total", "counter"),
+            ("pl_batches_total", "counter"),
+            ("pl_queue_wait_us", "histogram"),
+            ("pl_execute_us", "histogram"),
+            ("pl_slo_burn_rate", "gauge"),
+            ("pl_sessions_live", "gauge"),
+            ("pl_shard_health", "gauge"),
+        ] {
+            assert_eq!(
+                report.families.get(family).map(String::as_str),
+                Some(kind),
+                "family {family} missing or mistyped in the exposition"
+            );
+        }
+        // The metrics plane and the ServerStats plane count the same
+        // traffic through independent code paths — they must agree.
+        let steps_by_tenant: u64 = (0..TENANTS as u32)
+            .map(|t| msnap.counter_value("pl_steps_total", &[("tenant", &t.to_string())]))
+            .sum();
+        assert_eq!(steps_by_tenant, snap.completed, "metrics steps disagree with ServerStats");
+        let chunks_by_tenant: u64 = (0..TENANTS as u32)
+            .map(|t| msnap.counter_value("pl_prefill_chunks_total", &[("tenant", &t.to_string())]))
+            .sum();
+        assert_eq!(chunks_by_tenant, snap.prefill_chunks, "metrics chunks disagree");
+        assert!(text.contains("pl_queue_wait_us_bucket{"), "histogram buckets missing");
+        assert!(text.contains("le=\"+Inf\""), "+Inf bucket missing");
+        println!("families declared    {:>10}", report.families.len());
+        println!("sample lines         {:>10}", report.samples);
+        println!("histogram series     {:>10}", report.histogram_series);
+        println!("shard health         {:>10}", health);
+        let path = pl_bench::workspace_path("metrics_serve_llm.prom");
+        match std::fs::write(&path, &text) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+        println!("OK: exposition conformant, counters agree with ServerStats");
     }
 
     assert_eq!(

@@ -156,6 +156,11 @@ fn retune_cycle_end_to_end_with_persistence_and_fallback() {
     assert_ne!(outcome.new_spec, "zzz");
     assert!(outcome.new_gflops > 0.0);
     assert!(outcome.candidates_measured > 0);
+    // The cycle published its counters into the server's metrics plane.
+    let metrics = server.metrics_snapshot();
+    assert_eq!(metrics.counter_value("pl_retune_cycles_total", &[]), 1);
+    assert!(metrics.counter_value("pl_retune_epoch_bumps_total", &[]) >= 1);
+    assert!(metrics.counter_value("pl_retune_shapes_measured_total", &[]) >= 1);
     // Plans re-resolve from the installed snapshot: the server's DB now
     // carries the measured winner under the poisoned key.
     let installed = server.tuning_db().get(&key).expect("retuned key present").clone();
