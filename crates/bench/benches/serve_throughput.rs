@@ -189,6 +189,143 @@ fn mixed_workload(
     println!();
 }
 
+const DENSITY_SESSIONS: usize = 8;
+const DENSITY_PREFIX: usize = 64;
+
+/// Session density at fixed KV memory: `DENSITY_SESSIONS` sessions open
+/// with the same `DENSITY_PREFIX`-token prompt, then each decodes one
+/// divergent token. The contiguous row runs with page size == capacity
+/// (one capacity-sized allocation per layer at first write — the
+/// pre-paging layout) and sharing off; the paged row uses the default
+/// page size with the prefix cache on, so the prompt's pages are physical
+/// copies held once and divergence allocates lazily. "resident sessions"
+/// is how many such sessions fit in the KV memory the contiguous run
+/// used — the density win the paged layout buys. A migration-latency
+/// probe (quiesced export + import of a warm session between two servers)
+/// rides along.
+fn kv_density(
+    model: &Arc<DecoderModel>,
+    pool: &Arc<ThreadPool>,
+    fp: &str,
+    artifact: &mut BenchArtifact,
+) {
+    let hidden = model.config().hidden;
+    let mut prompt = vec![0.0f32; hidden * DENSITY_PREFIX];
+    fill_uniform(&mut prompt, &mut Xorshift::new(44), -0.5, 0.5);
+
+    let run = |page_tokens: usize, share: bool| -> (usize, Server) {
+        let server = Server::new(
+            Arc::clone(model),
+            Arc::clone(pool),
+            ServerConfig {
+                tenants: 2,
+                max_batch: DENSITY_SESSIONS,
+                kv_capacity: MIXED_KV,
+                kv_page_tokens: page_tokens,
+                share_prefix: share,
+                coalesce_wait: Duration::ZERO,
+                ..Default::default()
+            },
+        );
+        let mut steps = Vec::new();
+        for s in 0..DENSITY_SESSIONS {
+            let id = server.create_session(s % 2).unwrap();
+            server.prefill(id, &prompt, DENSITY_PREFIX).unwrap();
+            let mut x = vec![0.0f32; hidden];
+            fill_uniform(&mut x, &mut Xorshift::new(200 + s as u64), -0.5, 0.5);
+            steps.push(server.submit_step(id, &x).unwrap());
+        }
+        while server.pump() > 0 {}
+        for rx in steps {
+            rx.recv().unwrap().unwrap();
+        }
+        let bytes = server.kv_pool().allocated_pages() * server.kv_pool().page_bytes();
+        (bytes, server)
+    };
+
+    header(
+        &format!(
+            "KV session density: {DENSITY_SESSIONS} sessions sharing a \
+             {DENSITY_PREFIX}-token prompt + 1 divergent token [measured]"
+        ),
+        &["layout", "KV bytes", "bytes/session", "resident @ fixed mem", "shared pages"],
+    );
+    let (contig_bytes, contig_server) = run(MIXED_KV, false);
+    drop(contig_server);
+    let (paged_bytes, paged_server) = run(pl_dnn::DEFAULT_PAGE_TOKENS, true);
+    let shared = paged_server.prefix_cache().shared_pages();
+    drop(paged_server);
+    let per_paged = (paged_bytes / DENSITY_SESSIONS).max(1);
+    let resident_paged = contig_bytes / per_paged;
+    for (label, mode, bytes, resident, shared) in [
+        ("contiguous", "kv-density-contig", contig_bytes, DENSITY_SESSIONS, 0usize),
+        ("paged+shared", "kv-density-paged", paged_bytes, resident_paged, shared),
+    ] {
+        row(&[
+            label.to_string(),
+            bytes.to_string(),
+            (bytes / DENSITY_SESSIONS).to_string(),
+            resident.to_string(),
+            shared.to_string(),
+        ]);
+        artifact.upsert(BenchRow {
+            mode: mode.into(),
+            batch: DENSITY_PREFIX,
+            shards: 1,
+            steps_per_s: resident as f64,
+            p99_us: bytes as f64,
+            fingerprint: fp.into(),
+        });
+    }
+    println!(
+        "density: {:.1}x resident sessions at the contiguous memory footprint",
+        resident_paged as f64 / DENSITY_SESSIONS as f64
+    );
+    assert!(
+        resident_paged >= 2 * DENSITY_SESSIONS,
+        "paged+shared density below 2x: {resident_paged} vs {DENSITY_SESSIONS} contiguous"
+    );
+
+    // Migration latency: a warm session (full prompt in KV) round-trips
+    // between two single-shard servers; each leg is one quiesced
+    // export_session + import_session.
+    let mk = || {
+        Server::new(
+            Arc::clone(model),
+            Arc::clone(pool),
+            ServerConfig {
+                tenants: 2,
+                max_batch: DENSITY_SESSIONS,
+                kv_capacity: MIXED_KV,
+                coalesce_wait: Duration::ZERO,
+                ..Default::default()
+            },
+        )
+    };
+    let (src, dst) = (mk(), mk());
+    let mut id = src.create_session(0).unwrap();
+    src.prefill(id, &prompt, DENSITY_PREFIX).unwrap();
+    let kv_bytes = {
+        let export = src.export_session(id).unwrap();
+        let bytes = export.kv.kv_bytes();
+        id = src.import_session(&export).unwrap();
+        bytes
+    };
+    const REPS: usize = 32;
+    let t = std::time::Instant::now();
+    for _ in 0..REPS {
+        let out = src.export_session(id).unwrap();
+        let there = dst.import_session(&out).unwrap();
+        let back = dst.export_session(there).unwrap();
+        id = src.import_session(&back).unwrap();
+    }
+    let us = t.elapsed().as_secs_f64() * 1e6 / (REPS * 2) as f64;
+    println!(
+        "migration latency ({DENSITY_PREFIX}-token context, {kv_bytes} KV bytes): \
+         {us:.1} us per export+import\n"
+    );
+}
+
 /// Pack-per-call vs prepared-plan execution of one layer-scale weight
 /// GEMM (`m x B = (m x k) x (k x B)`): the free `matmul` re-packs the
 /// weight and re-constructs the kernel every call (the pre-PR-3 execution
@@ -707,6 +844,7 @@ fn main() {
     );
     int8_sweep(&model, &i8_model, &pool, &f32_ref, &fp, &mut artifact);
     mixed_workload(&model, &pool, &fp, &mut artifact);
+    kv_density(&model, &pool, &fp, &mut artifact);
     router_scaling(&model, pool.nthreads(), &fp, &mut artifact);
     retune_closed_loop(&model, &pool, &fp, &mut artifact);
     trace_overhead(&model, &pool, &fp, &mut artifact);

@@ -10,6 +10,10 @@
 //! * [`llm`] — decoder-only LLM (GPT-J / Llama2 architectures) with KV
 //!   cache: prefill (first token) and autoregressive steps (next tokens)
 //!   (Fig. 11), plus exact flop/byte accounting of the full-size models.
+//! * [`kvpool`] — paged KV storage behind the decoder: fixed-size pages
+//!   from a shared block allocator ([`KvPagePool`]), ref-counted
+//!   copy-on-write prefix sharing ([`PrefixCache`]) and dense
+//!   spill/migration snapshots ([`KvSnapshot`]).
 //! * [`resnet`] — the Fig. 7 convolution shape table, batchnorm (fwd/bwd)
 //!   and pooling for ResNet-50 training (Table II).
 //! * [`prepared`] — the **prepared-op execution API**: pack-once compiled
@@ -40,6 +44,7 @@
 //!    *activations*; weights are never touched again.
 
 pub mod bert;
+pub mod kvpool;
 pub mod llm;
 pub mod matmul;
 pub mod prepared;
@@ -48,6 +53,9 @@ pub mod sparse_bert;
 pub mod tuning;
 
 pub use bert::{BertConfig, BertEncoder, BertLayer};
+pub use kvpool::{
+    KvPage, KvPagePool, KvPoolExhausted, KvSeq, KvSnapshot, PrefixCache, DEFAULT_PAGE_TOKENS,
+};
 pub use llm::{prefill_chunk_widths, Decoder, DecoderConfig, DecoderModel, DecoderState};
 pub use prepared::{ActivationBuf, MatmulPlan, Precision, SpmmPlan};
 pub use resnet::{resnet50_conv_flops, resnet50_conv_shapes, BatchNorm, ConvLayerSpec, FcHead};

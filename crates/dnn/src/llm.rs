@@ -46,6 +46,7 @@
 //! runs the exact kernels the old pack-per-call bridge constructed, so
 //! serial decode stays bit-identical to the previous behavior.
 
+use crate::kvpool::{KvPagePool, KvPoolExhausted, KvSeq, KvSnapshot, PrefixCache};
 use crate::matmul::Trans;
 use crate::prepared::{ActivationBuf, MatmulPlan, Precision};
 use pl_autotuner::GemmProblem;
@@ -165,13 +166,9 @@ struct ForwardScratch {
     c_ffn: ActivationBuf,
 }
 
-/// Per-layer KV cache: `hidden x capacity` column-major, `len` valid.
-struct KvCache {
-    k: Vec<f32>,
-    v: Vec<f32>,
-    len: usize,
-    capacity: usize,
-}
+// The per-layer KV storage lives in `crate::kvpool`: fixed-size
+// [`KvPage`](crate::kvpool::KvPage)s behind a shared [`KvPagePool`],
+// one [`KvSeq`] (page list + cursor) per layer.
 
 /// Immutable decoder weights, shareable across sessions.
 pub struct DecoderModel {
@@ -205,26 +202,168 @@ pub fn prefill_chunk_widths(tokens: usize, chunk: usize) -> Vec<usize> {
     widths
 }
 
-/// One decode stream's mutable state: the per-layer KV caches.
+/// Where a state's KV lives: resident pages, or a dense spilled snapshot
+/// (restored transparently by the next forward).
+enum KvStore {
+    Paged(Vec<KvSeq>),
+    Spilled(KvSnapshot),
+}
+
+/// One decode stream's mutable state: per-layer KV **page tables** (page
+/// list + cursor, [`KvSeq`]) over a shared [`KvPagePool`]. The paged
+/// layout is token-major inside each page — the contiguous cache's
+/// layout, chunked — and attention reads through the page indirection
+/// with unchanged per-element arithmetic order, so decode outputs are
+/// bit-identical at every page size. Because the state is now a page
+/// list plus a cursor, it is *data*: it can spill to a dense
+/// [`KvSnapshot`] ([`DecoderState::spill`]) and restore later, possibly
+/// into a different pool ([`DecoderState::from_snapshot`] — the
+/// cross-shard migration primitive).
 pub struct DecoderState {
-    caches: Vec<KvCache>,
+    pool: Arc<KvPagePool>,
+    capacity: usize,
+    store: KvStore,
 }
 
 impl DecoderState {
+    fn new_in(pool: &Arc<KvPagePool>, layers: usize, max_tokens: usize) -> Self {
+        assert!(layers > 0, "decoder states need at least one layer");
+        let seqs = (0..layers).map(|_| KvSeq::new(pool)).collect();
+        DecoderState { pool: Arc::clone(pool), capacity: max_tokens, store: KvStore::Paged(seqs) }
+    }
+
     /// Cached tokens so far.
     pub fn cached_tokens(&self) -> usize {
-        self.caches[0].len
+        match &self.store {
+            KvStore::Paged(seqs) => seqs[0].len(),
+            KvStore::Spilled(snap) => snap.len(),
+        }
     }
 
-    /// KV capacity in tokens.
+    /// KV capacity in tokens (the admission bound; pages are only
+    /// allocated as tokens actually arrive).
     pub fn capacity(&self) -> usize {
-        self.caches[0].capacity
+        self.capacity
     }
 
-    /// Clears the KV cache (the stream restarts from an empty context).
+    /// Clears the KV cache (the stream restarts from an empty context);
+    /// every page the state held recycles into the pool.
     pub fn reset(&mut self) {
-        for c in &mut self.caches {
-            c.len = 0;
+        let layers = self.layer_count();
+        self.store = KvStore::Paged((0..layers).map(|_| KvSeq::new(&self.pool)).collect());
+    }
+
+    /// The pool this state draws pages from.
+    pub fn pool(&self) -> &Arc<KvPagePool> {
+        &self.pool
+    }
+
+    fn layer_count(&self) -> usize {
+        match &self.store {
+            KvStore::Paged(seqs) => seqs.len(),
+            KvStore::Spilled(snap) => snap.layer_count(),
+        }
+    }
+
+    /// Pages currently held across all layers (0 while spilled).
+    pub fn kv_pages(&self) -> usize {
+        match &self.store {
+            KvStore::Paged(seqs) => seqs.iter().map(|s| s.page_count()).sum(),
+            KvStore::Spilled(_) => 0,
+        }
+    }
+
+    /// Held pages shared with at least one other holder (prefix cache or
+    /// sibling session).
+    pub fn shared_kv_pages(&self) -> usize {
+        match &self.store {
+            KvStore::Paged(seqs) => seqs.iter().map(|s| s.shared_pages()).sum(),
+            KvStore::Spilled(_) => 0,
+        }
+    }
+
+    /// Whether the KV currently lives as a spilled snapshot.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.store, KvStore::Spilled(_))
+    }
+
+    /// Densifies the pages into a snapshot and releases them to the pool
+    /// (idle-session residency bound). Returns `false` if already
+    /// spilled. The next forward restores transparently; note a restored
+    /// state owns all its pages again (prefix sharing, if any, is lost).
+    pub fn spill(&mut self) -> bool {
+        match &self.store {
+            KvStore::Paged(seqs) => {
+                self.store = KvStore::Spilled(KvSnapshot::from_seqs(seqs, self.capacity));
+                true
+            }
+            KvStore::Spilled(_) => false,
+        }
+    }
+
+    /// Re-materializes spilled KV into pool pages; no-op when resident.
+    pub fn restore(&mut self) -> Result<(), KvPoolExhausted> {
+        if let KvStore::Spilled(snap) = &self.store {
+            self.store = KvStore::Paged(snap.restore(&self.pool)?);
+        }
+        Ok(())
+    }
+
+    /// A dense copy of the KV contents (works spilled or resident) — the
+    /// migration wire format ([`KvSnapshot::to_bytes`]).
+    pub fn snapshot(&self) -> KvSnapshot {
+        match &self.store {
+            KvStore::Paged(seqs) => KvSnapshot::from_seqs(seqs, self.capacity),
+            KvStore::Spilled(snap) => snap.clone(),
+        }
+    }
+
+    /// Rebuilds a state from a snapshot, drawing pages from `pool`
+    /// (possibly a different shard's pool than the snapshot came from).
+    /// Continuation is bit-identical: the dense copy preserves every KV
+    /// value and the paged read path preserves arithmetic order.
+    pub fn from_snapshot(
+        pool: &Arc<KvPagePool>,
+        snap: &KvSnapshot,
+    ) -> Result<Self, KvPoolExhausted> {
+        let seqs = snap.restore(pool)?;
+        Ok(DecoderState {
+            pool: Arc::clone(pool),
+            capacity: snap.capacity(),
+            store: KvStore::Paged(seqs),
+        })
+    }
+
+    /// Dedups this state's freshly prefilled prompt prefix against
+    /// `cache` (see [`PrefixCache`]): on a hit the state's leading pages
+    /// are replaced by the cached shared pages (the duplicates recycle to
+    /// the pool); on a miss the prefix is registered for future tenants.
+    /// `prompt` is the full `hidden x tokens` prefill input and `tokens`
+    /// must equal the state's cached length (i.e. call right after the
+    /// prefill that started from an empty state). Returns the number of
+    /// page handles now pointing at shared pages.
+    pub fn share_prefix(&mut self, cache: &PrefixCache, prompt: &[f32], tokens: usize) -> usize {
+        match &mut self.store {
+            KvStore::Paged(seqs) => cache.share_seqs(seqs, prompt, tokens),
+            KvStore::Spilled(_) => 0,
+        }
+    }
+
+    /// The resident page tables, restoring from a spill first if needed.
+    fn seqs(&mut self) -> &mut [KvSeq] {
+        self.restore().expect("KV page pool exhausted restoring a spilled session");
+        match &mut self.store {
+            KvStore::Paged(seqs) => seqs,
+            KvStore::Spilled(_) => unreachable!("restored above"),
+        }
+    }
+
+    /// The resident page tables; panics while spilled (read-only paths
+    /// never auto-restore — forwards do, via [`DecoderState::seqs`]).
+    fn paged(&self) -> &[KvSeq] {
+        match &self.store {
+            KvStore::Paged(seqs) => seqs,
+            KvStore::Spilled(_) => unreachable!("forward restores before reading"),
         }
     }
 }
@@ -321,18 +460,34 @@ impl DecoderModel {
         }
     }
 
-    /// Fresh empty KV state with capacity `max_tokens`.
+    /// Fresh empty KV state with capacity `max_tokens`, drawing pages
+    /// from a private unbounded pool at the default page size. Serving
+    /// tiers that want sharing and bounded residency pass their shard
+    /// pool via [`DecoderModel::new_state_in`] instead.
     pub fn new_state(&self, max_tokens: usize) -> DecoderState {
-        let h = self.cfg.hidden;
-        let caches = (0..self.cfg.layers)
-            .map(|_| KvCache {
-                k: vec![0.0; h * max_tokens],
-                v: vec![0.0; h * max_tokens],
-                len: 0,
-                capacity: max_tokens,
-            })
-            .collect();
-        DecoderState { caches }
+        let pool = KvPagePool::new(self.cfg.hidden, crate::kvpool::DEFAULT_PAGE_TOKENS);
+        self.new_state_in(&pool, max_tokens)
+    }
+
+    /// Fresh empty KV state with capacity `max_tokens` over a shared
+    /// page pool (one pool per serving shard: sessions share prefix
+    /// pages and compete for the same residency bound).
+    pub fn new_state_in(&self, pool: &Arc<KvPagePool>, max_tokens: usize) -> DecoderState {
+        assert_eq!(pool.hidden(), self.cfg.hidden, "pool geometry must match the model");
+        DecoderState::new_in(pool, self.cfg.layers, max_tokens)
+    }
+
+    /// Rebuilds a session state from a [`KvSnapshot`] into `pool` — the
+    /// import half of cross-shard migration. Continuation from the
+    /// restored state is bit-identical to continuing the original.
+    pub fn state_from_snapshot(
+        &self,
+        pool: &Arc<KvPagePool>,
+        snap: &KvSnapshot,
+    ) -> Result<DecoderState, KvPoolExhausted> {
+        assert_eq!(pool.hidden(), self.cfg.hidden, "pool geometry must match the model");
+        assert_eq!(snap.layer_count(), self.cfg.layers, "snapshot layer count mismatch");
+        DecoderState::from_snapshot(pool, snap)
     }
 
     /// Forward over `tokens` new positions (`hidden x tokens` hidden
@@ -536,23 +691,31 @@ impl DecoderModel {
         let ctx_cols: Vec<Mutex<Vec<f32>>> = (0..b).map(|_| Mutex::new(Vec::new())).collect();
         let scale = 1.0 / (dh as f32).sqrt();
         pool.parallel_tasks(b, |s| {
-            let mut state = states[s].lock().unwrap();
-            let cache = &mut state.caches[l];
-            let past = cache.len;
-            assert!(past < cache.capacity, "KV cache overflow (session {s})");
-            cache.k[past * h..(past + 1) * h].copy_from_slice(&knew[s * h..(s + 1) * h]);
-            cache.v[past * h..(past + 1) * h].copy_from_slice(&vnew[s * h..(s + 1) * h]);
-            cache.len += 1;
+            let mut guard = states[s].lock().unwrap();
+            let state: &mut DecoderState = &mut guard;
+            let capacity = state.capacity;
+            let kvpool = Arc::clone(&state.pool);
+            let seqs = state.seqs();
+            let past = seqs[l].len();
+            assert!(past < capacity, "KV cache overflow (session {s})");
+            seqs[l]
+                .append(&kvpool, &knew[s * h..(s + 1) * h], &vnew[s * h..(s + 1) * h])
+                .expect("KV page pool exhausted");
             let total = past + 1;
+            // Token slices resolved once through the page indirection;
+            // the attention arithmetic below is element-for-element the
+            // contiguous path's (same order, same values → bit-identical).
+            let seq = &seqs[l];
+            let ktoks: Vec<&[f32]> = (0..total).map(|t| seq.k_tok(t)).collect();
+            let vtoks: Vec<&[f32]> = (0..total).map(|t| seq.v_tok(t)).collect();
             let qs = &q[s * h..(s + 1) * h];
             let mut col = vec![0.0f32; h];
             for hd in 0..nh {
                 let mut sc = vec![0.0f32; total];
                 for (tk, score) in sc.iter_mut().enumerate() {
-                    let koff = tk * h + hd * dh;
                     let mut dot = 0.0f32;
                     for d in 0..dh {
-                        dot += qs[hd * dh + d] * cache.k[koff + d];
+                        dot += qs[hd * dh + d] * ktoks[tk][hd * dh + d];
                     }
                     *score = dot * scale;
                 }
@@ -561,7 +724,7 @@ impl DecoderModel {
                 for d in 0..dh {
                     let mut acc = 0.0f32;
                     for (tk, pv) in p.iter().enumerate() {
-                        acc += pv * cache.v[tk * h + hd * dh + d];
+                        acc += pv * vtoks[tk][hd * dh + d];
                     }
                     col[hd * dh + d] = acc;
                 }
@@ -616,8 +779,9 @@ impl DecoderModel {
         let nh = self.cfg.heads;
         let dh = h / nh;
         let blk = &self.blocks[l];
-        let past = state.caches[l].len;
-        assert!(past + tokens <= state.caches[l].capacity, "KV cache overflow");
+        let kvpool = Arc::clone(&state.pool);
+        let past = state.seqs()[l].len();
+        assert!(past + tokens <= state.capacity, "KV cache overflow");
 
         // Pre-LN. Phase spans carry [layer, width, serial=0] so a trace
         // lines the serial path up against the fused one (args[2] = 1).
@@ -640,15 +804,22 @@ impl DecoderModel {
             )
         };
         drop(qkv_span);
-        // Append to cache.
+        // Append to the layer's page table (growing pages on demand,
+        // COW-splitting a shared tail page before the first write).
         {
-            let cache = &mut state.caches[l];
-            cache.k[past * h..(past + tokens) * h].copy_from_slice(&knew);
-            cache.v[past * h..(past + tokens) * h].copy_from_slice(&vnew);
-            cache.len += tokens;
+            let seq = &mut state.seqs()[l];
+            for t in 0..tokens {
+                seq.append(&kvpool, &knew[t * h..(t + 1) * h], &vnew[t * h..(t + 1) * h])
+                    .expect("KV page pool exhausted");
+            }
         }
         let total = past + tokens;
-        let cache = &state.caches[l];
+        let seq = &state.paged()[l];
+        // Token slices resolved once through the page indirection; the
+        // loops below run the contiguous path's arithmetic in the same
+        // per-element order, so paging never changes the outputs.
+        let ktoks: Vec<&[f32]> = (0..total).map(|t| seq.k_tok(t)).collect();
+        let vtoks: Vec<&[f32]> = (0..total).map(|t| seq.v_tok(t)).collect();
 
         let attn_span = pl_trace::span("decode.attn", [l as u64, tokens as u64, 0]);
         let scale = 1.0 / (dh as f32).sqrt();
@@ -660,10 +831,9 @@ impl DecoderModel {
                 let qoff = tq * h + hd * dh;
                 let visible = past + tq + 1; // causal mask
                 for tk in 0..visible {
-                    let koff = tk * h + hd * dh;
                     let mut dot = 0.0f32;
                     for d in 0..dh {
-                        dot += q[qoff + d] * cache.k[koff + d];
+                        dot += q[qoff + d] * ktoks[tk][hd * dh + d];
                     }
                     s[tq * total + tk] = dot * scale;
                 }
@@ -675,7 +845,7 @@ impl DecoderModel {
                 for d in 0..dh {
                     let mut acc = 0.0f32;
                     for tk in 0..visible {
-                        acc += p[tq * total + tk] * cache.v[tk * h + hd * dh + d];
+                        acc += p[tq * total + tk] * vtoks[tk][hd * dh + d];
                     }
                     ctx[tq * h + hd * dh + d] = acc;
                 }
@@ -1150,5 +1320,179 @@ mod tests {
         assert_eq!(b.cached_tokens(), 0);
         let yb1 = b.step(&x, &pool);
         assert_eq!(ya1, yb1, "same weights + same context => same output");
+    }
+
+    /// Drives prefill + decode at one page size; returns the full output
+    /// stream (prefill output then each step's output).
+    fn paged_stream(
+        model: &DecoderModel,
+        page_tokens: usize,
+        capacity: usize,
+        pool: &ThreadPool,
+    ) -> Vec<Vec<f32>> {
+        let cfg = model.config();
+        let kvpool = crate::kvpool::KvPagePool::new(cfg.hidden, page_tokens);
+        let mut st = model.new_state_in(&kvpool, capacity);
+        let prompt = 5;
+        let mut px = vec![0.0f32; cfg.hidden * prompt];
+        fill_uniform(&mut px, &mut Xorshift::new(4040), -0.5, 0.5);
+        let y = model.forward(&mut st, &px, prompt, pool);
+        let mut outs = vec![y.clone()];
+        let mut x = y[(prompt - 1) * cfg.hidden..].to_vec();
+        for _ in 0..4 {
+            x = model.forward(&mut st, &x, 1, pool);
+            outs.push(x.clone());
+        }
+        outs
+    }
+
+    #[test]
+    fn paged_decode_bitwise_invariant_across_page_sizes() {
+        // A pool whose page holds the whole capacity IS the contiguous
+        // layout (one page = one flat buffer); smaller page sizes only
+        // change where token slices live, never the arithmetic — so every
+        // page size must produce bit-identical streams, at f32 and int8.
+        let pool = ThreadPool::new(2);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let capacity = 16;
+        for precision in [Precision::F32, Precision::Int8] {
+            let model = DecoderModel::new_with_precision(cfg, 606, precision);
+            let contiguous = paged_stream(&model, capacity, capacity, &pool);
+            for page_tokens in [1, 3, crate::kvpool::DEFAULT_PAGE_TOKENS] {
+                let paged = paged_stream(&model, page_tokens, capacity, &pool);
+                assert_eq!(
+                    paged, contiguous,
+                    "page size {page_tokens} diverged from contiguous ({precision:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_decode_bitwise_invariant_across_page_sizes() {
+        // The fused path reads KV through the same indirection inside its
+        // per-session attention tasks; fixing the batch composition, page
+        // size must be invisible bit-for-bit.
+        let pool = ThreadPool::new(4);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = Arc::new(DecoderModel::new(cfg, 808));
+        let n = 3;
+        let run = |page_tokens: usize| -> Vec<Vec<Vec<f32>>> {
+            let kvpool = crate::kvpool::KvPagePool::new(cfg.hidden, page_tokens);
+            let mut states: Vec<DecoderState> =
+                (0..n).map(|_| model.new_state_in(&kvpool, 16)).collect();
+            let mut inputs = Vec::new();
+            for (s, st) in states.iter_mut().enumerate() {
+                let prompt = s + 1;
+                let mut px = vec![0.0f32; cfg.hidden * prompt];
+                fill_uniform(&mut px, &mut Xorshift::new(500 + s as u64), -0.5, 0.5);
+                let y = model.forward(st, &px, prompt, &pool);
+                inputs.push(y[(prompt - 1) * cfg.hidden..].to_vec());
+            }
+            let mut steps = Vec::new();
+            for _ in 0..3 {
+                let batch: Vec<(&mut DecoderState, &[f32])> =
+                    states.iter_mut().zip(inputs.iter().map(|x| x.as_slice())).collect();
+                let out = model.step_batch_fused(batch, &pool);
+                inputs = out.clone();
+                steps.push(out);
+            }
+            steps
+        };
+        let contiguous = run(16);
+        for page_tokens in [2, 5] {
+            assert_eq!(run(page_tokens), contiguous, "fused page size {page_tokens} diverged");
+        }
+    }
+
+    #[test]
+    fn spill_restore_and_snapshot_migration_are_bitwise() {
+        let pool = ThreadPool::new(2);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = DecoderModel::new(cfg, 909);
+        let mut x = vec![0.0f32; cfg.hidden];
+        fill_uniform(&mut x, &mut Xorshift::new(23), -0.5, 0.5);
+        // Baseline: uninterrupted decode.
+        let mut base_st = model.new_state(16);
+        let mut base = Vec::new();
+        let mut bx = x.clone();
+        for _ in 0..6 {
+            bx = model.forward(&mut base_st, &bx, 1, &pool);
+            base.push(bx.clone());
+        }
+        // Spilled mid-stream: densify + release pages, then keep going —
+        // the next forward restores transparently.
+        let mut st = model.new_state(16);
+        let mut sx = x.clone();
+        let mut got = Vec::new();
+        for t in 0..6 {
+            if t == 3 {
+                assert!(st.spill());
+                assert!(st.is_spilled());
+                assert_eq!(st.kv_pages(), 0, "spill releases every page");
+                assert_eq!(st.cached_tokens(), 3, "accounting survives the spill");
+                assert!(!st.spill(), "double spill is a no-op");
+            }
+            sx = model.forward(&mut st, &sx, 1, &pool);
+            got.push(sx.clone());
+        }
+        assert_eq!(got, base, "spill/restore changed the stream");
+        // Migration: serialize to bytes, rebuild into a *different* pool
+        // (different page size — another shard's geometry), continue.
+        let bytes = st.snapshot().to_bytes();
+        let snap = crate::kvpool::KvSnapshot::from_bytes(&bytes).expect("wire roundtrip");
+        let other_pool = crate::kvpool::KvPagePool::new(cfg.hidden, 4);
+        let mut moved = model.state_from_snapshot(&other_pool, &snap).expect("restore");
+        assert_eq!(moved.capacity(), 16, "admission capacity rides the snapshot");
+        let y_orig = model.forward(&mut st, &sx.clone(), 1, &pool);
+        let y_moved = model.forward(&mut moved, &sx, 1, &pool);
+        assert_eq!(y_moved, y_orig, "migrated continuation diverged");
+    }
+
+    #[test]
+    fn prefix_sharing_dedups_pages_and_cow_isolates_divergence() {
+        let pool = ThreadPool::new(2);
+        let cfg = DecoderConfig::scaled_for_tests();
+        let model = DecoderModel::new(cfg, 1111);
+        let kvpool = crate::kvpool::KvPagePool::new(cfg.hidden, 4);
+        let cache = crate::kvpool::PrefixCache::new(16);
+        let prompt_tokens = 9; // 2 full pages + 1 partial per layer
+        let mut prompt = vec![0.0f32; cfg.hidden * prompt_tokens];
+        fill_uniform(&mut prompt, &mut Xorshift::new(31), -0.5, 0.5);
+
+        let mut a = model.new_state_in(&kvpool, 16);
+        let ya = model.forward(&mut a, &prompt, prompt_tokens, &pool);
+        assert_eq!(a.share_prefix(&cache, &prompt, prompt_tokens), 0, "first tenant registers");
+        let pages_after_a = kvpool.allocated_pages();
+
+        // Second tenant, identical prompt: all its pages dedup onto a's.
+        let mut b = model.new_state_in(&kvpool, 16);
+        let yb = model.forward(&mut b, &prompt, prompt_tokens, &pool);
+        assert_eq!(ya, yb, "same weights + same prompt => same prefill");
+        let adopted = b.share_prefix(&cache, &prompt, prompt_tokens);
+        assert_eq!(adopted, b.kv_pages(), "every page handle now shared");
+        assert_eq!(
+            kvpool.allocated_pages(),
+            pages_after_a,
+            "the second session's duplicate pages recycled — zero marginal pages"
+        );
+        assert_eq!(b.shared_kv_pages(), b.kv_pages());
+        assert!(a.shared_kv_pages() > 0, "the first session's pages are the shared ones");
+
+        // Divergence: different next tokens. The partial tail page is
+        // shared, so the first append COW-splits it — and both streams
+        // must match independent (never-shared) baselines bitwise.
+        let xa = ya[(prompt_tokens - 1) * cfg.hidden..].to_vec();
+        let xb: Vec<f32> = xa.iter().map(|v| v + 0.25).collect();
+        let cow_before = kvpool.cow_splits();
+        let ya2 = model.forward(&mut a, &xa, 1, &pool);
+        let yb2 = model.forward(&mut b, &xb, 1, &pool);
+        assert!(kvpool.cow_splits() > cow_before, "divergence forced a COW split");
+        let mut ind_a = model.new_state(16);
+        model.forward(&mut ind_a, &prompt, prompt_tokens, &pool);
+        assert_eq!(model.forward(&mut ind_a, &xa, 1, &pool), ya2, "writer A corrupted");
+        let mut ind_b = model.new_state(16);
+        model.forward(&mut ind_b, &prompt, prompt_tokens, &pool);
+        assert_eq!(model.forward(&mut ind_b, &xb, 1, &pool), yb2, "writer B corrupted");
     }
 }

@@ -17,6 +17,12 @@
 //! * **graceful drains** ([`drain`]): closing a session lets queued work
 //!   complete first, and whole shards can be drained (no new placements,
 //!   pending work pumped dry) for rebalancing or shutdown;
+//! * **session migration** ([`migrate`]): a quiesced export → import of a
+//!   session's dense KV snapshot moves it between shards with a
+//!   **bit-identical** continuation — what [`Router::rebalance`]
+//!   (evacuating degraded shards, evening the spread) and
+//!   [`Router::recover_shard`] (re-homing a drained shard's survivors)
+//!   are built on;
 //! * **aggregated observability** ([`stats_agg`]): per-shard
 //!   `StatsSnapshot`s merge into one fleet view — counters add, latency
 //!   quantiles recompute from summed histogram buckets;
@@ -32,6 +38,7 @@
 //! way `Server` composes unmodified kernels.
 
 pub mod drain;
+pub mod migrate;
 pub mod placement;
 pub mod projection;
 pub mod router;
@@ -39,6 +46,7 @@ pub mod shard;
 pub mod stats_agg;
 
 pub use drain::DrainReport;
+pub use migrate::MigrationRecord;
 pub use placement::{least_loaded, placement_order, ShardLoad};
 pub use projection::serving_scaling_model;
 pub use router::{Router, RouterConfig, RouterSessionId};

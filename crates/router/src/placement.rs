@@ -3,9 +3,12 @@
 //! The same pull-based philosophy as the paper's PAR-MODE dynamic
 //! schedule, one level further up: work (a session) goes wherever
 //! capacity is, decided at admission time. After placement the session is
-//! *affine* — it never migrates, because its KV cache lives in the
-//! shard's memory and moving it would cost more than any rebalancing
-//! could win at decode timescales.
+//! *affine*: its KV cache lives in the shard's memory, and moving it
+//! costs more than any rebalancing could win at decode timescales, so
+//! the hot path never migrates. Moves do exist — but only as explicit,
+//! quiesced control-plane actions ([`crate::Router::migrate_session`],
+//! `rebalance`, `recover_shard`) that serialize the KV snapshot between
+//! shards off the decode path.
 //!
 //! Health feeds placement: a shard whose [`Health`] is not
 //! [`Health::Healthy`] — degraded (SLO burn over threshold), draining

@@ -22,8 +22,10 @@ use std::sync::{mpsc, Arc};
 /// the router id disambiguates, so there is no cross-shard aliasing).
 pub type RouterSessionId = u64;
 
-/// Where a router session lives. Written once at placement, never
-/// changed: session affinity is what keeps the KV cache from moving.
+/// Where a router session lives. Written at placement and thereafter
+/// only by [`Router::migrate_session`] — the explicit, quiesced KV move;
+/// the hot path treats affinity as invariant, so the KV cache never
+/// moves as a side effect of routing.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Placement {
     pub(crate) shard: usize,

@@ -49,7 +49,7 @@ pub use batcher::{ChunkItem, DynamicBatcher, StepRequest, WorkItem};
 pub use policy::BatchModeTable;
 pub use prefill::PrefillJob;
 pub use queue::BoundedQueue;
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, SessionExport};
 pub use session::{Session, SessionId, TenantId};
 pub use stats::{
     quantile_from_buckets, CountHistogram, LatencyHistogram, ServerStats, StatsSnapshot,
@@ -103,6 +103,14 @@ pub enum ServeError {
         /// The session whose ticket was stale.
         session: SessionId,
     },
+    /// The session is momentarily checked out by an executing batch —
+    /// retry shortly (export/migration path; batches re-insert their
+    /// sessions before delivering replies, so the window is microseconds
+    /// wide).
+    SessionBusy {
+        /// The session that was checked out.
+        session: SessionId,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -125,6 +133,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::StaleTicket { session } => {
                 write!(f, "stale program-order ticket for session {session} (duplicate submit?)")
+            }
+            ServeError::SessionBusy { session } => {
+                write!(f, "session {session} is checked out by an executing batch — retry")
             }
         }
     }

@@ -113,6 +113,12 @@ impl PrefillJob {
         self.tokens() - self.offsets[i]
     }
 
+    /// The whole `hidden x tokens` prompt input — what the prefix cache
+    /// hashes when the final chunk completes.
+    pub fn prompt(&self) -> &[f32] {
+        &self.prompt
+    }
+
     /// The `hidden x chunk_tokens(i)` input slice of chunk `i`.
     pub fn chunk_input(&self, i: usize) -> &[f32] {
         let start = self.offsets[i] * self.hidden;

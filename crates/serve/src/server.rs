@@ -41,7 +41,9 @@ use crate::stats::ServerStats;
 use crate::{ServeError, StepResult};
 use parking_lot::{Mutex, RwLock};
 use pl_autotuner::{batch_ladder, warm_gemm_db, warm_spmm_db, Constraints, GemmProblem, TuningDb};
-use pl_dnn::{DecoderModel, DecoderState, Precision};
+use pl_dnn::{
+    DecoderModel, DecoderState, KvPagePool, KvSnapshot, Precision, PrefixCache, DEFAULT_PAGE_TOKENS,
+};
 use pl_metrics::{
     Counter, Health, HealthTracker, Histogram, MetricsRegistry, MetricsSnapshot, SloWindow,
     Watchdog,
@@ -106,6 +108,29 @@ pub struct ServerConfig {
     /// Stall-watchdog deadline: with work pending and no batch collected
     /// for this long, [`Server::health`] reports [`Health::Stalled`].
     pub watchdog_deadline: Duration,
+    /// KV page size in tokens: the allocation granularity of the shard's
+    /// shared [`KvPagePool`] every session's cache draws from. Paging is
+    /// **bit-identical** to a contiguous cache — pages only change where
+    /// KV rows live, never the arithmetic over them.
+    pub kv_page_tokens: usize,
+    /// Page budget for the shard's KV pool (`0` = unbounded). A bounded
+    /// pool makes KV memory a hard resource: size it to the working set
+    /// (`max_sessions * ceil(kv_capacity / kv_page_tokens)` covers the
+    /// worst case with no sharing; prefix sharing and idle spill reduce
+    /// the real demand, which is what the density benchmark measures).
+    pub kv_pool_pages: usize,
+    /// Hash-cons completed prompts into the shard's [`PrefixCache`] so
+    /// sessions opening with a common prompt prefix **share** its KV
+    /// pages copy-on-write. On by default — sharing never changes
+    /// outputs: adopted pages hold bit-identical rows and the first
+    /// divergent append splits the page for the writer.
+    pub share_prefix: bool,
+    /// Upper bound on the **sum of token widths** queued across all
+    /// tenant rings (a decode step counts 1, a prefill chunk its width);
+    /// `0` = unlimited. Bounds the KV/compute debt admission can take on
+    /// ahead of execution — a submission that would exceed it bounces
+    /// with [`ServeError::Backpressure`], same as a full ring.
+    pub max_queued_tokens: usize,
 }
 
 impl Default for ServerConfig {
@@ -124,8 +149,32 @@ impl Default for ServerConfig {
             slo_p99_us: 50_000,
             slo_window_s: 60,
             watchdog_deadline: Duration::from_secs(1),
+            kv_page_tokens: DEFAULT_PAGE_TOKENS,
+            kv_pool_pages: 0,
+            share_prefix: true,
+            max_queued_tokens: 0,
         }
     }
+}
+
+/// Capacity of the shard prefix cache (distinct prompt prefixes
+/// hash-consed at a time; FIFO eviction beyond this).
+const PREFIX_CACHE_ENTRIES: usize = 64;
+
+/// A serialized session: everything another shard needs to re-admit it
+/// ([`Server::import_session`]) and continue decoding **bit-identically**
+/// — the dense, page-layout-independent KV snapshot plus the decode
+/// counters. Produced by [`Server::export_session`]; the router's
+/// `migrate_session` wraps the export → import handshake with the
+/// quiesce/retry discipline it needs.
+#[derive(Debug, Clone)]
+pub struct SessionExport {
+    /// Owning tenant — the importer places the session in the same ring.
+    pub tenant: TenantId,
+    /// Tokens decoded so far (carried so accounting survives the move).
+    pub generated: u64,
+    /// The dense KV snapshot.
+    pub kv: KvSnapshot,
 }
 
 /// Pre-created per-tenant metric handles: the hot path records through
@@ -225,6 +274,14 @@ struct ServerInner {
     health: HealthTracker,
     /// Stalled-pump detector over `(pending, batches)`.
     watchdog: Watchdog,
+    /// The shard's shared KV page pool: every session's cache is a page
+    /// table over this ([`DecoderModel::new_state_in`]), so free pages,
+    /// prefix-shared pages and spilled sessions are shard-level facts.
+    kv_pool: Arc<KvPagePool>,
+    /// Hash-consed completed prompts → shared KV page runs.
+    prefix: PrefixCache,
+    /// Sessions imported from another shard ([`Server::import_session`]).
+    migrations: Counter,
 }
 
 impl ServerInner {
@@ -294,6 +351,10 @@ impl Server {
         metrics.help("pl_pending", "Work items queued but not executing");
         metrics.help("pl_in_flight", "Accepted work not yet delivered");
         metrics.help("pl_shard_health", "0 healthy, 1 degraded, 2 draining, 3 stalled");
+        metrics.help("pl_kv_pages_free", "Recycled KV pages available in the shard pool");
+        metrics.help("pl_kv_pages_shared", "KV pages shared by more than one owner (prefix cache)");
+        metrics.help("pl_kv_sessions_spilled", "Live sessions whose KV is spilled to a snapshot");
+        metrics.help("pl_migrations_total", "Sessions imported from another shard");
         let tenant_metrics = (0..cfg.tenants)
             .map(|t| {
                 let tenant = t.to_string();
@@ -310,8 +371,22 @@ impl Server {
             })
             .collect();
         let batches_total = metrics.counter("pl_batches_total", &[]);
+        let migrations = metrics.counter("pl_migrations_total", &[]);
+        let page_tokens = cfg.kv_page_tokens.max(1);
+        let kv_pool = if cfg.kv_pool_pages > 0 {
+            KvPagePool::bounded(model.config().hidden, page_tokens, cfg.kv_pool_pages)
+        } else {
+            KvPagePool::new(model.config().hidden, page_tokens)
+        };
         let inner = Arc::new(ServerInner {
-            batcher: DynamicBatcher::new(cfg.tenants, cfg.queue_capacity),
+            batcher: DynamicBatcher::bounded(
+                cfg.tenants,
+                cfg.queue_capacity,
+                cfg.max_queued_tokens,
+            ),
+            kv_pool,
+            prefix: PrefixCache::new(PREFIX_CACHE_ENTRIES),
+            migrations,
             stats: ServerStats::new(cfg.max_batch),
             mode_policy: RwLock::new(None),
             prefill_chunk: AtomicUsize::new(cfg.prefill_chunk.max(1)),
@@ -393,6 +468,9 @@ impl Server {
             tm.burn.set(tm.slo.burn_rate());
         }
         m.gauge("pl_shard_health", &[]).set(self.health().as_f64());
+        m.gauge("pl_kv_pages_free", &[]).set(self.inner.kv_pool.free_pages() as f64);
+        m.gauge("pl_kv_pages_shared", &[]).set(self.inner.prefix.shared_pages() as f64);
+        m.gauge("pl_kv_sessions_spilled", &[]).set(self.spilled_sessions() as f64);
         m.snapshot()
     }
 
@@ -634,8 +712,123 @@ impl Server {
             return Err(ServeError::TooManySessions { limit: self.inner.cfg.max_sessions });
         }
         let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
-        let state = self.inner.model.new_state(self.inner.cfg.kv_capacity);
+        let state = self.inner.model.new_state_in(&self.inner.kv_pool, self.inner.cfg.kv_capacity);
         self.inner.sessions.lock().insert(id, Slot::Live(Session::new(id, tenant, state)));
+        Ok(id)
+    }
+
+    /// The shard's shared KV page pool — paged-KV observability: resident
+    /// vs free pages, the peak, and how many COW splits sharing caused.
+    pub fn kv_pool(&self) -> &Arc<KvPagePool> {
+        &self.inner.kv_pool
+    }
+
+    /// The shard's prompt prefix cache.
+    pub fn prefix_cache(&self) -> &PrefixCache {
+        &self.inner.prefix
+    }
+
+    /// Spills a live session's KV cache into a dense snapshot, returning
+    /// its pages to the pool. `Ok(true)` if the session spilled now;
+    /// `Ok(false)` if it already was, held no tokens, or is momentarily
+    /// checked out by an executing batch. The session stays live — its
+    /// next work item restores the pages transparently (bit-identically:
+    /// the snapshot preserves every KV row).
+    pub fn spill_session(&self, id: SessionId) -> Result<bool, ServeError> {
+        let mut sessions = self.inner.sessions.lock();
+        match sessions.get_mut(&id) {
+            None => Err(ServeError::UnknownSession(id)),
+            Some(Slot::Live(sess)) => Ok(sess.state.spill()),
+            Some(Slot::CheckedOut { .. }) => Ok(false),
+        }
+    }
+
+    /// Spills every live session that has executed no work for at least
+    /// `min_idle` (see [`Session::last_active`]). Returns how many
+    /// sessions spilled. The pool-level effect is what matters: an idle
+    /// session's pages become reusable by active sessions, so a shard
+    /// over-committed on sessions keeps serving as long as the *active*
+    /// working set fits.
+    pub fn spill_idle(&self, min_idle: Duration) -> usize {
+        let now = Instant::now();
+        let mut sessions = self.inner.sessions.lock();
+        let mut spilled = 0;
+        for slot in sessions.values_mut() {
+            if let Slot::Live(sess) = slot {
+                if now.duration_since(sess.last_active) >= min_idle && sess.state.spill() {
+                    spilled += 1;
+                }
+            }
+        }
+        spilled
+    }
+
+    /// Live sessions currently holding their KV as a spilled snapshot.
+    pub fn spilled_sessions(&self) -> usize {
+        let sessions = self.inner.sessions.lock();
+        sessions
+            .values()
+            .filter(|s| matches!(s, Slot::Live(sess) if sess.state.is_spilled()))
+            .count()
+    }
+
+    /// Removes a live session and serializes it for re-admission
+    /// elsewhere ([`Server::import_session`]). Fails with
+    /// [`ServeError::SessionBusy`] while an executing batch holds the
+    /// session checked out (retry — the window is one batch execution);
+    /// callers should quiesce the shard first so no queued work is
+    /// orphaned (work submitted after the export errors
+    /// `UnknownSession`, exactly like work after a close).
+    pub fn export_session(&self, id: SessionId) -> Result<SessionExport, ServeError> {
+        let mut sessions = self.inner.sessions.lock();
+        match sessions.get(&id) {
+            None => return Err(ServeError::UnknownSession(id)),
+            Some(Slot::CheckedOut { .. }) => return Err(ServeError::SessionBusy { session: id }),
+            Some(Slot::Live(_)) => {}
+        }
+        let Some(Slot::Live(sess)) = sessions.remove(&id) else { unreachable!() };
+        self.inner.session_count.fetch_sub(1, Ordering::AcqRel);
+        Ok(SessionExport {
+            tenant: sess.tenant,
+            generated: sess.generated,
+            kv: sess.state.snapshot(),
+        })
+    }
+
+    /// Admits an exported session on this shard: same admission checks as
+    /// [`Server::create_session`], then the KV snapshot is rehydrated
+    /// into this shard's page pool — decoding continues bit-identically
+    /// from where the source shard stopped. Returns the session's **new**
+    /// id (ids are shard-local; the router rebinds its global id).
+    /// Counts toward `pl_migrations_total`.
+    pub fn import_session(&self, export: &SessionExport) -> Result<SessionId, ServeError> {
+        if export.tenant >= self.inner.cfg.tenants {
+            return Err(ServeError::UnknownTenant(export.tenant));
+        }
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let live = self.inner.session_count.fetch_add(1, Ordering::AcqRel) + 1;
+        if live as usize > self.inner.cfg.max_sessions {
+            self.inner.session_count.fetch_sub(1, Ordering::AcqRel);
+            self.inner.stats.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::TooManySessions { limit: self.inner.cfg.max_sessions });
+        }
+        let state = match self.inner.model.state_from_snapshot(&self.inner.kv_pool, &export.kv) {
+            Ok(state) => state,
+            Err(_) => {
+                self.inner.session_count.fetch_sub(1, Ordering::AcqRel);
+                return Err(ServeError::KvExhausted {
+                    context: export.kv.len(),
+                    capacity: export.kv.capacity(),
+                });
+            }
+        };
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let mut sess = Session::new(id, export.tenant, state);
+        sess.generated = export.generated;
+        self.inner.sessions.lock().insert(id, Slot::Live(sess));
+        self.inner.migrations.inc();
         Ok(id)
     }
 
@@ -1111,6 +1304,7 @@ impl Server {
             match r {
                 ReadyItem::Decode(req, mut sess) => {
                     sess.generated += 1;
+                    sess.last_active = collected;
                     // The step's ticket is spent: advance the
                     // program-order cursor so the session's next
                     // pipelined step becomes executable.
@@ -1168,12 +1362,23 @@ impl Server {
                         );
                     }
                     c.job.push_output(y);
+                    sess.last_active = collected;
                     if c.chunk + 1 == c.job.chunks() {
                         // The job's single ticket is spent only when its
                         // final chunk lands: items pipelined behind the
                         // prefill become executable now, never between
                         // chunks.
                         sess.exec_seq += 1;
+                        // Completed prompt: hash-cons it into the shard's
+                        // prefix cache. A later session prefilling the
+                        // same prompt (or one sharing a page-aligned
+                        // prefix of it) adopts these pages instead of
+                        // holding its own copy; divergence after the
+                        // shared run is isolated by COW splits, so
+                        // outputs never change.
+                        if inner.cfg.share_prefix {
+                            sess.state.share_prefix(&inner.prefix, c.job.prompt(), c.job.tokens());
+                        }
                     }
                     inner.check_in(&mut sessions, c.job.session(), sess);
                     let next = c.chunk + 1;
@@ -2347,6 +2552,10 @@ mod tests {
             "pl_pending",
             "pl_in_flight",
             "pl_shard_health",
+            "pl_kv_pages_free",
+            "pl_kv_pages_shared",
+            "pl_kv_sessions_spilled",
+            "pl_migrations_total",
         ] {
             assert!(report.families.contains_key(fam), "family {fam} missing from exposition");
         }
@@ -2354,5 +2563,162 @@ mod tests {
         assert!(text.contains("pl_steps_total{tenant=\"0\"} 1"));
         assert!(text.contains("pl_queue_wait_us_bucket{"));
         assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn prefix_sharing_across_sessions_dedups_pages_and_stays_bitwise() {
+        // Two sessions prefill the same 6-token prompt over 4-token pages
+        // (one full + one partial page per layer). The second session must
+        // adopt the first's cached pages — zero marginal resident pages —
+        // and each stream's first divergent decode step COW-splits the
+        // shared partial page without perturbing either output.
+        let server = tiny_server(ServerConfig {
+            kv_page_tokens: 4,
+            kv_capacity: 32,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let tokens = 6;
+        let prompt = token(91, hidden * tokens);
+        let a = server.create_session(0).unwrap();
+        let ya = server.prefill(a, &prompt, tokens).unwrap();
+        let resident = server.kv_pool().allocated_pages();
+        assert!(resident > 0);
+        let b = server.create_session(0).unwrap();
+        let yb = server.prefill(b, &prompt, tokens).unwrap();
+        assert_eq!(ya, yb, "identical prompts must produce identical outputs");
+        assert_eq!(
+            server.kv_pool().allocated_pages(),
+            resident,
+            "second session must adopt the cached pages, not keep its own copy"
+        );
+        assert!(server.prefix_cache().shared_pages() > 0);
+        let xa = token(92, hidden);
+        let xb = token(93, hidden);
+        for (id, x) in [(a, &xa), (b, &xb)] {
+            let rx = server.submit_step(id, x).unwrap();
+            while server.pump() > 0 {}
+            let got = rx.recv().unwrap().unwrap();
+            let pool = ThreadPool::new(2);
+            let mut st = server.model().new_state(32);
+            let _ = server.model().forward(&mut st, &prompt, tokens, &pool);
+            let want = server.model().forward(&mut st, x, 1, &pool);
+            assert_eq!(got, want, "post-split decode must stay bit-identical");
+        }
+        assert!(server.kv_pool().cow_splits() > 0, "divergent appends must have COW-split");
+        let snap = server.metrics_snapshot();
+        assert!(snap.gauge_value("pl_kv_pages_shared", &[]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn idle_spill_returns_pages_and_restores_bitwise_on_next_step() {
+        let server = tiny_server(ServerConfig {
+            kv_page_tokens: 4,
+            kv_capacity: 32,
+            share_prefix: false,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let id = server.create_session(0).unwrap();
+        let prompt = token(95, hidden * 5);
+        let _ = server.prefill(id, &prompt, 5).unwrap();
+        assert!(server.kv_pool().allocated_pages() > 0);
+        // Nothing is idle at a generous threshold; everything is at zero.
+        assert_eq!(server.spill_idle(Duration::from_secs(3600)), 0);
+        assert_eq!(server.spill_idle(Duration::ZERO), 1);
+        assert_eq!(server.spilled_sessions(), 1);
+        assert_eq!(server.kv_pool().allocated_pages(), 0, "spill must return every page");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.gauge_value("pl_kv_sessions_spilled", &[]), Some(1.0));
+        assert!(snap.gauge_value("pl_kv_pages_free", &[]).unwrap() > 0.0);
+        // The next step transparently restores and stays bit-identical.
+        let x = token(96, hidden);
+        let rx = server.submit_step(id, &x).unwrap();
+        while server.pump() > 0 {}
+        let got = rx.recv().unwrap().unwrap();
+        assert_eq!(server.spilled_sessions(), 0);
+        let pool = ThreadPool::new(2);
+        let mut st = server.model().new_state(32);
+        let _ = server.model().forward(&mut st, &prompt, 5, &pool);
+        let want = server.model().forward(&mut st, &x, 1, &pool);
+        assert_eq!(got, want, "restore-from-spill must be bit-identical");
+    }
+
+    #[test]
+    fn export_import_migrates_a_session_bit_identically() {
+        let model = Arc::new(DecoderModel::new(DecoderConfig::scaled_for_tests(), 77));
+        let pool = Arc::new(ThreadPool::new(4));
+        let cfg = ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() };
+        let src = Server::new(Arc::clone(&model), Arc::clone(&pool), cfg.clone());
+        // The destination even uses a different page geometry: the dense
+        // snapshot is page-layout-independent.
+        let dst = Server::new(
+            Arc::clone(&model),
+            pool,
+            ServerConfig { kv_page_tokens: 8, ..cfg.clone() },
+        );
+        let hidden = model.config().hidden;
+        let id = src.create_session(0).unwrap();
+        let prompt = token(70, hidden * 4);
+        let _ = src.prefill(id, &prompt, 4).unwrap();
+        let mut xs = Vec::new();
+        for s in 0..3u64 {
+            let x = token(71 + s, hidden);
+            let rx = src.submit_step(id, &x).unwrap();
+            while src.pump() > 0 {}
+            rx.recv().unwrap().unwrap();
+            xs.push(x);
+        }
+        let export = src.export_session(id).unwrap();
+        assert_eq!(export.generated, 3);
+        assert_eq!(src.session_count(), 0);
+        assert!(matches!(src.submit_step(id, &xs[0]), Err(ServeError::UnknownSession(_))));
+        let new_id = dst.import_session(&export).unwrap();
+        assert_eq!(dst.session_count(), 1);
+        let mut got = Vec::new();
+        for s in 0..3u64 {
+            let x = token(81 + s, hidden);
+            let rx = dst.submit_step(new_id, &x).unwrap();
+            while dst.pump() > 0 {}
+            got.push(rx.recv().unwrap().unwrap());
+            xs.push(x);
+        }
+        // Baseline: the uninterrupted stream on one decoder.
+        let tpool = ThreadPool::new(2);
+        let mut st = model.new_state(cfg.kv_capacity);
+        let _ = model.forward(&mut st, &prompt, 4, &tpool);
+        let want: Vec<Vec<f32>> = xs.iter().map(|x| model.forward(&mut st, x, 1, &tpool)).collect();
+        assert_eq!(&got[..], &want[3..], "migrated continuation must be bit-identical");
+        assert_eq!(dst.close_session(new_id).unwrap(), 6, "generated count carries the move");
+        let snap = dst.metrics_snapshot();
+        assert_eq!(snap.counter_value("pl_migrations_total", &[]), 1);
+    }
+
+    #[test]
+    fn max_queued_tokens_applies_backpressure_through_the_config() {
+        let server = tiny_server(ServerConfig {
+            max_queued_tokens: 1,
+            coalesce_wait: Duration::ZERO,
+            ..Default::default()
+        });
+        let hidden = server.model().config().hidden;
+        let a = server.create_session(0).unwrap();
+        let b = server.create_session(0).unwrap();
+        let rx = server.submit_step(a, &token(1, hidden)).unwrap();
+        // The 1-token budget is spent: the next step bounces even though
+        // the ring has plenty of room.
+        assert!(matches!(
+            server.submit_step(b, &token(2, hidden)),
+            Err(ServeError::Backpressure { tenant: 0 })
+        ));
+        assert_eq!(server.stats().rejected_backpressure.load(Ordering::Relaxed), 1);
+        while server.pump() > 0 {}
+        rx.recv().unwrap().unwrap();
+        // Executed work released its budget; admission resumes.
+        let rx = server.submit_step(b, &token(3, hidden)).unwrap();
+        while server.pump() > 0 {}
+        rx.recv().unwrap().unwrap();
     }
 }

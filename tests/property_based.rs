@@ -167,3 +167,167 @@ fn bf16_element_trait_consistency() {
         assert_eq!(Bf16::from_f32(v).to_f32(), Bf16::from_f32_rne(v).to_f32_exact());
     }
 }
+
+/// Random alloc / append / pin / drop / snapshot sequences over a bounded
+/// KV page pool hold the allocator's invariants: the pool's `allocated`
+/// count always equals the number of distinct live pages (no leak, no
+/// double-free), every sequence reads back exactly what was appended,
+/// pinned page handles are never mutated through another writer (COW
+/// isolation), and exhaustion only fires at the residency bound.
+#[test]
+fn kv_page_pool_refcount_discipline() {
+    use pl_dnn::{KvPage, KvPagePool, KvSeq, KvSnapshot};
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    let mut rng = Xorshift::new(0xbadc0ffee);
+    let mut cow_seen = 0u64;
+    for case in 0..16 {
+        let hidden = [3usize, 4, 7][draw(&mut rng, 0, 3)];
+        let page_tokens = [1usize, 2, 3, 4][draw(&mut rng, 0, 4)];
+        let max_pages = draw(&mut rng, 6, 40);
+        let pool = KvPagePool::bounded(hidden, page_tokens, max_pages);
+
+        // Model: per-sequence mirrors of every appended K/V row, plus
+        // pinned page handles with the contents frozen at pin time.
+        let mut seqs: Vec<KvSeq> = Vec::new();
+        let mut mirror: Vec<Vec<(Vec<f32>, Vec<f32>)>> = Vec::new();
+        let mut pinned: Vec<(Arc<KvPage>, Vec<f32>, Vec<f32>)> = Vec::new();
+
+        for op in 0..240 {
+            match draw(&mut rng, 0, 100) {
+                // Append a token to a random (possibly new) sequence.
+                0..=54 => {
+                    let i = draw(&mut rng, 0, seqs.len() + 1);
+                    if i == seqs.len() {
+                        seqs.push(KvSeq::new(&pool));
+                        mirror.push(Vec::new());
+                    }
+                    let mut k = vec![0.0f32; hidden];
+                    let mut v = vec![0.0f32; hidden];
+                    pl_tensor::fill_uniform(&mut k, &mut rng, -1.0, 1.0);
+                    pl_tensor::fill_uniform(&mut v, &mut rng, -1.0, 1.0);
+                    match seqs[i].append(&pool, &k, &v) {
+                        Ok(()) => mirror[i].push((k, v)),
+                        Err(e) => {
+                            // Exhaustion is only legal exactly at the bound
+                            // with nothing left on the free list.
+                            assert_eq!(e.max_pages, max_pages, "case {case} op {op}");
+                            assert_eq!(pool.free_pages(), 0, "case {case} op {op}");
+                            assert_eq!(
+                                pool.allocated_pages(),
+                                max_pages,
+                                "case {case} op {op}: exhausted below the bound"
+                            );
+                            if !seqs.is_empty() {
+                                let victim = draw(&mut rng, 0, seqs.len());
+                                seqs.remove(victim);
+                                mirror.remove(victim);
+                            }
+                        }
+                    }
+                }
+                // Pin a page handle (an external sharer): later writes to
+                // that page must COW-split away from the pin.
+                55..=69 => {
+                    if let Some(i) = (!seqs.is_empty()).then(|| draw(&mut rng, 0, seqs.len())) {
+                        if seqs[i].page_count() > 0 {
+                            // Bias toward the tail page so subsequent
+                            // appends actually hit the COW path.
+                            let p = seqs[i].page_count() - 1;
+                            let page = Arc::clone(&seqs[i].pages()[p]);
+                            let (k, v) = (page.k().to_vec(), page.v().to_vec());
+                            pinned.push((page, k, v));
+                        }
+                    }
+                }
+                // Drop a whole sequence (frees every unshared page).
+                70..=79 => {
+                    if !seqs.is_empty() {
+                        let i = draw(&mut rng, 0, seqs.len());
+                        seqs.remove(i);
+                        mirror.remove(i);
+                    }
+                }
+                // Unpin a held handle.
+                80..=89 => {
+                    if !pinned.is_empty() {
+                        let i = draw(&mut rng, 0, pinned.len());
+                        pinned.remove(i);
+                    }
+                }
+                // Snapshot round-trip: dense bytes encode/decode, restore
+                // into the pool, verify, drop the restored pages.
+                _ => {
+                    if let Some(i) = (!seqs.is_empty()).then(|| draw(&mut rng, 0, seqs.len())) {
+                        let snap = KvSnapshot::from_seqs(
+                            std::slice::from_ref(&seqs[i]),
+                            mirror[i].len().max(1),
+                        );
+                        let bytes = snap.to_bytes();
+                        let back = KvSnapshot::from_bytes(&bytes)
+                            .unwrap_or_else(|| panic!("case {case} op {op}: decode failed"));
+                        assert_eq!(back, snap, "case {case} op {op}: bytes round-trip");
+                        if let Ok(restored) = snap.restore(&pool) {
+                            let seq = &restored[0];
+                            for (t, (k, v)) in mirror[i].iter().enumerate() {
+                                assert_eq!(seq.k_tok(t), &k[..], "case {case} op {op} tok {t}");
+                                assert_eq!(seq.v_tok(t), &v[..], "case {case} op {op} tok {t}");
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Invariant 1: the pool's allocated count equals the number of
+            // distinct physical pages reachable from sequences and pins —
+            // a leak inflates the left side, a double-free deflates it.
+            let mut live: HashSet<*const KvPage> = HashSet::new();
+            for s in &seqs {
+                for p in s.pages() {
+                    live.insert(Arc::as_ptr(p));
+                }
+            }
+            for (p, _, _) in &pinned {
+                live.insert(Arc::as_ptr(p));
+            }
+            assert_eq!(
+                pool.allocated_pages(),
+                live.len(),
+                "case {case} op {op}: pool accounting diverged from live set"
+            );
+            assert!(
+                pool.allocated_pages() + pool.free_pages() <= max_pages,
+                "case {case} op {op}: residency exceeded the bound"
+            );
+
+            // Invariant 2: every sequence reads back its own history.
+            for (i, s) in seqs.iter().enumerate() {
+                assert_eq!(s.len(), mirror[i].len(), "case {case} op {op} seq {i}");
+                for (t, (k, v)) in mirror[i].iter().enumerate() {
+                    assert_eq!(s.k_tok(t), &k[..], "case {case} op {op} seq {i} tok {t}");
+                    assert_eq!(s.v_tok(t), &v[..], "case {case} op {op} seq {i} tok {t}");
+                }
+            }
+
+            // Invariant 3: pinned handles still hold their frozen contents
+            // — any writer that touched a shared page must have split off
+            // a private copy first.
+            for (j, (p, k, v)) in pinned.iter().enumerate() {
+                assert_eq!(p.k(), &k[..], "case {case} op {op} pin {j}: K mutated under pin");
+                assert_eq!(p.v(), &v[..], "case {case} op {op} pin {j}: V mutated under pin");
+            }
+        }
+
+        cow_seen += pool.cow_splits();
+        drop(seqs);
+        drop(pinned);
+        assert_eq!(pool.allocated_pages(), 0, "case {case}: pages leaked at teardown");
+        assert_eq!(
+            pool.resident_pages(),
+            pool.free_pages(),
+            "case {case}: teardown left pages outside the free list"
+        );
+    }
+    assert!(cow_seen > 0, "the op mix never exercised a COW split");
+}
